@@ -1,0 +1,47 @@
+#pragma once
+// Shared plumbing for the benchmark harnesses: suite caching (so the five
+// benchmarks are generated and litho-labeled once per machine, not once per
+// binary) and uniform table printing.
+
+#include <iostream>
+#include <string>
+
+#include "lhd/core/pipeline.hpp"
+#include "lhd/litho/oracle.hpp"
+#include "lhd/synth/builder.hpp"
+#include "lhd/util/cli.hpp"
+#include "lhd/util/log.hpp"
+#include "lhd/util/stopwatch.hpp"
+#include "lhd/util/table.hpp"
+
+namespace lhd::bench {
+
+/// Directory the benchmark binaries cache built suites in (relative to the
+/// working directory; override with --cache=<dir>, disable with --cache=).
+inline std::string cache_dir(const Cli& cli) {
+  return cli.get_string("cache", "lhd_bench_cache");
+}
+
+inline synth::BuiltSuite load_suite(const std::string& name, const Cli& cli) {
+  synth::BuildOptions opts;
+  opts.cache_dir = cache_dir(cli);
+  return synth::build_suite(synth::suite_by_name(name), opts);
+}
+
+/// Lithography verification cost used by the ODST metric, measured once.
+inline double sim_seconds_per_clip() {
+  return litho::HotspotOracle::seconds_per_clip(litho::OracleConfig{});
+}
+
+inline void print_table(const Table& table) {
+  std::cout << "\n" << table.to_text() << std::endl;
+  std::cout << "[csv]\n" << table.to_csv() << std::endl;
+}
+
+/// Standard preamble: quiet logs unless --verbose.
+inline void bench_init(const Cli& cli) {
+  set_log_level(cli.get_bool("verbose", false) ? LogLevel::Debug
+                                               : LogLevel::Info);
+}
+
+}  // namespace lhd::bench

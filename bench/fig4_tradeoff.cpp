@@ -1,0 +1,81 @@
+// Fig. 4 — accuracy / false-alarm trade-off:
+//   (a) decision-threshold sweeps for a trained CNN, linear SVM and
+//       AdaBoost on suite B2 (the ROC-like operating curves);
+//   (b) biased-learning λ sweep: retrain the CNN fine-tune phase at
+//       λ ∈ {0, 0.1, 0.2, 0.3, 0.4} and report the (accuracy, FA) endpoint
+//       of each — the knob the survey's deep-learning endpoint exposes.
+//
+// Flags: --suite=B2  --lambda-epochs=6  --skip-lambda=false
+
+#include "common.hpp"
+#include "lhd/core/cnn_detector.hpp"
+#include "lhd/core/factory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lhd;
+  const Cli cli(argc, argv);
+  bench::bench_init(cli);
+  const std::string suite_name = cli.get_string("suite", "B2");
+  const auto suite = bench::load_suite(suite_name, cli);
+
+  // ---- (a) threshold sweeps -----------------------------------------------
+  Table sweep_table("Fig. 4a — threshold sweep (suite " + suite_name + ")");
+  sweep_table.set_header({"detector", "threshold", "accuracy %",
+                          "false alarms", "FA rate %"});
+  for (const auto& kind : {"cnn", "svm", "adaboost"}) {
+    auto det = core::make_detector(kind);
+    det->train(suite.train);
+    // Anchor thresholds to the observed score distribution.
+    float lo = 1e30f, hi = -1e30f;
+    for (std::size_t i = 0; i < suite.test.size(); ++i) {
+      const float s = det->score(suite.test[i]);
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+    }
+    std::vector<float> thresholds;
+    for (int i = 0; i <= 10; ++i) {
+      thresholds.push_back(lo + (hi - lo) * i / 10.0f);
+    }
+    for (const auto& point :
+         core::threshold_sweep(*det, suite.test, thresholds)) {
+      sweep_table.add_row(
+          {det->name(), Table::cell(point.threshold, 3),
+           Table::cell(100.0 * point.confusion.accuracy(), 1),
+           Table::cell(static_cast<long long>(point.confusion.fp)),
+           Table::cell(100.0 * point.confusion.false_alarm_rate(), 1)});
+    }
+  }
+  bench::print_table(sweep_table);
+
+  // ---- (b) biased-learning lambda sweep -----------------------------------
+  if (!cli.get_bool("skip-lambda", false)) {
+    Table bl_table("Fig. 4b — biased-learning λ sweep (suite " + suite_name +
+                   ")");
+    bl_table.set_header({"lambda", "accuracy %", "false alarms",
+                         "FA rate %", "train s"});
+    for (const double lambda : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+      core::CnnDetectorConfig cfg;
+      cfg.train.epochs = 12;
+      cfg.augment_factor = 4;
+      cfg.bias_epochs =
+          static_cast<int>(cli.get_int("lambda-epochs", 6));
+      cfg.bias_lambda = lambda;
+      cfg.mode = lambda == 0.0 ? core::CnnTrainMode::Plain
+                               : core::CnnTrainMode::Biased;
+      core::CnnDetector det("cnn-bl", cfg);
+      Stopwatch sw;
+      det.train(suite.train);
+      const double train_s = sw.seconds();
+      const auto c = core::evaluate(det.predict_all(suite.test), suite.test);
+      bl_table.add_row({Table::cell(lambda, 2),
+                        Table::cell(100.0 * c.accuracy(), 1),
+                        Table::cell(static_cast<long long>(c.fp)),
+                        Table::cell(100.0 * c.false_alarm_rate(), 1),
+                        Table::cell(train_s, 1)});
+      LHD_LOG(Info) << "lambda " << lambda << ": acc "
+                    << 100.0 * c.accuracy() << "% fa " << c.fp;
+    }
+    bench::print_table(bl_table);
+  }
+  return 0;
+}

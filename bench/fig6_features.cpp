@@ -1,0 +1,84 @@
+// Fig. 6 — layout feature comparison under fixed learners: density grid vs
+// concentric-circle sampling (CCAS) vs the DCT feature tensor, each fed to
+// a linear SVM and to AdaBoost, plus the CNN on its native DCT tensor.
+// The survey's point: representation quality dominates learner choice.
+//
+// Flags: --suite=B2 --skip-cnn=false
+
+#include <functional>
+
+#include "common.hpp"
+#include "lhd/core/cnn_detector.hpp"
+#include "lhd/core/shallow_detector.hpp"
+#include "lhd/ml/adaboost.hpp"
+#include "lhd/feature/squish.hpp"
+#include "lhd/ml/linear_svm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lhd;
+  const Cli cli(argc, argv);
+  bench::bench_init(cli);
+  const std::string suite_name = cli.get_string("suite", "B2");
+  const auto suite = bench::load_suite(suite_name, cli);
+
+  using ExtractorFactory =
+      std::function<std::unique_ptr<feature::Extractor>()>;
+  const std::pair<const char*, ExtractorFactory> features[] = {
+      {"density-16x16", [] { return feature::make_density_extractor(); }},
+      {"ccas-16r4s", [] { return feature::make_ccas_extractor(); }},
+      {"squish-24", [] { return feature::make_squish_extractor(); }},
+      {"dct-tensor", [] { return feature::make_dct_extractor(); }},
+  };
+
+  Table table("Fig. 6 — feature comparison (suite " + suite_name + ")");
+  table.set_header({"feature", "learner", "accuracy %", "false alarms",
+                    "F1", "train s"});
+
+  for (const auto& [fname, make_extractor] : features) {
+    struct Learner {
+      const char* name;
+      std::function<std::unique_ptr<ml::BinaryClassifier>()> make;
+    };
+    const Learner learners[] = {
+        {"linear-svm",
+         [] {
+           ml::LinearSvmConfig cfg;
+           cfg.positive_weight = 1.5;
+           return std::make_unique<ml::LinearSvm>(cfg);
+         }},
+        {"adaboost",
+         [] {
+           ml::AdaBoostConfig cfg;
+           cfg.positive_weight = 1.5;
+           return std::make_unique<ml::AdaBoost>(cfg);
+         }},
+    };
+    for (const auto& learner : learners) {
+      core::ShallowDetector det(fname, make_extractor(), learner.make(), {});
+      Stopwatch sw;
+      det.train(suite.train);
+      const double train_s = sw.seconds();
+      const auto c = core::evaluate(det.predict_all(suite.test), suite.test);
+      table.add_row({fname, learner.name,
+                     Table::cell(100.0 * c.accuracy(), 1),
+                     Table::cell(static_cast<long long>(c.fp)),
+                     Table::cell(c.f1(), 2), Table::cell(train_s, 1)});
+      LHD_LOG(Info) << fname << "+" << learner.name << ": acc "
+                    << 100.0 * c.accuracy() << "% fa " << c.fp;
+    }
+  }
+
+  if (!cli.get_bool("skip-cnn", false)) {
+    core::CnnDetectorConfig cfg;
+    core::CnnDetector det("cnn", cfg);
+    Stopwatch sw;
+    det.train(suite.train);
+    const double train_s = sw.seconds();
+    const auto c = core::evaluate(det.predict_all(suite.test), suite.test);
+    table.add_row({"dct-tensor", "cnn", Table::cell(100.0 * c.accuracy(), 1),
+                   Table::cell(static_cast<long long>(c.fp)),
+                   Table::cell(c.f1(), 2), Table::cell(train_s, 1)});
+  }
+  bench::print_table(table);
+  return 0;
+}

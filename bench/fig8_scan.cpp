@@ -1,0 +1,74 @@
+// Fig. 8 — full-chip scan runtime scaling: windows visited / classified,
+// flagged count and wall time for growing chip areas, comparing the
+// CNN-only sliding-window flow against the two-stage flow (pattern-match
+// prefilter proposing candidates, CNN refining) the survey highlights.
+//
+// Flags: --suite=B2 --max-tiles=16 --stride=512
+
+#include "common.hpp"
+#include "lhd/core/factory.hpp"
+#include "lhd/core/scan.hpp"
+#include "lhd/synth/chip_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lhd;
+  const Cli cli(argc, argv);
+  bench::bench_init(cli);
+  const std::string suite_name = cli.get_string("suite", "B2");
+  const auto suite = bench::load_suite(suite_name, cli);
+
+  LHD_LOG(Info) << "training detectors for the scan...";
+  auto prefilter = core::make_detector("pm");
+  prefilter->train(suite.train);
+  auto cnn = core::make_detector("cnn");
+  cnn->train(suite.train);
+
+  const auto& spec = synth::suite_by_name(suite_name);
+  core::ScanConfig scan_cfg;
+  scan_cfg.window_nm = spec.style.window_nm;
+  scan_cfg.stride_nm = static_cast<geom::Coord>(cli.get_int("stride", 512));
+
+  Table table("Fig. 8 — full-chip scan scaling (window " +
+              Table::cell(static_cast<long long>(scan_cfg.window_nm)) +
+              " nm, stride " +
+              Table::cell(static_cast<long long>(scan_cfg.stride_nm)) +
+              " nm)");
+  table.set_header({"chip tiles", "area mm^2 (scaled)", "flow", "windows",
+                    "classified", "flagged", "seconds",
+                    "us / window"});
+
+  const long long max_tiles = cli.get_int("max-tiles", 16);
+  for (int tiles = 4; tiles <= max_tiles; tiles *= 2) {
+    synth::StyleConfig chip_style = spec.style;
+    chip_style.p_risky_site = 0.25;
+    const auto lib = synth::build_chip(chip_style, tiles, tiles,
+                                       1000 + static_cast<std::uint64_t>(tiles));
+    const auto index =
+        core::ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
+    const double area_mm2 = static_cast<double>(tiles) * tiles *
+                            chip_style.window_nm * chip_style.window_nm /
+                            1e12;  // mm^2 of (scaled) layout
+
+    const auto single = core::scan_chip(index, *cnn, scan_cfg);
+    const auto two =
+        core::scan_chip_two_stage(index, *prefilter, *cnn, scan_cfg);
+    for (const auto& [flow, r] :
+         {std::pair{"cnn-only", &single}, {"pm->cnn two-stage", &two}}) {
+      table.add_row(
+          {Table::cell(static_cast<long long>(tiles)) + "x" +
+               Table::cell(static_cast<long long>(tiles)),
+           Table::cell(area_mm2, 3), flow,
+           Table::cell(static_cast<long long>(r->windows_total)),
+           Table::cell(static_cast<long long>(r->windows_classified)),
+           Table::cell(static_cast<long long>(r->flagged)),
+           Table::cell(r->seconds, 2),
+           Table::cell(1e6 * r->seconds /
+                           static_cast<double>(r->windows_total),
+                       1)});
+    }
+    LHD_LOG(Info) << tiles << "x" << tiles << ": cnn " << single.seconds
+                  << "s vs two-stage " << two.seconds << "s";
+  }
+  bench::print_table(table);
+  return 0;
+}

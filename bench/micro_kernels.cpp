@@ -1,0 +1,110 @@
+// Kernel-level micro benchmarks: rasterization, Gaussian imaging, resist
+// thresholding, hotspot-oracle labeling, block DCT, CNN forward/backward.
+
+#include <benchmark/benchmark.h>
+
+#include "lhd/feature/dct.hpp"
+#include "lhd/litho/oracle.hpp"
+#include "lhd/nn/loss.hpp"
+#include "lhd/nn/network.hpp"
+#include "lhd/synth/clip_gen.hpp"
+#include "lhd/util/log.hpp"
+
+namespace {
+
+using namespace lhd;
+
+const std::vector<geom::Rect>& sample_rects() {
+  static const std::vector<geom::Rect> rects = [] {
+    set_log_level(LogLevel::Warn);
+    synth::StyleConfig style;
+    Rng rng(5);
+    return synth::generate_clip(style, rng);
+  }();
+  return rects;
+}
+
+const geom::FloatImage& sample_mask() {
+  static const geom::FloatImage mask = geom::rasterize(sample_rects(), 1024, 8);
+  return mask;
+}
+
+void BM_Rasterize128(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::rasterize(sample_rects(), 1024, 8));
+  }
+}
+BENCHMARK(BM_Rasterize128);
+
+void BM_GaussianBlurMain(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(litho::gaussian_blur(sample_mask(), 25.0 / 8));
+  }
+}
+BENCHMARK(BM_GaussianBlurMain);
+
+void BM_AerialImage(benchmark::State& state) {
+  const litho::LithoSimulator sim;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.aerial(sample_mask(), 0.0));
+  }
+}
+BENCHMARK(BM_AerialImage);
+
+void BM_OracleLabelClip(benchmark::State& state) {
+  const litho::HotspotOracle oracle{litho::OracleConfig{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.evaluate(sample_mask()));
+  }
+}
+BENCHMARK(BM_OracleLabelClip);
+
+void BM_DctTensor(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        feature::dct_tensor_from_raster(sample_mask(), {}));
+  }
+}
+BENCHMARK(BM_DctTensor);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const auto target = geom::binarize(sample_mask(), 0.5f);
+  for (auto _ : state) {
+    int n = 0;
+    benchmark::DoNotOptimize(geom::connected_components(target, &n));
+  }
+}
+BENCHMARK(BM_ConnectedComponents);
+
+void BM_CnnForwardBatch32(benchmark::State& state) {
+  nn::Network net = nn::make_hotspot_cnn(16, 16);
+  Rng rng(1);
+  net.init(rng);
+  nn::Tensor in({32, 16, 16, 16});
+  for (auto& v : in.storage()) v = static_cast<float>(rng.next_double());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(in, false));
+  }
+}
+BENCHMARK(BM_CnnForwardBatch32);
+
+void BM_CnnTrainStepBatch32(benchmark::State& state) {
+  nn::Network net = nn::make_hotspot_cnn(16, 16);
+  Rng rng(1);
+  net.init(rng);
+  nn::Tensor in({32, 16, 16, 16});
+  for (auto& v : in.storage()) v = static_cast<float>(rng.next_double());
+  nn::Tensor targets({32, 2});
+  for (int s = 0; s < 32; ++s) targets[static_cast<std::size_t>(s) * 2] = 1;
+  for (auto _ : state) {
+    const auto logits = net.forward(in, true);
+    const auto loss = nn::softmax_cross_entropy(logits, targets);
+    net.backward(loss.grad);
+    benchmark::DoNotOptimize(loss.loss);
+  }
+}
+BENCHMARK(BM_CnnTrainStepBatch32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

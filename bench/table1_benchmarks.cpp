@@ -1,0 +1,31 @@
+// Table I — benchmark statistics: clip counts and hotspot counts for the
+// five synthetic ICCAD-2012-style suites (the analogue of the contest's
+// benchmark-description table).
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lhd;
+  const Cli cli(argc, argv);
+  bench::bench_init(cli);
+
+  Table table("Table I — benchmark suite statistics");
+  table.set_header({"suite", "pattern family", "train clips", "train HS",
+                    "test clips", "test HS", "test HS %"});
+  Stopwatch total;
+  for (const auto& spec : synth::benchmark_suites()) {
+    const auto suite = bench::load_suite(spec.name, cli);
+    const auto tr = suite.train.stats();
+    const auto te = suite.test.stats();
+    table.add_row({spec.name, spec.description,
+                   Table::cell(static_cast<long long>(tr.total)),
+                   Table::cell(static_cast<long long>(tr.hotspots)),
+                   Table::cell(static_cast<long long>(te.total)),
+                   Table::cell(static_cast<long long>(te.hotspots)),
+                   Table::cell(100.0 * te.hotspot_ratio, 1)});
+  }
+  bench::print_table(table);
+  std::cout << "generation+labeling wall time: " << Table::cell(total.seconds(), 1)
+            << " s (cached for subsequent binaries)\n";
+  return 0;
+}

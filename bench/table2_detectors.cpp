@@ -1,0 +1,75 @@
+// Table II — the headline comparison across detector generations:
+// hotspot detection accuracy, false-alarm count, train/test runtime and
+// ODST speedup for every (detector, suite) pair. This is the survey's
+// pattern-matching -> shallow ML -> deep learning comparison.
+//
+// Flags:
+//   --detectors=headline|all|<comma list>   (default headline)
+//   --suites=B1,B2,...                      (default all five)
+
+#include <sstream>
+
+#include "common.hpp"
+#include "lhd/core/factory.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lhd;
+  const Cli cli(argc, argv);
+  bench::bench_init(cli);
+
+  std::vector<std::string> kinds;
+  const std::string which = cli.get_string("detectors", "headline");
+  if (which == "headline") {
+    kinds = core::headline_detector_kinds();
+  } else if (which == "all") {
+    kinds = core::all_detector_kinds();
+  } else {
+    kinds = split_csv(which);
+  }
+  std::vector<std::string> suites = split_csv(
+      cli.get_string("suites", "B1,B2,B3,B4,B5"));
+
+  const double sim_cost = bench::sim_seconds_per_clip();
+  std::cout << "verification cost: " << Table::cell(sim_cost * 1e3, 2)
+            << " ms per simulated clip\n";
+
+  Table table("Table II — detection performance across generations");
+  table.set_header({"suite", "detector", "accuracy %", "false alarms",
+                    "precision", "F1", "train s", "test s", "ODST s",
+                    "speedup vs full sim"});
+  for (const auto& suite_name : suites) {
+    const auto suite = bench::load_suite(suite_name, cli);
+    for (const auto& kind : kinds) {
+      auto detector = core::make_detector(kind);
+      const auto r =
+          core::run_experiment(*detector, suite, suite_name, sim_cost);
+      table.add_row(
+          {suite_name, detector->name(),
+           Table::cell(100.0 * r.confusion.accuracy(), 1),
+           Table::cell(static_cast<long long>(r.confusion.fp)),
+           Table::cell(r.confusion.precision(), 2),
+           Table::cell(r.confusion.f1(), 2), Table::cell(r.train_seconds, 1),
+           Table::cell(r.test_seconds, 2), Table::cell(r.odst, 2),
+           Table::cell(r.speedup, 1)});
+      LHD_LOG(Info) << suite_name << "/" << detector->name() << ": acc "
+                    << 100.0 * r.confusion.accuracy() << "% fa "
+                    << r.confusion.fp;
+    }
+  }
+  bench::print_table(table);
+  return 0;
+}

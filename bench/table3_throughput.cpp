@@ -1,0 +1,118 @@
+// Table III — feature-extraction and inference throughput (google-benchmark
+// micro measurements): μs per clip for each feature, and per-clip inference
+// cost for a trained detector of each generation.
+
+#include <benchmark/benchmark.h>
+
+#include "lhd/core/cnn_detector.hpp"
+#include "lhd/core/factory.hpp"
+#include "lhd/feature/extractor.hpp"
+#include "lhd/synth/builder.hpp"
+#include "lhd/util/log.hpp"
+
+namespace {
+
+using namespace lhd;
+
+const data::Dataset& sample_clips() {
+  static const data::Dataset ds = [] {
+    set_log_level(LogLevel::Warn);
+    synth::SuiteSpec spec = synth::suite_by_name("B2");
+    spec.n_train = 64;
+    spec.n_test = 0;
+    return synth::build_suite(spec, {}).train;
+  }();
+  return ds;
+}
+
+void BM_FeatureDensity(benchmark::State& state) {
+  const auto extractor = feature::make_density_extractor();
+  const auto& ds = sample_clips();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor->extract(ds[i++ % ds.size()]));
+  }
+}
+BENCHMARK(BM_FeatureDensity);
+
+void BM_FeatureCcas(benchmark::State& state) {
+  const auto extractor = feature::make_ccas_extractor();
+  const auto& ds = sample_clips();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor->extract(ds[i++ % ds.size()]));
+  }
+}
+BENCHMARK(BM_FeatureCcas);
+
+void BM_FeatureDctTensor(benchmark::State& state) {
+  const auto extractor = feature::make_dct_extractor();
+  const auto& ds = sample_clips();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor->extract(ds[i++ % ds.size()]));
+  }
+}
+BENCHMARK(BM_FeatureDctTensor);
+
+/// Inference cost per clip for a detector generation. Training happens once
+/// in setup on a small set — this measures inference, not model quality.
+void run_inference(benchmark::State& state, const std::string& kind) {
+  set_log_level(LogLevel::Warn);
+  auto det = core::make_detector(kind);
+  synth::SuiteSpec spec = synth::suite_by_name("B2");
+  spec.n_train = 80;
+  spec.n_test = 0;
+  const auto built = synth::build_suite(spec, {});
+  det->train(built.train);
+  const auto& ds = sample_clips();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det->predict(ds[i++ % ds.size()]));
+  }
+}
+
+void BM_InferencePatternMatch(benchmark::State& state) {
+  run_inference(state, "pm");
+}
+BENCHMARK(BM_InferencePatternMatch);
+
+void BM_InferenceLinearSvm(benchmark::State& state) {
+  run_inference(state, "svm");
+}
+BENCHMARK(BM_InferenceLinearSvm);
+
+void BM_InferenceAdaBoost(benchmark::State& state) {
+  run_inference(state, "adaboost");
+}
+BENCHMARK(BM_InferenceAdaBoost);
+
+void BM_InferenceNaiveBayes(benchmark::State& state) {
+  run_inference(state, "nb");
+}
+BENCHMARK(BM_InferenceNaiveBayes);
+
+void BM_InferenceCnn(benchmark::State& state) {
+  // Use a fast-training CNN config: inference cost is what's measured and
+  // it does not depend on how long we trained.
+  set_log_level(LogLevel::Warn);
+  core::CnnDetectorConfig cfg;
+  cfg.train.epochs = 2;
+  cfg.augment_factor = 1;
+  core::CnnDetector det("cnn", cfg);
+  synth::SuiteSpec spec = synth::suite_by_name("B2");
+  spec.n_train = 60;
+  spec.n_test = 0;
+  const auto built = synth::build_suite(spec, {});
+  det.train(built.train);
+  const auto& ds = sample_clips();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.predict(ds[i++ % ds.size()]));
+  }
+}
+BENCHMARK(BM_InferenceCnn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Quickstart: the shortest path through the library.
+//
+//   1. Build a labeled benchmark suite (synthetic layout -> GDSII
+//      round-trip -> lithography-oracle labels).
+//   2. Train the deep-learning detector (DCT feature tensor + CNN).
+//   3. Evaluate with the contest metrics.
+//
+// Run:  ./quickstart [--suite=B2] [--train=200] [--test=150] [--epochs=10]
+
+#include <iostream>
+
+#include "lhd/core/cnn_detector.hpp"
+#include "lhd/core/pipeline.hpp"
+#include "lhd/litho/oracle.hpp"
+#include "lhd/synth/builder.hpp"
+#include "lhd/util/cli.hpp"
+#include "lhd/util/log.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lhd;
+  const Cli cli(argc, argv);
+  set_log_level(LogLevel::Info);
+
+  // 1. Build (or shrink) a benchmark suite. Everything is deterministic in
+  //    the suite seed, so results reproduce run to run.
+  synth::SuiteSpec spec = synth::suite_by_name(cli.get_string("suite", "B2"));
+  spec.n_train = static_cast<int>(cli.get_int("train", 200));
+  spec.n_test = static_cast<int>(cli.get_int("test", 150));
+  std::cout << "building suite " << spec.name << " (" << spec.description
+            << ")...\n";
+  const synth::BuiltSuite suite = synth::build_suite(spec, {});
+  const auto stats = suite.train.stats();
+  std::cout << "  train: " << stats.total << " clips, " << stats.hotspots
+            << " hotspots\n";
+
+  // 2. Train the CNN detector.
+  core::CnnDetectorConfig cfg;
+  cfg.train.epochs = static_cast<int>(cli.get_int("epochs", 10));
+  cfg.augment_factor = 4;
+  core::CnnDetector detector("cnn", cfg);
+  std::cout << "training " << detector.name() << " for "
+            << cfg.train.epochs << " epochs...\n";
+
+  // 3. Evaluate with contest metrics; ODST prices every alarm with one
+  //    lithography-simulation run.
+  const double sim_cost =
+      litho::HotspotOracle::seconds_per_clip(litho::OracleConfig{});
+  const core::EvalResult r =
+      core::run_experiment(detector, suite, spec.name, sim_cost);
+
+  std::cout << "\nresults on " << spec.name << " (" << suite.test.size()
+            << " held-out clips):\n"
+            << "  hotspot detection accuracy : "
+            << 100.0 * r.confusion.accuracy() << " %\n"
+            << "  false alarms               : " << r.confusion.fp << "\n"
+            << "  precision                  : " << r.confusion.precision()
+            << "\n"
+            << "  train / test time          : " << r.train_seconds << " s / "
+            << r.test_seconds << " s\n"
+            << "  ODST                       : " << r.odst << " s (vs "
+            << r.full_sim << " s full simulation, " << r.speedup
+            << "x speedup)\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Building a custom detector from library pieces: compose your own feature
+// extractor with any shallow learner, compare against stock detectors, and
+// persist a trained CNN to disk for later reuse.
+//
+// Run:  ./train_custom_detector [--train=250] [--test=150]
+
+#include <iostream>
+
+#include "lhd/core/cnn_detector.hpp"
+#include "lhd/core/factory.hpp"
+#include "lhd/core/pipeline.hpp"
+#include "lhd/core/shallow_detector.hpp"
+#include "lhd/feature/extractor.hpp"
+#include "lhd/ml/random_forest.hpp"
+#include "lhd/synth/builder.hpp"
+#include "lhd/util/cli.hpp"
+#include "lhd/util/log.hpp"
+
+namespace {
+
+using namespace lhd;
+
+/// A custom feature: CCAS rings concatenated with the per-clip pattern
+/// density summary — five lines of code to define a new representation.
+class CcasPlusDensity final : public feature::Extractor {
+ public:
+  std::string name() const override { return "ccas+density(custom)"; }
+
+  std::vector<float> extract(const data::Clip& clip) const override {
+    auto f = feature::ccas_features(clip, ccas_);
+    const auto d = feature::density_features(clip, density_);
+    f.insert(f.end(), d.begin(), d.end());
+    return f;
+  }
+
+  std::array<int, 3> shape() const override {
+    return {1, 1,
+            ccas_.rings * ccas_.sectors + density_.grid * density_.grid};
+  }
+
+ private:
+  feature::CcasConfig ccas_{8, 12, 8};
+  feature::DensityConfig density_{8, 8};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  set_log_level(LogLevel::Info);
+
+  synth::SuiteSpec spec = synth::suite_by_name("B1");
+  spec.n_train = static_cast<int>(cli.get_int("train", 250));
+  spec.n_test = static_cast<int>(cli.get_int("test", 150));
+  const auto suite = synth::build_suite(spec, {});
+
+  // 1. The custom detector: our extractor + a random forest.
+  ml::RandomForestConfig forest_cfg;
+  forest_cfg.trees = 60;
+  core::ShallowDetector custom("custom-forest",
+                               std::make_unique<CcasPlusDensity>(),
+                               std::make_unique<ml::RandomForest>(forest_cfg),
+                               {});
+
+  // 2. A stock detector for comparison.
+  auto stock = core::make_detector("adaboost");
+
+  for (core::Detector* det : {static_cast<core::Detector*>(&custom),
+                              stock.get()}) {
+    const auto r = core::run_experiment(*det, suite, spec.name, 0.007);
+    std::cout << det->name() << ": accuracy "
+              << 100.0 * r.confusion.accuracy() << "%, " << r.confusion.fp
+              << " false alarms, trained in " << r.train_seconds << " s\n";
+  }
+
+  // 3. Train a compact CNN and persist the weights.
+  core::CnnDetectorConfig cnn_cfg;
+  cnn_cfg.train.epochs = 8;
+  cnn_cfg.augment_factor = 3;
+  core::CnnDetector cnn("cnn", cnn_cfg);
+  cnn.train(suite.train);
+  const std::string path = cli.get_string("weights", "custom_cnn.weights");
+  cnn.save(path);
+  std::cout << "CNN weights saved to " << path << "\n";
+
+  // 4. Reload into a fresh detector and verify predictions are identical.
+  core::CnnDetector reloaded("cnn-reloaded", cnn_cfg);
+  reloaded.load(path);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < suite.test.size(); ++i) {
+    agree += cnn.predict(suite.test[i]) == reloaded.predict(suite.test[i]);
+  }
+  std::cout << "reloaded model agrees on " << agree << "/"
+            << suite.test.size() << " test clips\n";
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/bin/bash
+# Runs every benchmark binary in a sensible order (table1 populates the
+# shared suite cache) and tees combined output to bench_output.txt.
+cd /root/repo
+{
+  for b in table1_benchmarks table2_detectors fig4_tradeoff fig5_imbalance \
+           fig6_features fig7_training fig8_scan table3_throughput \
+           micro_kernels; do
+    echo "===== bench/$b ====="
+    ./build/bench/$b 2>&1
+    echo
+  done
+} | tee /root/repo/bench_output.txt

@@ -1,0 +1,28 @@
+#!/bin/bash
+# Remaining table/figure binaries with time-trimmed parameters (single-core
+# host); appends to bench_output.txt.
+cd /root/repo
+{
+  echo "===== bench/fig5_imbalance ====="
+  ./build/bench/fig5_imbalance --epochs=12 2>&1
+  echo
+  echo "===== bench/fig6_features ====="
+  ./build/bench/fig6_features --skip-cnn=true 2>&1
+  echo
+  echo "===== bench/fig7_training ====="
+  ./build/bench/fig7_training --epochs=10 --bias-epochs=4 2>&1
+  echo
+  echo "===== bench/fig8_scan ====="
+  ./build/bench/fig8_scan 2>&1
+  echo
+  echo "===== bench/fig4_tradeoff ====="
+  ./build/bench/fig4_tradeoff --lambda-epochs=4 2>&1
+  echo
+  echo "===== bench/table3_throughput ====="
+  ./build/bench/table3_throughput --benchmark_min_time=0.2s 2>&1
+  echo
+  echo "===== bench/micro_kernels ====="
+  ./build/bench/micro_kernels --benchmark_min_time=0.2s 2>&1
+  echo
+} >> /root/repo/bench_output.txt 2>&1
+echo REST_DONE

@@ -1,0 +1,43 @@
+#pragma once
+// The public face of the library: a hotspot Detector is trained on a
+// labeled clip dataset and classifies clips. Every generation the survey
+// covers — pattern matching, shallow ML, deep learning — implements this
+// interface, so the benchmark harnesses and the full-chip scanner treat
+// them uniformly.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lhd/data/dataset.hpp"
+
+namespace lhd::core {
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Train (or re-train) on a labeled dataset.
+  virtual void train(const data::Dataset& train_set) = 0;
+
+  /// Real-valued decision score for one clip; > decision threshold means
+  /// hotspot. Scale is detector-specific; thresholds are swept relative to
+  /// each detector's own score distribution.
+  virtual float score(const data::Clip& clip) const = 0;
+
+  /// Binary prediction for one clip.
+  virtual bool predict(const data::Clip& clip) const = 0;
+
+  /// Batch prediction (default: loop over predict).
+  virtual std::vector<bool> predict_all(const data::Dataset& ds) const;
+
+  /// Shift the decision threshold (for accuracy/false-alarm trade-off
+  /// sweeps). Interpretation is detector-specific but monotone: larger
+  /// threshold = fewer alarms.
+  virtual void set_threshold(float threshold) = 0;
+  virtual float threshold() const = 0;
+};
+
+}  // namespace lhd::core

@@ -1,0 +1,42 @@
+#include "lhd/core/ensemble.hpp"
+
+#include "lhd/core/factory.hpp"
+#include "lhd/util/check.hpp"
+
+namespace lhd::core {
+
+EnsembleDetector::EnsembleDetector(
+    std::string name, std::vector<std::unique_ptr<Detector>> members)
+    : name_(std::move(name)), members_(std::move(members)) {
+  LHD_CHECK(!members_.empty(), "ensemble needs at least one member");
+  for (const auto& m : members_) {
+    LHD_CHECK(m != nullptr, "null ensemble member");
+  }
+}
+
+void EnsembleDetector::train(const data::Dataset& train_set) {
+  for (auto& m : members_) m->train(train_set);
+}
+
+float EnsembleDetector::score(const data::Clip& clip) const {
+  int votes = 0;
+  for (const auto& m : members_) votes += m->predict(clip);
+  return static_cast<float>(votes) / static_cast<float>(members_.size()) -
+         0.5f;
+}
+
+std::unique_ptr<EnsembleDetector> make_seed_ensemble(const std::string& kind,
+                                                     int n,
+                                                     std::uint64_t base_seed) {
+  LHD_CHECK(n > 0, "ensemble size must be positive");
+  std::vector<std::unique_ptr<Detector>> members;
+  members.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    members.push_back(
+        make_detector(kind, base_seed + static_cast<std::uint64_t>(i) * 101));
+  }
+  return std::make_unique<EnsembleDetector>(
+      kind + "-ens" + std::to_string(n), std::move(members));
+}
+
+}  // namespace lhd::core

@@ -1,0 +1,51 @@
+#pragma once
+// Detector ensembling — the survey's closing direction (and the TCAD'21
+// BNN-ensemble follow-up): combine several trained detectors by majority
+// vote. Members may be heterogeneous (e.g. three CNN seeds, or CNN + SVM +
+// AdaBoost); scores are vote fractions, so thresholds stay meaningful.
+
+#include <memory>
+#include <vector>
+
+#include "lhd/core/detector.hpp"
+
+namespace lhd::core {
+
+class EnsembleDetector final : public Detector {
+ public:
+  /// Takes ownership of the member detectors. Must be non-empty.
+  EnsembleDetector(std::string name,
+                   std::vector<std::unique_ptr<Detector>> members);
+
+  std::string name() const override { return name_; }
+
+  /// Trains every member (members with distinct seeds diversify even on
+  /// identical data).
+  void train(const data::Dataset& train_set) override;
+
+  /// Vote fraction minus 1/2: 0 means an exact tie, +1/2 unanimous hotspot.
+  float score(const data::Clip& clip) const override;
+
+  bool predict(const data::Clip& clip) const override {
+    return score(clip) > threshold_;
+  }
+
+  void set_threshold(float threshold) override { threshold_ = threshold; }
+  float threshold() const override { return threshold_; }
+
+  std::size_t size() const { return members_.size(); }
+  Detector& member(std::size_t i) { return *members_[i]; }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Detector>> members_;
+  float threshold_ = 0.0f;
+};
+
+/// Convenience: an ensemble of `n` same-kind detectors with distinct seeds
+/// (kind as accepted by make_detector).
+std::unique_ptr<EnsembleDetector> make_seed_ensemble(const std::string& kind,
+                                                     int n,
+                                                     std::uint64_t base_seed = 11);
+
+}  // namespace lhd::core

@@ -1,0 +1,153 @@
+#include "lhd/core/factory.hpp"
+
+#include "lhd/core/cnn_detector.hpp"
+#include "lhd/core/shallow_detector.hpp"
+#include "lhd/ml/adaboost.hpp"
+#include "lhd/ml/decision_tree.hpp"
+#include "lhd/ml/kernel_svm.hpp"
+#include "lhd/ml/linear_svm.hpp"
+#include "lhd/ml/logistic_regression.hpp"
+#include "lhd/ml/naive_bayes.hpp"
+#include "lhd/ml/pattern_match.hpp"
+#include "lhd/ml/random_forest.hpp"
+#include "lhd/util/check.hpp"
+
+namespace lhd::core {
+
+namespace {
+
+/// Concatenation of two extractors (e.g. density ++ CCAS).
+class ConcatExtractor final : public feature::Extractor {
+ public:
+  ConcatExtractor(std::unique_ptr<feature::Extractor> a,
+                  std::unique_ptr<feature::Extractor> b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+
+  std::string name() const override {
+    return a_->name() + "+" + b_->name();
+  }
+  std::vector<float> extract(const data::Clip& clip) const override {
+    auto fa = a_->extract(clip);
+    const auto fb = b_->extract(clip);
+    fa.insert(fa.end(), fb.begin(), fb.end());
+    return fa;
+  }
+  std::array<int, 3> shape() const override {
+    return {1, 1, a_->dim() + b_->dim()};
+  }
+
+ private:
+  std::unique_ptr<feature::Extractor> a_, b_;
+};
+
+std::unique_ptr<feature::Extractor> density_ccas() {
+  return std::make_unique<ConcatExtractor>(feature::make_density_extractor(),
+                                           feature::make_ccas_extractor());
+}
+
+}  // namespace
+
+std::unique_ptr<Detector> make_detector(const std::string& kind,
+                                        std::uint64_t seed) {
+  ShallowDetectorConfig shallow;
+  shallow.seed = seed;
+
+  if (kind == "pm") {
+    // Pattern matching: no upsampling (it memorizes hotspots directly),
+    // no standardization (signatures quantize raw densities).
+    ShallowDetectorConfig cfg;
+    cfg.upsample_ratio = 0.0;
+    cfg.standardize = false;
+    cfg.augment_factor = 1;
+    cfg.seed = seed;
+    ml::PatternMatchConfig pm;
+    pm.quant_levels = 6;
+    pm.auto_radius = true;
+    pm.radius_scale = 1.1;
+    feature::DensityConfig dc;
+    dc.grid = 8;  // coarse signatures so near-duplicates of known hotspots match
+    return std::make_unique<ShallowDetector>(
+        "pattern-match", feature::make_density_extractor(dc),
+        std::make_unique<ml::PatternMatcher>(pm), cfg);
+  }
+  if (kind == "nb") {
+    return std::make_unique<ShallowDetector>(
+        "naive-bayes", feature::make_density_extractor(),
+        std::make_unique<ml::GaussianNaiveBayes>(), shallow);
+  }
+  if (kind == "logreg") {
+    ml::LogisticRegressionConfig cfg;
+    cfg.positive_weight = 1.5;
+    cfg.seed = seed;
+    return std::make_unique<ShallowDetector>(
+        "logistic-regression", feature::make_density_extractor(),
+        std::make_unique<ml::LogisticRegression>(cfg), shallow);
+  }
+  if (kind == "svm") {
+    ml::LinearSvmConfig cfg;
+    cfg.positive_weight = 1.5;
+    cfg.seed = seed;
+    return std::make_unique<ShallowDetector>(
+        "linear-svm", density_ccas(),
+        std::make_unique<ml::LinearSvm>(cfg), shallow);
+  }
+  if (kind == "svm-rbf") {
+    ml::KernelSvmConfig cfg;
+    cfg.positive_weight = 1.5;
+    cfg.seed = seed;
+    return std::make_unique<ShallowDetector>(
+        "rbf-svm", feature::make_ccas_extractor(),
+        std::make_unique<ml::KernelSvm>(cfg), shallow);
+  }
+  if (kind == "adaboost") {
+    ml::AdaBoostConfig cfg;
+    cfg.positive_weight = 1.5;
+    return std::make_unique<ShallowDetector>(
+        "adaboost", density_ccas(), std::make_unique<ml::AdaBoost>(cfg),
+        shallow);
+  }
+  if (kind == "dtree") {
+    ml::DecisionTreeConfig cfg;
+    cfg.seed = seed;
+    return std::make_unique<ShallowDetector>(
+        "decision-tree", feature::make_density_extractor(),
+        std::make_unique<ml::DecisionTree>(cfg), shallow);
+  }
+  if (kind == "forest") {
+    ml::RandomForestConfig cfg;
+    cfg.seed = seed;
+    return std::make_unique<ShallowDetector>(
+        "random-forest", density_ccas(),
+        std::make_unique<ml::RandomForest>(cfg), shallow);
+  }
+  if (kind == "cnn" || kind == "cnn-bl" || kind == "cnn-bbl") {
+    CnnDetectorConfig cfg;
+    cfg.seed = seed;
+    cfg.train.epochs = 15;
+    cfg.augment_factor = 6;
+    cfg.bias_epochs = 6;
+    if (kind == "cnn-bl") {
+      cfg.mode = CnnTrainMode::Biased;
+    } else if (kind == "cnn-bbl") {
+      cfg.mode = CnnTrainMode::BatchBiased;
+      cfg.epochs_per_stage = 3;
+    }
+    return std::make_unique<CnnDetector>(kind, cfg);
+  }
+  throw Error("unknown detector kind: " + kind);
+}
+
+const std::vector<std::string>& all_detector_kinds() {
+  static const std::vector<std::string> kinds = {
+      "pm", "nb", "logreg", "svm", "svm-rbf", "adaboost",
+      "dtree", "forest", "cnn", "cnn-bl", "cnn-bbl"};
+  return kinds;
+}
+
+const std::vector<std::string>& headline_detector_kinds() {
+  static const std::vector<std::string> kinds = {
+      "pm", "svm", "adaboost", "cnn", "cnn-bl"};
+  return kinds;
+}
+
+}  // namespace lhd::core

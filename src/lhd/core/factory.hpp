@@ -1,0 +1,34 @@
+#pragma once
+// Named detector construction — the configurations the benchmark tables
+// compare. Kinds, in the survey's generational order:
+//
+//   "pm"        pattern matching on quantized density signatures
+//   "nb"        Gaussian naive Bayes on density features
+//   "logreg"    logistic regression on density features
+//   "svm"       linear SVM (Pegasos) on density+CCAS features
+//   "svm-rbf"   RBF-kernel SVM (SMO) on CCAS features
+//   "adaboost"  boosted stumps on density+CCAS features
+//   "dtree"     CART decision tree on density features
+//   "forest"    random forest on density+CCAS features
+//   "cnn"       DCT feature tensor + CNN (plain training)
+//   "cnn-bl"    ... + biased learning
+//   "cnn-bbl"   ... + batch biased learning
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lhd/core/detector.hpp"
+
+namespace lhd::core {
+
+std::unique_ptr<Detector> make_detector(const std::string& kind,
+                                        std::uint64_t seed = 11);
+
+/// All kinds in generational order (for the main comparison table).
+const std::vector<std::string>& all_detector_kinds();
+
+/// The subset used by the headline table (one per generation plus BL).
+const std::vector<std::string>& headline_detector_kinds();
+
+}  // namespace lhd::core

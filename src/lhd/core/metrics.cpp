@@ -1,0 +1,55 @@
+#include "lhd/core/metrics.hpp"
+
+#include <algorithm>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::core {
+
+Confusion evaluate(const std::vector<bool>& predictions,
+                   const data::Dataset& ds) {
+  LHD_CHECK(predictions.size() == ds.size(), "prediction count mismatch");
+  Confusion c;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const bool hot = ds[i].is_hotspot();
+    const bool pred = predictions[i];
+    if (hot && pred) ++c.tp;
+    if (hot && !pred) ++c.fn;
+    if (!hot && pred) ++c.fp;
+    if (!hot && !pred) ++c.tn;
+  }
+  return c;
+}
+
+double odst_seconds(const Confusion& c, double test_seconds,
+                    double sim_seconds_per_clip) {
+  return test_seconds +
+         sim_seconds_per_clip * static_cast<double>(c.alarms());
+}
+
+double full_simulation_seconds(std::size_t clips,
+                               double sim_seconds_per_clip) {
+  return sim_seconds_per_clip * static_cast<double>(clips);
+}
+
+double roc_auc(const std::vector<float>& scores, const data::Dataset& ds) {
+  LHD_CHECK(scores.size() == ds.size(), "score count mismatch");
+  std::vector<float> pos, neg;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    (ds[i].is_hotspot() ? pos : neg).push_back(scores[i]);
+  }
+  if (pos.empty() || neg.empty()) return 0.5;
+  // U statistic via sorting the negatives and binary-searching each
+  // positive: O((P+N) log N).
+  std::sort(neg.begin(), neg.end());
+  double u = 0.0;
+  for (const float p : pos) {
+    const auto lower = std::lower_bound(neg.begin(), neg.end(), p);
+    const auto upper = std::upper_bound(neg.begin(), neg.end(), p);
+    u += static_cast<double>(lower - neg.begin());        // strictly below
+    u += 0.5 * static_cast<double>(upper - lower);        // ties count half
+  }
+  return u / (static_cast<double>(pos.size()) * static_cast<double>(neg.size()));
+}
+
+}  // namespace lhd::core

@@ -1,0 +1,44 @@
+#pragma once
+// End-to-end experiment pipeline: train a detector on a suite, evaluate it
+// on the held-out split, time both phases, and compute contest metrics —
+// one call per (detector, suite) cell of the comparison tables.
+
+#include <string>
+#include <vector>
+
+#include "lhd/core/detector.hpp"
+#include "lhd/core/metrics.hpp"
+#include "lhd/synth/builder.hpp"
+
+namespace lhd::core {
+
+struct EvalResult {
+  std::string detector;
+  std::string suite;
+  Confusion confusion;
+  double train_seconds = 0.0;
+  double test_seconds = 0.0;
+  double odst = 0.0;          ///< test + verification of alarms
+  double full_sim = 0.0;      ///< simulate-everything baseline
+  double speedup = 0.0;       ///< full_sim / odst
+};
+
+/// Train `detector` on `suite.train`, evaluate on `suite.test`.
+/// `sim_seconds_per_clip` prices alarm verification (measure it with
+/// litho::HotspotOracle::seconds_per_clip).
+EvalResult run_experiment(Detector& detector, const synth::BuiltSuite& suite,
+                          const std::string& suite_name,
+                          double sim_seconds_per_clip);
+
+struct SweepPoint {
+  float threshold = 0.0f;
+  Confusion confusion;
+};
+
+/// Accuracy/false-alarm trade-off: evaluate an already-trained detector at
+/// each threshold (restores the original threshold afterwards).
+std::vector<SweepPoint> threshold_sweep(Detector& detector,
+                                        const data::Dataset& test,
+                                        const std::vector<float>& thresholds);
+
+}  // namespace lhd::core

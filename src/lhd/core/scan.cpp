@@ -1,0 +1,145 @@
+#include "lhd/core/scan.hpp"
+
+#include <algorithm>
+
+#include "lhd/util/check.hpp"
+#include "lhd/util/stopwatch.hpp"
+
+namespace lhd::core {
+
+ChipIndex::ChipIndex(std::vector<geom::Rect> rects, geom::Coord bucket_nm)
+    : rects_(std::move(rects)), bucket_nm_(bucket_nm) {
+  LHD_CHECK(bucket_nm_ > 0, "bucket size must be positive");
+  extent_ = geom::Rect{};
+  for (const auto& r : rects_) extent_ = extent_.unite(r);
+  if (rects_.empty()) {
+    bx_ = by_ = 1;
+    buckets_.resize(1);
+    return;
+  }
+  bx_ = static_cast<int>((extent_.width() + bucket_nm_ - 1) / bucket_nm_);
+  by_ = static_cast<int>((extent_.height() + bucket_nm_ - 1) / bucket_nm_);
+  bx_ = std::max(bx_, 1);
+  by_ = std::max(by_, 1);
+  buckets_.assign(static_cast<std::size_t>(bx_) * by_, {});
+  for (std::uint32_t i = 0; i < rects_.size(); ++i) {
+    const auto& r = rects_[i];
+    const int x0 = static_cast<int>((r.xlo - extent_.xlo) / bucket_nm_);
+    const int y0 = static_cast<int>((r.ylo - extent_.ylo) / bucket_nm_);
+    const int x1 = static_cast<int>((r.xhi - 1 - extent_.xlo) / bucket_nm_);
+    const int y1 = static_cast<int>((r.yhi - 1 - extent_.ylo) / bucket_nm_);
+    for (int by = std::max(0, y0); by <= std::min(by_ - 1, y1); ++by) {
+      for (int bx = std::max(0, x0); bx <= std::min(bx_ - 1, x1); ++bx) {
+        buckets_[static_cast<std::size_t>(by) * bx_ + bx].push_back(i);
+      }
+    }
+  }
+  stamp_.assign(rects_.size(), 0);
+}
+
+std::vector<geom::Rect> ChipIndex::query(const geom::Rect& window) const {
+  std::vector<geom::Rect> out;
+  if (rects_.empty()) return out;
+  ++stamp_value_;
+  const int x0 = std::max(
+      0, static_cast<int>((window.xlo - extent_.xlo) / bucket_nm_));
+  const int y0 = std::max(
+      0, static_cast<int>((window.ylo - extent_.ylo) / bucket_nm_));
+  const int x1 = std::min(
+      bx_ - 1, static_cast<int>((window.xhi - 1 - extent_.xlo) / bucket_nm_));
+  const int y1 = std::min(
+      by_ - 1, static_cast<int>((window.yhi - 1 - extent_.ylo) / bucket_nm_));
+  for (int by = y0; by <= y1; ++by) {
+    for (int bx = x0; bx <= x1; ++bx) {
+      for (const std::uint32_t i :
+           buckets_[static_cast<std::size_t>(by) * bx_ + bx]) {
+        if (stamp_[i] == stamp_value_) continue;
+        stamp_[i] = stamp_value_;
+        const geom::Rect c = rects_[i].intersect(window);
+        if (!c.empty()) out.push_back(c.shifted(-window.xlo, -window.ylo));
+      }
+    }
+  }
+  return out;
+}
+
+ChipIndex ChipIndex::from_library(const gds::Library& lib,
+                                  const std::string& top,
+                                  std::int16_t layer) {
+  return ChipIndex(lib.flatten_layer(top, layer));
+}
+
+namespace {
+
+/// Iterate scan windows over the chip extent, invoking fn(window, rects).
+template <typename Fn>
+std::size_t for_each_window(const ChipIndex& chip, const ScanConfig& config,
+                            Fn&& fn) {
+  LHD_CHECK(config.window_nm > 0 && config.stride_nm > 0, "bad scan config");
+  const geom::Rect extent = chip.extent();
+  std::size_t visited = 0;
+  for (geom::Coord y = extent.ylo; y < extent.yhi; y += config.stride_nm) {
+    for (geom::Coord x = extent.xlo; x < extent.xhi;
+         x += config.stride_nm) {
+      const geom::Rect window(x, y, x + config.window_nm,
+                              y + config.window_nm);
+      ++visited;
+      auto rects = chip.query(window);
+      if (config.skip_empty && rects.empty()) continue;
+      fn(window, std::move(rects));
+    }
+  }
+  return visited;
+}
+
+data::Clip make_clip(std::vector<geom::Rect> rects, geom::Coord window_nm) {
+  data::Clip clip;
+  clip.rects = std::move(rects);
+  clip.window_nm = window_nm;
+  return clip;
+}
+
+}  // namespace
+
+ScanResult scan_chip(const ChipIndex& chip, const Detector& detector,
+                     const ScanConfig& config) {
+  ScanResult result;
+  Stopwatch sw;
+  result.windows_total =
+      for_each_window(chip, config, [&](const geom::Rect& window,
+                                        std::vector<geom::Rect> rects) {
+        ++result.windows_classified;
+        const data::Clip clip = make_clip(std::move(rects), config.window_nm);
+        const float s = detector.score(clip);
+        if (s > detector.threshold()) {
+          ++result.flagged;
+          result.hits.push_back({window, s});
+        }
+      });
+  result.seconds = sw.seconds();
+  return result;
+}
+
+ScanResult scan_chip_two_stage(const ChipIndex& chip,
+                               const Detector& prefilter,
+                               const Detector& refiner,
+                               const ScanConfig& config) {
+  ScanResult result;
+  Stopwatch sw;
+  result.windows_total =
+      for_each_window(chip, config, [&](const geom::Rect& window,
+                                        std::vector<geom::Rect> rects) {
+        const data::Clip clip = make_clip(std::move(rects), config.window_nm);
+        if (!prefilter.predict(clip)) return;  // stage 1 rejects
+        ++result.windows_classified;           // stage 2 work
+        const float s = refiner.score(clip);
+        if (s > refiner.threshold()) {
+          ++result.flagged;
+          result.hits.push_back({window, s});
+        }
+      });
+  result.seconds = sw.seconds();
+  return result;
+}
+
+}  // namespace lhd::core

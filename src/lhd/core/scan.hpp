@@ -1,0 +1,70 @@
+#pragma once
+// Full-chip hotspot scanning: slide a clip window over a flattened layout
+// and classify each window. Includes the two-stage flow the survey
+// highlights (cheap pattern-match prefilter proposing candidates, CNN
+// refining them) and a spatial index so window extraction is O(local).
+
+#include <vector>
+
+#include "lhd/core/detector.hpp"
+#include "lhd/gds/model.hpp"
+
+namespace lhd::core {
+
+/// Bucketed spatial index over a flattened rectangle soup.
+class ChipIndex {
+ public:
+  ChipIndex(std::vector<geom::Rect> rects, geom::Coord bucket_nm = 2048);
+
+  const geom::Rect& extent() const { return extent_; }
+  std::size_t rect_count() const { return rects_.size(); }
+
+  /// All rects overlapping `window`, clipped and translated to window-local
+  /// coordinates.
+  std::vector<geom::Rect> query(const geom::Rect& window) const;
+
+  /// Build directly from a GDS library's flattened layer.
+  static ChipIndex from_library(const gds::Library& lib,
+                                const std::string& top, std::int16_t layer);
+
+ private:
+  std::vector<geom::Rect> rects_;
+  geom::Rect extent_;
+  geom::Coord bucket_nm_;
+  int bx_ = 0, by_ = 0;
+  std::vector<std::vector<std::uint32_t>> buckets_;
+  mutable std::vector<std::uint32_t> stamp_;   ///< dedupe marker per rect
+  mutable std::uint32_t stamp_value_ = 0;
+};
+
+struct ScanConfig {
+  geom::Coord window_nm = 1024;
+  geom::Coord stride_nm = 512;
+  bool skip_empty = true;  ///< windows with no geometry are never hotspots
+};
+
+struct ScanHit {
+  geom::Rect window;
+  float score = 0.0f;
+};
+
+struct ScanResult {
+  std::size_t windows_total = 0;    ///< windows visited
+  std::size_t windows_classified = 0;  ///< windows the (final) detector saw
+  std::size_t flagged = 0;
+  double seconds = 0.0;
+  std::vector<ScanHit> hits;
+};
+
+/// Single-stage scan: classify every (non-empty) window.
+ScanResult scan_chip(const ChipIndex& chip, const Detector& detector,
+                     const ScanConfig& config);
+
+/// Two-stage scan: `prefilter` proposes candidate windows (its alarms),
+/// `refiner` classifies only those.
+ScanResult scan_chip_two_stage(const ChipIndex& chip,
+                               const Detector& prefilter,
+                               const Detector& refiner,
+                               const ScanConfig& config);
+
+}  // namespace lhd::core

@@ -1,0 +1,32 @@
+#pragma once
+// A labeled layout clip — the unit every detector trains on and classifies.
+//
+// Clips store geometry (rectangles in clip-local nm) rather than rasters;
+// the raster is recomputed on demand. This keeps multi-thousand-clip
+// datasets small and lets feature extractors pick their own resolution.
+
+#include <cstdint>
+#include <vector>
+
+#include "lhd/geom/raster.hpp"
+#include "lhd/geom/rect.hpp"
+
+namespace lhd::data {
+
+enum class Label : std::uint8_t { NonHotspot = 0, Hotspot = 1 };
+
+struct Clip {
+  std::vector<geom::Rect> rects;   ///< clip-local geometry, [0, window_nm)^2
+  geom::Coord window_nm = 1024;    ///< square clip side length
+  Label label = Label::NonHotspot;
+  std::uint32_t id = 0;            ///< stable id within its dataset
+
+  bool is_hotspot() const { return label == Label::Hotspot; }
+
+  /// Rasterize at the given resolution (window_nm must be divisible).
+  geom::FloatImage raster(geom::Coord pixel_nm) const {
+    return geom::rasterize(rects, window_nm, pixel_nm);
+  }
+};
+
+}  // namespace lhd::data

@@ -1,0 +1,54 @@
+#include "lhd/data/dataset.hpp"
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::data {
+
+void Dataset::add(Clip clip) {
+  clip.id = static_cast<std::uint32_t>(clips_.size());
+  clips_.push_back(std::move(clip));
+}
+
+DatasetStats Dataset::stats() const {
+  DatasetStats s;
+  s.total = clips_.size();
+  for (const auto& c : clips_) {
+    if (c.is_hotspot()) {
+      ++s.hotspots;
+    } else {
+      ++s.non_hotspots;
+    }
+  }
+  s.hotspot_ratio =
+      s.total == 0 ? 0.0 : static_cast<double>(s.hotspots) / s.total;
+  return s;
+}
+
+void Dataset::shuffle(Rng& rng) { rng.shuffle(clips_); }
+
+std::pair<Dataset, Dataset> Dataset::split_at(std::size_t n) const {
+  LHD_CHECK(n <= clips_.size(), "split point beyond dataset size");
+  Dataset a(name_ + "/a");
+  Dataset b(name_ + "/b");
+  a.reserve(n);
+  b.reserve(clips_.size() - n);
+  for (std::size_t i = 0; i < clips_.size(); ++i) {
+    (i < n ? a : b).add(clips_[i]);
+  }
+  return {std::move(a), std::move(b)};
+}
+
+Dataset Dataset::filter(Label label) const {
+  Dataset out(name_);
+  for (const auto& c : clips_) {
+    if (c.label == label) out.add(c);
+  }
+  return out;
+}
+
+void Dataset::append(const Dataset& other) {
+  reserve(size() + other.size());
+  for (const auto& c : other.clips()) add(c);
+}
+
+}  // namespace lhd::data

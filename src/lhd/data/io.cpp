@@ -1,0 +1,105 @@
+#include "lhd/data/io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::data {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'H', 'D', 'D'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  LHD_CHECK(in.good(), "truncated dataset stream");
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const auto n = read_pod<std::uint32_t>(in);
+  LHD_CHECK(n < (1u << 20), "unreasonable string length in dataset stream");
+  std::string s(n, '\0');
+  in.read(s.data(), n);
+  LHD_CHECK(in.good(), "truncated dataset stream");
+  return s;
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& ds, std::ostream& out) {
+  out.write(kMagic, 4);
+  write_pod(out, kVersion);
+  write_string(out, ds.name());
+  write_pod<std::uint64_t>(out, ds.size());
+  for (const Clip& c : ds.clips()) {
+    write_pod<std::int32_t>(out, c.window_nm);
+    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(c.label));
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(c.rects.size()));
+    for (const auto& r : c.rects) {
+      write_pod(out, r.xlo);
+      write_pod(out, r.ylo);
+      write_pod(out, r.xhi);
+      write_pod(out, r.yhi);
+    }
+  }
+  LHD_CHECK(out.good(), "dataset write failed");
+}
+
+Dataset load_dataset(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  LHD_CHECK(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+            "not a lhd dataset stream");
+  const auto version = read_pod<std::uint32_t>(in);
+  LHD_CHECK_MSG(version == kVersion, "unsupported dataset version " << version);
+  Dataset ds(read_string(in));
+  const auto count = read_pod<std::uint64_t>(in);
+  ds.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Clip c;
+    c.window_nm = read_pod<std::int32_t>(in);
+    c.label = static_cast<Label>(read_pod<std::uint8_t>(in));
+    const auto n_rects = read_pod<std::uint32_t>(in);
+    LHD_CHECK(n_rects < (1u << 24), "unreasonable rect count");
+    c.rects.reserve(n_rects);
+    for (std::uint32_t r = 0; r < n_rects; ++r) {
+      geom::Rect rect;
+      rect.xlo = read_pod<geom::Coord>(in);
+      rect.ylo = read_pod<geom::Coord>(in);
+      rect.xhi = read_pod<geom::Coord>(in);
+      rect.yhi = read_pod<geom::Coord>(in);
+      c.rects.push_back(rect);
+    }
+    ds.add(std::move(c));
+  }
+  return ds;
+}
+
+void save_dataset_file(const Dataset& ds, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  LHD_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  save_dataset(ds, out);
+}
+
+Dataset load_dataset_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  LHD_CHECK_MSG(in.good(), "cannot open " << path << " for reading");
+  return load_dataset(in);
+}
+
+}  // namespace lhd::data

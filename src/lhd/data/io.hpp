@@ -1,0 +1,18 @@
+#pragma once
+// Compact binary (de)serialization of datasets, so expensive generation +
+// labeling runs can be cached on disk between experiments.
+
+#include <iosfwd>
+#include <string>
+
+#include "lhd/data/dataset.hpp"
+
+namespace lhd::data {
+
+void save_dataset(const Dataset& ds, std::ostream& out);
+Dataset load_dataset(std::istream& in);
+
+void save_dataset_file(const Dataset& ds, const std::string& path);
+Dataset load_dataset_file(const std::string& path);
+
+}  // namespace lhd::data

@@ -1,0 +1,55 @@
+#include "lhd/feature/ccas.hpp"
+
+#include <cmath>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::feature {
+
+std::vector<float> ccas_from_raster(const geom::FloatImage& raster,
+                                    const CcasConfig& config) {
+  LHD_CHECK(config.rings > 0 && config.sectors > 0, "bad CCAS config");
+  const int w = raster.width();
+  const int h = raster.height();
+  const double cx = (w - 1) / 2.0;
+  const double cy = (h - 1) / 2.0;
+  // Outermost ring reaches the clip corner so every pixel lands in a ring.
+  const double max_r = std::hypot(cx + 1.0, cy + 1.0);
+  const double ring_width = max_r / config.rings;
+
+  const std::size_t n =
+      static_cast<std::size_t>(config.rings) * config.sectors;
+  std::vector<double> sum(n, 0.0);
+  std::vector<double> count(n, 0.0);
+  for (int y = 0; y < h; ++y) {
+    const float* row = raster.row(y);
+    for (int x = 0; x < w; ++x) {
+      const double dx = x - cx;
+      const double dy = y - cy;
+      int ring = static_cast<int>(std::hypot(dx, dy) / ring_width);
+      if (ring >= config.rings) ring = config.rings - 1;
+      // atan2 in [0, 2pi) -> sector index.
+      double angle = std::atan2(dy, dx);
+      if (angle < 0) angle += 6.283185307179586;
+      int sector = static_cast<int>(angle / 6.283185307179586 *
+                                    config.sectors);
+      if (sector >= config.sectors) sector = config.sectors - 1;
+      const std::size_t idx =
+          static_cast<std::size_t>(ring) * config.sectors + sector;
+      sum[idx] += row[x];
+      count[idx] += 1.0;
+    }
+  }
+  std::vector<float> out(n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = count[i] > 0 ? static_cast<float>(sum[i] / count[i]) : 0.0f;
+  }
+  return out;
+}
+
+std::vector<float> ccas_features(const data::Clip& clip,
+                                 const CcasConfig& config) {
+  return ccas_from_raster(clip.raster(config.pixel_nm), config);
+}
+
+}  // namespace lhd::feature

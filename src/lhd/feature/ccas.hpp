@@ -1,0 +1,26 @@
+#pragma once
+// Concentric-circle area sampling (CCAS) — the rotation-tolerant feature
+// used by several shallow hotspot detectors: average pattern coverage over
+// concentric rings around the clip centre, optionally split into angular
+// sectors for orientation sensitivity.
+
+#include <vector>
+
+#include "lhd/data/clip.hpp"
+
+namespace lhd::feature {
+
+struct CcasConfig {
+  geom::Coord pixel_nm = 8;
+  int rings = 16;    ///< number of concentric rings covering the clip
+  int sectors = 4;   ///< angular sectors per ring (1 = fully rotation-invariant)
+};
+
+/// Feature vector of length rings*sectors, ring-major.
+std::vector<float> ccas_features(const data::Clip& clip,
+                                 const CcasConfig& config = {});
+
+std::vector<float> ccas_from_raster(const geom::FloatImage& raster,
+                                    const CcasConfig& config);
+
+}  // namespace lhd::feature

@@ -1,0 +1,153 @@
+#include "lhd/feature/dct.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::feature {
+
+namespace {
+
+/// Orthonormal DCT-II basis matrix C (n×n): C[k][i] = s(k) cos(pi(2i+1)k/2n).
+const std::vector<float>& dct_matrix(int n) {
+  static std::mutex mutex;
+  static std::map<int, std::vector<float>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  std::vector<float> c(static_cast<std::size_t>(n) * n);
+  const double pi = 3.14159265358979323846;
+  for (int k = 0; k < n; ++k) {
+    const double s = (k == 0) ? std::sqrt(1.0 / n) : std::sqrt(2.0 / n);
+    for (int i = 0; i < n; ++i) {
+      c[static_cast<std::size_t>(k) * n + i] =
+          static_cast<float>(s * std::cos(pi * (2 * i + 1) * k / (2.0 * n)));
+    }
+  }
+  return cache.emplace(n, std::move(c)).first->second;
+}
+
+// out = A * B (n×n, row-major).
+void matmul(const float* a, const float* b, float* out, int n) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < n; ++k) {
+        acc += a[i * n + k] * b[k * n + j];
+      }
+      out[i * n + j] = acc;
+    }
+  }
+}
+
+// out = A * B^T.
+void matmul_bt(const float* a, const float* b, float* out, int n) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < n; ++k) {
+        acc += a[i * n + k] * b[j * n + k];
+      }
+      out[i * n + j] = acc;
+    }
+  }
+}
+
+// out = A^T * B.
+void matmul_at(const float* a, const float* b, float* out, int n) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < n; ++k) {
+        acc += a[k * n + i] * b[k * n + j];
+      }
+      out[i * n + j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void dct2d(const float* in, float* out, int n) {
+  const auto& c = dct_matrix(n);
+  std::vector<float> tmp(static_cast<std::size_t>(n) * n);
+  matmul(c.data(), in, tmp.data(), n);        // C * X
+  matmul_bt(tmp.data(), c.data(), out, n);    // (C X) C^T
+}
+
+void idct2d(const float* in, float* out, int n) {
+  const auto& c = dct_matrix(n);
+  std::vector<float> tmp(static_cast<std::size_t>(n) * n);
+  matmul_at(c.data(), in, tmp.data(), n);     // C^T * Y
+  matmul(tmp.data(), c.data(), out, n);       // (C^T Y) C
+}
+
+const std::vector<int>& zigzag_order(int n) {
+  static std::mutex mutex;
+  static std::map<int, std::vector<int>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n) * n);
+  // Walk anti-diagonals d = row+col, alternating direction.
+  for (int d = 0; d < 2 * n - 1; ++d) {
+    if (d % 2 == 0) {
+      // up-right: start at (min(d, n-1), d - min(d, n-1))
+      int r = std::min(d, n - 1);
+      int c = d - r;
+      while (r >= 0 && c < n) order.push_back(r-- * n + c++);
+    } else {
+      int c = std::min(d, n - 1);
+      int r = d - c;
+      while (c >= 0 && r < n) order.push_back(r++ * n + c--);
+    }
+  }
+  return cache.emplace(n, std::move(order)).first->second;
+}
+
+DctTensor dct_tensor_from_raster(const geom::FloatImage& raster,
+                                 const DctConfig& config) {
+  const int b = config.block;
+  LHD_CHECK(b > 0 && config.coefficients > 0, "bad DCT config");
+  LHD_CHECK(config.coefficients <= b * b, "more coefficients than block");
+  LHD_CHECK_MSG(raster.width() % b == 0 && raster.height() % b == 0,
+                "raster not divisible by block " << b);
+  const int gw = raster.width() / b;
+  const int gh = raster.height() / b;
+  const auto& zz = zigzag_order(b);
+
+  DctTensor t;
+  t.channels = config.coefficients;
+  t.height = gh;
+  t.width = gw;
+  t.values.assign(
+      static_cast<std::size_t>(t.channels) * gh * gw, 0.0f);
+
+  std::vector<float> block(static_cast<std::size_t>(b) * b);
+  std::vector<float> coef(static_cast<std::size_t>(b) * b);
+  for (int gy = 0; gy < gh; ++gy) {
+    for (int gx = 0; gx < gw; ++gx) {
+      for (int y = 0; y < b; ++y) {
+        const float* row = raster.row(gy * b + y) + gx * b;
+        for (int x = 0; x < b; ++x) {
+          block[static_cast<std::size_t>(y) * b + x] = row[x];
+        }
+      }
+      dct2d(block.data(), coef.data(), b);
+      for (int c = 0; c < t.channels; ++c) {
+        t.values[(static_cast<std::size_t>(c) * gh + gy) * gw + gx] =
+            coef[static_cast<std::size_t>(zz[static_cast<std::size_t>(c)])];
+      }
+    }
+  }
+  return t;
+}
+
+DctTensor dct_tensor(const data::Clip& clip, const DctConfig& config) {
+  return dct_tensor_from_raster(clip.raster(config.pixel_nm), config);
+}
+
+}  // namespace lhd::feature

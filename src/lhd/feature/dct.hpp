@@ -1,0 +1,46 @@
+#pragma once
+// Block-DCT feature tensor (Yang et al., "feature tensor generation"):
+// split the clip raster into B×B blocks, apply a 2-D DCT-II to each block,
+// and keep the first K coefficients in zig-zag order. The result is a
+// K-channel tensor whose spatial layout preserves the clip's geometry —
+// the native input of the deep-learning detector — with ~(K/B²)× the
+// storage of the raw raster and minimal information loss (low-frequency
+// coefficients dominate Manhattan layouts).
+
+#include <vector>
+
+#include "lhd/data/clip.hpp"
+
+namespace lhd::feature {
+
+struct DctConfig {
+  geom::Coord pixel_nm = 8;
+  int block = 8;        ///< DCT block size in pixels
+  int coefficients = 16;///< zig-zag-truncated coefficients kept per block (of block²)
+};
+
+/// Feature tensor in CHW order: shape [coefficients][H/block][W/block].
+struct DctTensor {
+  int channels = 0, height = 0, width = 0;
+  std::vector<float> values;  ///< channels*height*width, CHW row-major
+
+  float at(int c, int y, int x) const {
+    return values[(static_cast<std::size_t>(c) * height + y) * width + x];
+  }
+};
+
+DctTensor dct_tensor(const data::Clip& clip, const DctConfig& config = {});
+DctTensor dct_tensor_from_raster(const geom::FloatImage& raster,
+                                 const DctConfig& config);
+
+/// 2-D DCT-II of one square block (exposed for testing). `n` is the block
+/// side; input/output are n*n row-major. Orthonormal scaling.
+void dct2d(const float* in, float* out, int n);
+/// Inverse (DCT-III with orthonormal scaling) — used by round-trip tests.
+void idct2d(const float* in, float* out, int n);
+
+/// Zig-zag scan order for an n×n block (exposed for testing): returns
+/// indices into the row-major block, lowest frequency first.
+const std::vector<int>& zigzag_order(int n);
+
+}  // namespace lhd::feature

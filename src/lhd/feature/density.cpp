@@ -1,0 +1,33 @@
+#include "lhd/feature/density.hpp"
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::feature {
+
+std::vector<float> density_from_raster(const geom::FloatImage& raster,
+                                       int grid) {
+  LHD_CHECK(grid > 0, "grid must be positive");
+  LHD_CHECK_MSG(raster.width() % grid == 0 && raster.height() % grid == 0,
+                "raster " << raster.width() << "x" << raster.height()
+                          << " not divisible by grid " << grid);
+  const int bx = raster.width() / grid;
+  const int by = raster.height() / grid;
+  std::vector<float> out(static_cast<std::size_t>(grid) * grid, 0.0f);
+  for (int y = 0; y < raster.height(); ++y) {
+    const float* row = raster.row(y);
+    const int gy = y / by;
+    for (int x = 0; x < raster.width(); ++x) {
+      out[static_cast<std::size_t>(gy) * grid + x / bx] += row[x];
+    }
+  }
+  const float norm = 1.0f / (static_cast<float>(bx) * static_cast<float>(by));
+  for (auto& v : out) v *= norm;
+  return out;
+}
+
+std::vector<float> density_features(const data::Clip& clip,
+                                    const DensityConfig& config) {
+  return density_from_raster(clip.raster(config.pixel_nm), config.grid);
+}
+
+}  // namespace lhd::feature

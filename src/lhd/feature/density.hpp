@@ -1,0 +1,25 @@
+#pragma once
+// Density grid features — the classic "shallow ML era" layout encoding:
+// divide the clip into g×g blocks and record the pattern area fraction of
+// each block.
+
+#include <vector>
+
+#include "lhd/data/clip.hpp"
+
+namespace lhd::feature {
+
+struct DensityConfig {
+  geom::Coord pixel_nm = 8;  ///< raster resolution before block averaging
+  int grid = 16;             ///< g×g output blocks
+};
+
+/// Extract the g*g density vector (row-major) for one clip.
+std::vector<float> density_features(const data::Clip& clip,
+                                    const DensityConfig& config = {});
+
+/// Block-average an already-rasterized image.
+std::vector<float> density_from_raster(const geom::FloatImage& raster,
+                                       int grid);
+
+}  // namespace lhd::feature

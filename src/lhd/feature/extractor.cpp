@@ -1,0 +1,89 @@
+#include "lhd/feature/extractor.hpp"
+
+#include "lhd/util/check.hpp"
+#include "lhd/util/thread_pool.hpp"
+
+namespace lhd::feature {
+
+namespace {
+
+class DensityExtractor final : public Extractor {
+ public:
+  explicit DensityExtractor(DensityConfig config) : config_(config) {}
+  std::string name() const override { return "density"; }
+  std::vector<float> extract(const data::Clip& clip) const override {
+    return density_features(clip, config_);
+  }
+  std::array<int, 3> shape() const override {
+    return {1, 1, config_.grid * config_.grid};
+  }
+
+ private:
+  DensityConfig config_;
+};
+
+class CcasExtractor final : public Extractor {
+ public:
+  explicit CcasExtractor(CcasConfig config) : config_(config) {}
+  std::string name() const override { return "ccas"; }
+  std::vector<float> extract(const data::Clip& clip) const override {
+    return ccas_features(clip, config_);
+  }
+  std::array<int, 3> shape() const override {
+    return {1, 1, config_.rings * config_.sectors};
+  }
+
+ private:
+  CcasConfig config_;
+};
+
+class DctExtractor final : public Extractor {
+ public:
+  explicit DctExtractor(DctConfig config) : config_(config) {}
+  std::string name() const override { return "dct-tensor"; }
+  std::vector<float> extract(const data::Clip& clip) const override {
+    return dct_tensor(clip, config_).values;
+  }
+  std::array<int, 3> shape() const override {
+    // All benchmark clips share window_nm = 1024; derive grid from config.
+    const int px = static_cast<int>(1024 / config_.pixel_nm);
+    const int g = px / config_.block;
+    return {config_.coefficients, g, g};
+  }
+
+ private:
+  DctConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<Extractor> make_density_extractor(DensityConfig config) {
+  return std::make_unique<DensityExtractor>(config);
+}
+
+std::unique_ptr<Extractor> make_ccas_extractor(CcasConfig config) {
+  return std::make_unique<CcasExtractor>(config);
+}
+
+std::unique_ptr<Extractor> make_dct_extractor(DctConfig config) {
+  return std::make_unique<DctExtractor>(config);
+}
+
+std::vector<std::vector<float>> extract_all(const Extractor& extractor,
+                                            const data::Dataset& ds) {
+  std::vector<std::vector<float>> rows(ds.size());
+  ThreadPool::global().parallel_for(0, ds.size(), [&](std::size_t i) {
+    rows[i] = extractor.extract(ds[i]);
+  });
+  return rows;
+}
+
+std::vector<float> signed_labels(const data::Dataset& ds) {
+  std::vector<float> y(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    y[i] = ds[i].is_hotspot() ? 1.0f : -1.0f;
+  }
+  return y;
+}
+
+}  // namespace lhd::feature

@@ -1,0 +1,50 @@
+#pragma once
+// Unified feature-extraction interface: every detector consumes features
+// through this, so feature choice and learner choice compose freely (the
+// Fig. 6 experiment swaps extractors under fixed learners).
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lhd/data/dataset.hpp"
+#include "lhd/feature/ccas.hpp"
+#include "lhd/feature/dct.hpp"
+#include "lhd/feature/density.hpp"
+
+namespace lhd::feature {
+
+class Extractor {
+ public:
+  virtual ~Extractor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Flat feature vector for one clip (CHW-flattened for tensor features).
+  virtual std::vector<float> extract(const data::Clip& clip) const = 0;
+
+  /// Tensor shape {channels, height, width}; flat features report
+  /// {1, 1, dim}.
+  virtual std::array<int, 3> shape() const = 0;
+
+  int dim() const {
+    const auto s = shape();
+    return s[0] * s[1] * s[2];
+  }
+};
+
+std::unique_ptr<Extractor> make_density_extractor(DensityConfig config = {});
+std::unique_ptr<Extractor> make_ccas_extractor(CcasConfig config = {});
+std::unique_ptr<Extractor> make_dct_extractor(DctConfig config = {});
+
+/// Extract features for a whole dataset (parallel over clips). Row i is
+/// clip i's feature vector.
+std::vector<std::vector<float>> extract_all(const Extractor& extractor,
+                                            const data::Dataset& ds);
+
+/// Labels as +1 (hotspot) / -1 (non-hotspot) floats, aligned with
+/// extract_all rows.
+std::vector<float> signed_labels(const data::Dataset& ds);
+
+}  // namespace lhd::feature

@@ -1,0 +1,99 @@
+#include "lhd/feature/pca.hpp"
+
+#include <cmath>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::feature {
+
+namespace {
+
+double dot(const std::vector<float>& a, const std::vector<float>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += static_cast<double>(a[i]) * b[i];
+  }
+  return s;
+}
+
+void normalize(std::vector<float>& v) {
+  const double n = std::sqrt(dot(v, v));
+  if (n < 1e-12) return;
+  for (auto& x : v) x = static_cast<float>(x / n);
+}
+
+}  // namespace
+
+void Pca::fit(const std::vector<std::vector<float>>& rows, int components,
+              Rng& rng, int iterations) {
+  LHD_CHECK(!rows.empty(), "cannot fit PCA on empty data");
+  const std::size_t dim = rows[0].size();
+  LHD_CHECK(components > 0 && static_cast<std::size_t>(components) <= dim,
+            "bad component count");
+
+  // Centre the data.
+  mean_.assign(dim, 0.0f);
+  for (const auto& r : rows) {
+    LHD_CHECK(r.size() == dim, "inconsistent dimensions");
+    for (std::size_t d = 0; d < dim; ++d) mean_[d] += r[d];
+  }
+  for (auto& m : mean_) m /= static_cast<float>(rows.size());
+
+  std::vector<std::vector<float>> centred(rows.size(),
+                                          std::vector<float>(dim));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      centred[i][d] = rows[i][d] - mean_[d];
+    }
+  }
+
+  components_.clear();
+  variance_.clear();
+  for (int c = 0; c < components; ++c) {
+    std::vector<float> v(dim);
+    for (auto& x : v) x = static_cast<float>(rng.next_gaussian());
+    normalize(v);
+    double eigenvalue = 0.0;
+    for (int it = 0; it < iterations; ++it) {
+      // w = Cov * v computed as X^T (X v) / n without forming Cov.
+      std::vector<float> w(dim, 0.0f);
+      for (const auto& x : centred) {
+        const auto proj = static_cast<float>(dot(x, v));
+        for (std::size_t d = 0; d < dim; ++d) w[d] += proj * x[d];
+      }
+      for (auto& x : w) x /= static_cast<float>(centred.size());
+      eigenvalue = std::sqrt(dot(w, w));
+      normalize(w);
+      v = std::move(w);
+    }
+    // Deflate: remove this component from the data.
+    for (auto& x : centred) {
+      const auto proj = static_cast<float>(dot(x, v));
+      for (std::size_t d = 0; d < dim; ++d) x[d] -= proj * v[d];
+    }
+    components_.push_back(std::move(v));
+    variance_.push_back(static_cast<float>(eigenvalue));
+  }
+}
+
+std::vector<float> Pca::transform(const std::vector<float>& row) const {
+  LHD_CHECK(fitted(), "PCA not fitted");
+  LHD_CHECK(row.size() == mean_.size(), "dimension mismatch");
+  std::vector<float> centred(row.size());
+  for (std::size_t d = 0; d < row.size(); ++d) centred[d] = row[d] - mean_[d];
+  std::vector<float> out(components_.size());
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    out[c] = static_cast<float>(dot(centred, components_[c]));
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> Pca::transform_all(
+    const std::vector<std::vector<float>>& rows) const {
+  std::vector<std::vector<float>> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(transform(r));
+  return out;
+}
+
+}  // namespace lhd::feature

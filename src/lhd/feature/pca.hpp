@@ -1,0 +1,38 @@
+#pragma once
+// Principal component analysis via power iteration with deflation — used to
+// compress density/CCAS features for the shallow learners (the classic
+// flow: handcrafted features -> PCA -> SVM/boosting).
+
+#include <vector>
+
+#include "lhd/util/rng.hpp"
+
+namespace lhd::feature {
+
+class Pca {
+ public:
+  /// Fit `components` principal directions of the (centred) data. Power
+  /// iteration with deflation; deterministic given the rng seed.
+  void fit(const std::vector<std::vector<float>>& rows, int components,
+           Rng& rng, int iterations = 100);
+
+  /// Project one row onto the fitted components.
+  std::vector<float> transform(const std::vector<float>& row) const;
+  std::vector<std::vector<float>> transform_all(
+      const std::vector<std::vector<float>>& rows) const;
+
+  bool fitted() const { return !components_.empty(); }
+  int n_components() const { return static_cast<int>(components_.size()); }
+  /// Eigenvalue (variance) of each component, descending.
+  const std::vector<float>& explained_variance() const { return variance_; }
+  const std::vector<std::vector<float>>& components() const {
+    return components_;
+  }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<std::vector<float>> components_;  // each of length dim
+  std::vector<float> variance_;
+};
+
+}  // namespace lhd::feature

@@ -1,0 +1,44 @@
+#include "lhd/feature/scaler.hpp"
+
+#include <cmath>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::feature {
+
+void Scaler::fit(const std::vector<std::vector<float>>& rows) {
+  LHD_CHECK(!rows.empty(), "cannot fit scaler on empty data");
+  const std::size_t dim = rows[0].size();
+  std::vector<double> sum(dim, 0.0);
+  std::vector<double> sum2(dim, 0.0);
+  for (const auto& row : rows) {
+    LHD_CHECK(row.size() == dim, "inconsistent feature dimensions");
+    for (std::size_t d = 0; d < dim; ++d) {
+      sum[d] += row[d];
+      sum2[d] += static_cast<double>(row[d]) * row[d];
+    }
+  }
+  const double n = static_cast<double>(rows.size());
+  mean_.resize(dim);
+  std_.resize(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double mu = sum[d] / n;
+    const double var = std::max(0.0, sum2[d] / n - mu * mu);
+    mean_[d] = static_cast<float>(mu);
+    std_[d] = var < 1e-12 ? 1.0f : static_cast<float>(std::sqrt(var));
+  }
+}
+
+void Scaler::transform(std::vector<float>& row) const {
+  LHD_CHECK(fitted(), "scaler not fitted");
+  LHD_CHECK(row.size() == mean_.size(), "dimension mismatch");
+  for (std::size_t d = 0; d < row.size(); ++d) {
+    row[d] = (row[d] - mean_[d]) / std_[d];
+  }
+}
+
+void Scaler::transform_all(std::vector<std::vector<float>>& rows) const {
+  for (auto& row : rows) transform(row);
+}
+
+}  // namespace lhd::feature

@@ -1,0 +1,29 @@
+#pragma once
+// Per-dimension standardization (zero mean, unit variance), fit on the
+// training set and applied to both splits — shallow learners (SVM, logistic
+// regression) need it for sane convergence.
+
+#include <vector>
+
+namespace lhd::feature {
+
+class Scaler {
+ public:
+  /// Fit mean/stddev per dimension. Dimensions with ~zero variance are
+  /// passed through unscaled (std treated as 1).
+  void fit(const std::vector<std::vector<float>>& rows);
+
+  /// In-place transform of one row.
+  void transform(std::vector<float>& row) const;
+  void transform_all(std::vector<std::vector<float>>& rows) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& stddev() const { return std_; }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> std_;
+};
+
+}  // namespace lhd::feature

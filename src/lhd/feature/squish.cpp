@@ -1,0 +1,199 @@
+#include "lhd/feature/squish.hpp"
+
+#include <algorithm>
+
+#include "lhd/feature/extractor.hpp"
+#include "lhd/util/check.hpp"
+
+namespace lhd::feature {
+
+using geom::Coord;
+using geom::Rect;
+
+SquishPattern squish_encode(const std::vector<Rect>& rects,
+                            Coord window_nm) {
+  LHD_CHECK(window_nm > 0, "window must be positive");
+  SquishPattern p;
+  p.x_cuts = {0, window_nm};
+  p.y_cuts = {0, window_nm};
+  for (const auto& r : rects) {
+    p.x_cuts.push_back(std::clamp(r.xlo, Coord{0}, window_nm));
+    p.x_cuts.push_back(std::clamp(r.xhi, Coord{0}, window_nm));
+    p.y_cuts.push_back(std::clamp(r.ylo, Coord{0}, window_nm));
+    p.y_cuts.push_back(std::clamp(r.yhi, Coord{0}, window_nm));
+  }
+  auto dedupe = [](std::vector<Coord>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedupe(p.x_cuts);
+  dedupe(p.y_cuts);
+
+  const int nx = p.nx();
+  const int ny = p.ny();
+  p.topology.assign(static_cast<std::size_t>(nx) * ny, 0);
+  for (const auto& r : rects) {
+    const auto ix0 = std::lower_bound(p.x_cuts.begin(), p.x_cuts.end(), r.xlo) -
+                     p.x_cuts.begin();
+    const auto ix1 = std::lower_bound(p.x_cuts.begin(), p.x_cuts.end(), r.xhi) -
+                     p.x_cuts.begin();
+    const auto iy0 = std::lower_bound(p.y_cuts.begin(), p.y_cuts.end(), r.ylo) -
+                     p.y_cuts.begin();
+    const auto iy1 = std::lower_bound(p.y_cuts.begin(), p.y_cuts.end(), r.yhi) -
+                     p.y_cuts.begin();
+    for (auto j = iy0; j < iy1; ++j) {
+      for (auto i = ix0; i < ix1; ++i) {
+        p.topology[static_cast<std::size_t>(j) * nx + static_cast<std::size_t>(i)] = 1;
+      }
+    }
+  }
+  return p;
+}
+
+std::vector<Rect> squish_decode(const SquishPattern& p) {
+  std::vector<Rect> out;
+  const int nx = p.nx();
+  const int ny = p.ny();
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (p.topology[static_cast<std::size_t>(j) * nx + i]) {
+        out.emplace_back(p.x_cuts[static_cast<std::size_t>(i)],
+                         p.y_cuts[static_cast<std::size_t>(j)],
+                         p.x_cuts[static_cast<std::size_t>(i) + 1],
+                         p.y_cuts[static_cast<std::size_t>(j) + 1]);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Adaptive reduction: merge the two closest cut lines until at most
+/// max_cuts remain. Merging cut k into k-1 ORs the corresponding
+/// topology rows/columns (the squished cells inherit any coverage).
+void reduce_axis(std::vector<Coord>& cuts, std::vector<std::uint8_t>& topo,
+                 int& nx, int& ny, bool is_x, int max_cuts) {
+  while (static_cast<int>(cuts.size()) > max_cuts) {
+    // Find the narrowest interval, then delete one of its (interior)
+    // endpoints — the window borders at the ends are never removed.
+    std::size_t narrow = 0;
+    Coord best_gap = cuts[1] - cuts[0];
+    for (std::size_t k = 1; k + 1 < cuts.size(); ++k) {
+      const Coord gap = cuts[k + 1] - cuts[k];
+      if (gap < best_gap) {
+        best_gap = gap;
+        narrow = k;
+      }
+    }
+    // Interval `narrow` spans cuts [narrow, narrow+1]. Prefer removing its
+    // right endpoint; fall back to the left one when the right endpoint is
+    // the window border. (cuts.size() >= 4 here since max_cuts >= 3.)
+    std::size_t best = narrow + 1;
+    if (best == cuts.size() - 1) best = narrow;
+    LHD_CHECK(best > 0 && best < cuts.size() - 1, "squish merge invariant");
+    // Removing cut `best` merges cells best-1 and best along this axis.
+    const int merge_cell = static_cast<int>(best) - 1;
+    std::vector<std::uint8_t> next;
+    if (is_x) {
+      next.assign(static_cast<std::size_t>(nx - 1) * ny, 0);
+      for (int j = 0; j < ny; ++j) {
+        for (int i = 0, o = 0; i < nx; ++i) {
+          const std::uint8_t v = topo[static_cast<std::size_t>(j) * nx + i];
+          if (i == merge_cell) {
+            next[static_cast<std::size_t>(j) * (nx - 1) + o] |= v;
+          } else if (i == merge_cell + 1) {
+            next[static_cast<std::size_t>(j) * (nx - 1) + o] |= v;
+            ++o;
+          } else {
+            next[static_cast<std::size_t>(j) * (nx - 1) + o] |= v;
+            ++o;
+          }
+        }
+      }
+      --nx;
+    } else {
+      next.assign(static_cast<std::size_t>(nx) * (ny - 1), 0);
+      for (int j = 0, o = 0; j < ny; ++j) {
+        const bool merge_row = (j == merge_cell);
+        for (int i = 0; i < nx; ++i) {
+          next[static_cast<std::size_t>(o) * nx + i] |=
+              topo[static_cast<std::size_t>(j) * nx + i];
+        }
+        if (!merge_row) ++o;
+      }
+      --ny;
+    }
+    topo = std::move(next);
+    cuts.erase(cuts.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+}
+
+}  // namespace
+
+std::vector<float> squish_features(const data::Clip& clip,
+                                   const SquishConfig& config) {
+  LHD_CHECK(config.max_cuts >= 3, "max_cuts must be >= 3");
+  SquishPattern p = squish_encode(clip.rects, clip.window_nm);
+  int nx = p.nx();
+  int ny = p.ny();
+  reduce_axis(p.x_cuts, p.topology, nx, ny, /*is_x=*/true, config.max_cuts);
+  reduce_axis(p.y_cuts, p.topology, nx, ny, /*is_x=*/false, config.max_cuts);
+
+  const int cells = config.max_cuts - 1;
+  std::vector<float> out(
+      static_cast<std::size_t>(cells) * cells + 2 * static_cast<std::size_t>(cells),
+      0.0f);
+  // Topology matrix, centred in the frame.
+  const int off_x = (cells - nx) / 2;
+  const int off_y = (cells - ny) / 2;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      out[static_cast<std::size_t>(j + off_y) * cells + (i + off_x)] =
+          static_cast<float>(p.topology[static_cast<std::size_t>(j) * nx + i]);
+    }
+  }
+  // Delta vectors, normalized by the window size.
+  const auto base = static_cast<std::size_t>(cells) * cells;
+  const float inv = 1.0f / static_cast<float>(clip.window_nm);
+  for (int i = 0; i < nx; ++i) {
+    out[base + static_cast<std::size_t>(i + off_x)] =
+        static_cast<float>(p.x_cuts[static_cast<std::size_t>(i) + 1] -
+                           p.x_cuts[static_cast<std::size_t>(i)]) *
+        inv;
+  }
+  for (int j = 0; j < ny; ++j) {
+    out[base + static_cast<std::size_t>(cells) +
+        static_cast<std::size_t>(j + off_y)] =
+        static_cast<float>(p.y_cuts[static_cast<std::size_t>(j) + 1] -
+                           p.y_cuts[static_cast<std::size_t>(j)]) *
+        inv;
+  }
+  return out;
+}
+
+namespace {
+
+class SquishExtractor final : public Extractor {
+ public:
+  explicit SquishExtractor(SquishConfig config) : config_(config) {}
+  std::string name() const override { return "squish"; }
+  std::vector<float> extract(const data::Clip& clip) const override {
+    return squish_features(clip, config_);
+  }
+  std::array<int, 3> shape() const override {
+    const int cells = config_.max_cuts - 1;
+    return {1, 1, cells * cells + 2 * cells};
+  }
+
+ private:
+  SquishConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<Extractor> make_squish_extractor(SquishConfig config) {
+  return std::make_unique<SquishExtractor>(config);
+}
+
+}  // namespace lhd::feature

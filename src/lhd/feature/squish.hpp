@@ -1,0 +1,53 @@
+#pragma once
+// Adaptive squish pattern representation (Yang et al., ASP-DAC'19): a
+// lossless topological encoding of a Manhattan clip. All distinct x and y
+// edge coordinates define a non-uniform grid; the clip is then a small
+// binary *topology matrix* (which grid cells are covered) plus two *delta
+// vectors* (the geometric spacing between consecutive cut lines).
+//
+// As a fixed-length feature, the topology matrix and delta vectors are
+// embedded into a max_cuts×max_cuts frame (clips with more distinct
+// coordinates than max_cuts are squished adaptively by merging the
+// nearest cut lines first — the "adaptive" part of the representation).
+
+#include <memory>
+#include <vector>
+
+#include "lhd/data/clip.hpp"
+
+namespace lhd::feature {
+
+struct SquishConfig {
+  int max_cuts = 24;  ///< topology frame side (cells = max_cuts-1 per axis)
+};
+
+/// The exact (pre-embedding) squish encoding of a rect set.
+struct SquishPattern {
+  std::vector<geom::Coord> x_cuts;  ///< ascending distinct x coordinates
+  std::vector<geom::Coord> y_cuts;  ///< ascending distinct y coordinates
+  /// topology[j * (x_cuts-1) + i] = 1 iff cell (i, j) is covered.
+  std::vector<std::uint8_t> topology;
+
+  int nx() const { return static_cast<int>(x_cuts.size()) - 1; }
+  int ny() const { return static_cast<int>(y_cuts.size()) - 1; }
+};
+
+/// Exact squish encoding (lossless: rect set can be reconstructed from it).
+SquishPattern squish_encode(const std::vector<geom::Rect>& rects,
+                            geom::Coord window_nm);
+
+/// Reconstruct the covered-area rect set from a squish pattern (one rect
+/// per covered cell; adjacent cells are not merged).
+std::vector<geom::Rect> squish_decode(const SquishPattern& pattern);
+
+/// Fixed-length feature: the topology matrix embedded into a
+/// (max_cuts-1)² frame, followed by the two normalized delta vectors
+/// (max_cuts-1 entries each). When the clip has more cuts than max_cuts,
+/// the closest-together cut lines are merged first (adaptive squish).
+std::vector<float> squish_features(const data::Clip& clip,
+                                   const SquishConfig& config = {});
+
+class Extractor;  // forward declaration (extractor.hpp)
+std::unique_ptr<Extractor> make_squish_extractor(SquishConfig config = {});
+
+}  // namespace lhd::feature

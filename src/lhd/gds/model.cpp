@@ -1,0 +1,146 @@
+#include "lhd/gds/model.hpp"
+
+#include <algorithm>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::gds {
+
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+
+Point Transform::apply(const Point& p) const {
+  Point q = p;
+  if (mirror_x) q.y = -q.y;
+  switch (angle_deg) {
+    case 0: break;
+    case 90: q = {-q.y, q.x}; break;
+    case 180: q = {-q.x, -q.y}; break;
+    case 270: q = {q.y, -q.x}; break;
+    default:
+      LHD_CHECK_MSG(false, "unsupported SREF angle " << angle_deg);
+  }
+  return {q.x + origin.x, q.y + origin.y};
+}
+
+Rect Transform::apply(const Rect& r) const {
+  const Point a = apply({r.xlo, r.ylo});
+  const Point b = apply({r.xhi, r.yhi});
+  return Rect(std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+              std::max(a.y, b.y));
+}
+
+Transform Transform::compose(const Transform& inner) const {
+  Transform out;
+  // Mirror composition in the dihedral group D4: outer ∘ inner.
+  out.mirror_x = mirror_x != inner.mirror_x;
+  // When the outer transform mirrors, the inner rotation flips handedness.
+  const int inner_angle = mirror_x ? (360 - inner.angle_deg) % 360
+                                   : inner.angle_deg;
+  out.angle_deg = (angle_deg + inner_angle) % 360;
+  out.origin = apply(inner.origin);
+  return out;
+}
+
+std::vector<Rect> Path::to_rects() const {
+  LHD_CHECK(width > 0, "path width must be positive");
+  LHD_CHECK(points.size() >= 2, "path needs >= 2 points");
+  const Coord half = width / 2;
+  const Coord ext = (pathtype == 2) ? half : 0;
+  std::vector<Rect> out;
+  out.reserve(points.size() - 1);
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const Point& a = points[i];
+    const Point& b = points[i + 1];
+    LHD_CHECK(a.x == b.x || a.y == b.y, "path segment not Manhattan");
+    // Extend only the free ends; interior joints are already covered by the
+    // half-width overlap of perpendicular segments.
+    const Coord lo_ext = (i == 0) ? ext : half;
+    const Coord hi_ext = (i + 2 == points.size()) ? ext : half;
+    if (a.y == b.y) {
+      const Coord xlo = std::min(a.x, b.x);
+      const Coord xhi = std::max(a.x, b.x);
+      const bool a_is_lo = a.x < b.x;
+      out.emplace_back(xlo - (a_is_lo ? lo_ext : hi_ext), a.y - half,
+                       xhi + (a_is_lo ? hi_ext : lo_ext), a.y + half);
+    } else {
+      const Coord ylo = std::min(a.y, b.y);
+      const Coord yhi = std::max(a.y, b.y);
+      const bool a_is_lo = a.y < b.y;
+      out.emplace_back(a.x - half, ylo - (a_is_lo ? lo_ext : hi_ext),
+                       a.x + half, yhi + (a_is_lo ? hi_ext : lo_ext));
+    }
+  }
+  return out;
+}
+
+Structure& Library::add_structure(const std::string& name) {
+  LHD_CHECK_MSG(index_.find(name) == index_.end(),
+                "duplicate structure " << name);
+  index_[name] = structures_.size();
+  structures_.push_back(Structure{name, {}});
+  return structures_.back();
+}
+
+const Structure* Library::find(const std::string& name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &structures_[it->second];
+}
+
+Structure* Library::find(const std::string& name) {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &structures_[it->second];
+}
+
+std::vector<Rect> Library::flatten_layer(const std::string& top,
+                                         std::int16_t layer) const {
+  const Structure* s = find(top);
+  LHD_CHECK_MSG(s != nullptr, "unknown top structure " << top);
+  std::vector<Rect> out;
+  flatten_into(*s, layer, Transform{}, 0, out);
+  return out;
+}
+
+geom::Rect Library::layer_bbox(const std::string& top,
+                               std::int16_t layer) const {
+  Rect box;
+  bool first = true;
+  for (const Rect& r : flatten_layer(top, layer)) {
+    box = first ? r : box.unite(r);
+    first = false;
+  }
+  return first ? Rect{} : box;
+}
+
+void Library::flatten_into(const Structure& s, std::int16_t layer,
+                           const Transform& t, int depth,
+                           std::vector<Rect>& out) const {
+  LHD_CHECK(depth < 64, "reference depth exceeds 64 — likely a cycle");
+  for (const Element& el : s.elements) {
+    if (const auto* b = std::get_if<Boundary>(&el)) {
+      if (b->layer != layer) continue;
+      for (const Rect& r : b->polygon.decompose()) out.push_back(t.apply(r));
+    } else if (const auto* p = std::get_if<Path>(&el)) {
+      if (p->layer != layer) continue;
+      for (const Rect& r : p->to_rects()) out.push_back(t.apply(r));
+    } else if (const auto* sr = std::get_if<SRef>(&el)) {
+      const Structure* child = find(sr->structure);
+      LHD_CHECK_MSG(child != nullptr, "SREF to unknown " << sr->structure);
+      flatten_into(*child, layer, t.compose(sr->transform), depth + 1, out);
+    } else if (const auto* ar = std::get_if<ARef>(&el)) {
+      const Structure* child = find(ar->structure);
+      LHD_CHECK_MSG(child != nullptr, "AREF to unknown " << ar->structure);
+      for (int r = 0; r < ar->rows; ++r) {
+        for (int c = 0; c < ar->cols; ++c) {
+          Transform cell = ar->transform;
+          cell.origin.x += c * ar->col_step.x + r * ar->row_step.x;
+          cell.origin.y += c * ar->col_step.y + r * ar->row_step.y;
+          flatten_into(*child, layer, t.compose(cell), depth + 1, out);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lhd::gds

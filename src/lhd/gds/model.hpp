@@ -1,0 +1,106 @@
+#pragma once
+// GDSII object model: library -> structures -> elements, plus hierarchy
+// flattening into per-layer rectangle sets.
+//
+// The model supports the subset of GDSII the benchmarks exercise: BOUNDARY
+// (Manhattan), PATH (Manhattan centre-line, pathtype 0/2), SREF and AREF
+// with axis-aligned transforms (angle ∈ {0,90,180,270}, optional X-axis
+// reflection, mag = 1).
+
+#include <deque>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "lhd/geom/polygon.hpp"
+
+namespace lhd::gds {
+
+/// Axis-aligned structure-reference transform. GDS order of operations:
+/// reflect about the x axis (if mirror_x), rotate CCW by angle, translate
+/// to origin.
+struct Transform {
+  bool mirror_x = false;
+  int angle_deg = 0;  // one of {0, 90, 180, 270}
+  geom::Point origin;
+
+  geom::Point apply(const geom::Point& p) const;
+  /// Axis-aligned rectangles stay axis-aligned under this transform group.
+  geom::Rect apply(const geom::Rect& r) const;
+  /// Composition: (this ∘ inner)(p) == this.apply(inner.apply(p)).
+  Transform compose(const Transform& inner) const;
+};
+
+struct Boundary {
+  std::int16_t layer = 0;
+  std::int16_t datatype = 0;
+  geom::Polygon polygon;
+};
+
+struct Path {
+  std::int16_t layer = 0;
+  std::int16_t datatype = 0;
+  std::int16_t pathtype = 0;  // 0 = flush ends, 2 = extended by width/2
+  geom::Coord width = 0;
+  std::vector<geom::Point> points;  // Manhattan centre-line
+
+  /// Expand the centre-line into rectangles (one per segment, plus pathtype-2
+  /// end extensions folded into the segment rects).
+  std::vector<geom::Rect> to_rects() const;
+};
+
+struct SRef {
+  std::string structure;
+  Transform transform;
+};
+
+struct ARef {
+  std::string structure;
+  Transform transform;
+  int cols = 1, rows = 1;
+  geom::Point col_step;  // displacement per column
+  geom::Point row_step;  // displacement per row
+};
+
+using Element = std::variant<Boundary, Path, SRef, ARef>;
+
+struct Structure {
+  std::string name;
+  std::vector<Element> elements;
+};
+
+class Library {
+ public:
+  std::string name = "LHD";
+  /// Database unit in user units (1e-3: 1 dbu = 0.001 um) and in metres
+  /// (1e-9: 1 dbu = 1 nm) — the library-wide convention.
+  double dbu_in_user = 1e-3;
+  double dbu_in_meters = 1e-9;
+
+  /// Add a structure. The returned reference is stable for the lifetime of
+  /// the Library (structures are stored in a deque).
+  Structure& add_structure(const std::string& name);
+  const Structure* find(const std::string& name) const;
+  Structure* find(const std::string& name);
+  const std::deque<Structure>& structures() const { return structures_; }
+
+  /// Flatten `top` (recursively resolving SREF/AREF) and return all shapes
+  /// on `layer` as rectangles in top-level coordinates. Throws lhd::Error on
+  /// unknown structure references or reference cycles.
+  std::vector<geom::Rect> flatten_layer(const std::string& top,
+                                        std::int16_t layer) const;
+
+  /// Bounding box of the flattened layer (empty rect if no shapes).
+  geom::Rect layer_bbox(const std::string& top, std::int16_t layer) const;
+
+ private:
+  void flatten_into(const Structure& s, std::int16_t layer,
+                    const Transform& t, int depth,
+                    std::vector<geom::Rect>& out) const;
+
+  std::deque<Structure> structures_;
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace lhd::gds

@@ -1,0 +1,243 @@
+#include "lhd/gds/reader.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::gds {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t offset, const std::string& msg) {
+  std::ostringstream os;
+  os << "GDS parse error at byte " << offset << ": " << msg;
+  throw ParseError(os.str());
+}
+
+/// Cursor over the record sequence with one-record lookahead.
+class RecordCursor {
+ public:
+  explicit RecordCursor(std::vector<Record> records)
+      : records_(std::move(records)) {}
+
+  bool done() const { return pos_ >= records_.size(); }
+  const Record& peek() const {
+    LHD_CHECK(!done(), "unexpected end of GDS record stream");
+    return records_[pos_];
+  }
+  const Record& next() {
+    const Record& r = peek();
+    ++pos_;
+    return r;
+  }
+  const Record& expect(RecordType type) {
+    const Record& r = next();
+    if (r.type != type) {
+      std::ostringstream os;
+      os << "expected " << record_name(type) << ", got "
+         << record_name(r.type);
+      throw ParseError(os.str());
+    }
+    return r;
+  }
+  bool accept(RecordType type) {
+    if (!done() && peek().type == type) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<Record> records_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<geom::Point> parse_xy(const Record& r) {
+  if (r.payload.size() % 8 != 0) {
+    throw ParseError("XY payload not a multiple of 8 bytes");
+  }
+  std::vector<geom::Point> pts;
+  pts.reserve(r.payload.size() / 8);
+  for (std::size_t i = 0; i + 8 <= r.payload.size(); i += 8) {
+    pts.push_back({read_i32(r.payload.data() + i),
+                   read_i32(r.payload.data() + i + 4)});
+  }
+  return pts;
+}
+
+Transform parse_transform(RecordCursor& cur) {
+  Transform t;
+  if (!cur.done() && cur.peek().type == RecordType::STrans) {
+    const Record& st = cur.next();
+    if (st.payload.size() != 2) throw ParseError("STRANS payload size != 2");
+    const std::uint16_t bits = read_u16(st.payload.data());
+    t.mirror_x = (bits & 0x8000) != 0;
+    if (bits & 0x0006) {
+      throw ParseError("absolute mag/angle STRANS flags unsupported");
+    }
+  }
+  if (!cur.done() && cur.peek().type == RecordType::Mag) {
+    const double mag = cur.next().as_real64();
+    if (std::abs(mag - 1.0) > 1e-9) {
+      throw ParseError("only MAG == 1 is supported");
+    }
+  }
+  if (!cur.done() && cur.peek().type == RecordType::Angle) {
+    const double angle = cur.next().as_real64();
+    const long rounded = std::lround(angle);
+    if (std::abs(angle - static_cast<double>(rounded)) > 1e-9 ||
+        rounded % 90 != 0) {
+      throw ParseError("only multiples of 90 degrees are supported");
+    }
+    t.angle_deg = static_cast<int>(((rounded % 360) + 360) % 360);
+  }
+  return t;
+}
+
+Element parse_boundary(RecordCursor& cur) {
+  Boundary b;
+  b.layer = cur.expect(RecordType::Layer).as_i16();
+  b.datatype = cur.expect(RecordType::DataType).as_i16();
+  auto pts = parse_xy(cur.expect(RecordType::Xy));
+  if (pts.size() < 4) throw ParseError("BOUNDARY with < 4 points");
+  try {
+    b.polygon = geom::Polygon(std::move(pts));
+  } catch (const Error& e) {
+    throw ParseError(std::string("invalid BOUNDARY polygon: ") + e.what());
+  }
+  cur.expect(RecordType::EndEl);
+  return b;
+}
+
+Element parse_path(RecordCursor& cur) {
+  Path p;
+  p.layer = cur.expect(RecordType::Layer).as_i16();
+  p.datatype = cur.expect(RecordType::DataType).as_i16();
+  if (!cur.done() && cur.peek().type == RecordType::PathType) {
+    p.pathtype = cur.next().as_i16();
+    if (p.pathtype != 0 && p.pathtype != 2) {
+      throw ParseError("only PATHTYPE 0/2 supported");
+    }
+  }
+  p.width = cur.expect(RecordType::Width).as_i32();
+  if (p.width <= 0) throw ParseError("PATH width must be positive");
+  p.points = parse_xy(cur.expect(RecordType::Xy));
+  if (p.points.size() < 2) throw ParseError("PATH with < 2 points");
+  cur.expect(RecordType::EndEl);
+  return p;
+}
+
+Element parse_sref(RecordCursor& cur) {
+  SRef s;
+  s.structure = cur.expect(RecordType::SName).as_string();
+  s.transform = parse_transform(cur);
+  const auto pts = parse_xy(cur.expect(RecordType::Xy));
+  if (pts.size() != 1) throw ParseError("SREF XY must have 1 point");
+  s.transform.origin = pts[0];
+  cur.expect(RecordType::EndEl);
+  return s;
+}
+
+Element parse_aref(RecordCursor& cur) {
+  ARef a;
+  a.structure = cur.expect(RecordType::SName).as_string();
+  a.transform = parse_transform(cur);
+  const Record& colrow = cur.expect(RecordType::ColRow);
+  a.cols = colrow.as_i16(0);
+  a.rows = colrow.as_i16(1);
+  if (a.cols <= 0 || a.rows <= 0) throw ParseError("AREF with non-positive COLROW");
+  const auto pts = parse_xy(cur.expect(RecordType::Xy));
+  if (pts.size() != 3) throw ParseError("AREF XY must have 3 points");
+  a.transform.origin = pts[0];
+  a.col_step = {(pts[1].x - pts[0].x) / a.cols,
+                (pts[1].y - pts[0].y) / a.cols};
+  a.row_step = {(pts[2].x - pts[0].x) / a.rows,
+                (pts[2].y - pts[0].y) / a.rows};
+  cur.expect(RecordType::EndEl);
+  return a;
+}
+
+Structure parse_structure(RecordCursor& cur) {
+  Structure s;
+  s.name = cur.expect(RecordType::StrName).as_string();
+  if (s.name.empty()) throw ParseError("empty STRNAME");
+  for (;;) {
+    const Record& r = cur.next();
+    switch (r.type) {
+      case RecordType::EndStr: return s;
+      case RecordType::Boundary: s.elements.push_back(parse_boundary(cur)); break;
+      case RecordType::Path: s.elements.push_back(parse_path(cur)); break;
+      case RecordType::SRef: s.elements.push_back(parse_sref(cur)); break;
+      case RecordType::ARef: s.elements.push_back(parse_aref(cur)); break;
+      default: {
+        std::ostringstream os;
+        os << "unexpected " << record_name(r.type) << " inside structure";
+        throw ParseError(os.str());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Record> scan_records(const std::vector<std::uint8_t>& bytes) {
+  std::vector<Record> records;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (pos + 4 > bytes.size()) fail(pos, "truncated record header");
+    const std::uint16_t total = read_u16(bytes.data() + pos);
+    if (total < 4) fail(pos, "record length < 4");
+    if (total % 2 != 0) fail(pos, "odd record length");
+    if (pos + total > bytes.size()) fail(pos, "record overruns stream");
+    Record r;
+    r.type = static_cast<RecordType>(bytes[pos + 2]);
+    r.data_type = static_cast<DataType>(bytes[pos + 3]);
+    r.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos) + 4,
+                     bytes.begin() + static_cast<std::ptrdiff_t>(pos) + total);
+    const bool is_endlib = r.type == RecordType::EndLib;
+    records.push_back(std::move(r));
+    pos += total;
+    if (is_endlib) break;  // ignore tape padding after ENDLIB
+  }
+  return records;
+}
+
+Library read_bytes(const std::vector<std::uint8_t>& bytes) {
+  RecordCursor cur(scan_records(bytes));
+  cur.expect(RecordType::Header);
+  cur.expect(RecordType::BgnLib);
+  Library lib;
+  lib.name = cur.expect(RecordType::LibName).as_string();
+  const Record& units = cur.expect(RecordType::Units);
+  lib.dbu_in_user = units.as_real64(0);
+  lib.dbu_in_meters = units.as_real64(1);
+  if (lib.dbu_in_user <= 0 || lib.dbu_in_meters <= 0) {
+    throw ParseError("non-positive UNITS");
+  }
+  for (;;) {
+    const Record& r = cur.next();
+    if (r.type == RecordType::EndLib) break;
+    if (r.type != RecordType::BgnStr) {
+      std::ostringstream os;
+      os << "expected BGNSTR or ENDLIB, got " << record_name(r.type);
+      throw ParseError(os.str());
+    }
+    Structure parsed = parse_structure(cur);
+    Structure& dest = lib.add_structure(parsed.name);
+    dest.elements = std::move(parsed.elements);
+  }
+  return lib;
+}
+
+Library read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  LHD_CHECK_MSG(in.good(), "cannot open " << path << " for reading");
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return read_bytes(bytes);
+}
+
+}  // namespace lhd::gds

@@ -1,0 +1,30 @@
+#pragma once
+// GDSII binary stream reader/parser.
+
+#include <string>
+#include <vector>
+
+#include "lhd/gds/model.hpp"
+#include "lhd/gds/records.hpp"
+#include "lhd/util/check.hpp"
+
+namespace lhd::gds {
+
+/// Parse error with byte offset context.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Tokenize a byte stream into records (no semantic checks beyond framing).
+std::vector<Record> scan_records(const std::vector<std::uint8_t>& bytes);
+
+/// Parse GDSII bytes into a Library. Throws ParseError on malformed input
+/// (bad framing, missing mandatory records, truncated stream, unsupported
+/// angles/magnification).
+Library read_bytes(const std::vector<std::uint8_t>& bytes);
+
+/// Parse a GDSII file; throws lhd::Error on I/O failure.
+Library read_file(const std::string& path);
+
+}  // namespace lhd::gds

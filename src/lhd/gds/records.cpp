@@ -1,0 +1,145 @@
+#include "lhd/gds/records.hpp"
+
+#include <cmath>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::gds {
+
+std::int16_t Record::as_i16(std::size_t index) const {
+  LHD_CHECK_MSG(payload.size() >= (index + 1) * 2,
+                record_name(type) << " payload too short for i16[" << index
+                                  << "]");
+  const std::uint8_t* p = payload.data() + index * 2;
+  return static_cast<std::int16_t>(read_u16(p));
+}
+
+std::int32_t Record::as_i32(std::size_t index) const {
+  LHD_CHECK_MSG(payload.size() >= (index + 1) * 4,
+                record_name(type) << " payload too short for i32[" << index
+                                  << "]");
+  return read_i32(payload.data() + index * 4);
+}
+
+double Record::as_real64(std::size_t index) const {
+  LHD_CHECK_MSG(payload.size() >= (index + 1) * 8,
+                record_name(type) << " payload too short for real64[" << index
+                                  << "]");
+  const std::uint8_t* p = payload.data() + index * 8;
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) bits = (bits << 8) | p[i];
+  return decode_real64(bits);
+}
+
+std::string Record::as_string() const {
+  std::string s(payload.begin(), payload.end());
+  // GDS pads odd-length strings with a trailing NUL.
+  while (!s.empty() && s.back() == '\0') s.pop_back();
+  return s;
+}
+
+const char* record_name(RecordType type) {
+  switch (type) {
+    case RecordType::Header: return "HEADER";
+    case RecordType::BgnLib: return "BGNLIB";
+    case RecordType::LibName: return "LIBNAME";
+    case RecordType::Units: return "UNITS";
+    case RecordType::EndLib: return "ENDLIB";
+    case RecordType::BgnStr: return "BGNSTR";
+    case RecordType::StrName: return "STRNAME";
+    case RecordType::EndStr: return "ENDSTR";
+    case RecordType::Boundary: return "BOUNDARY";
+    case RecordType::Path: return "PATH";
+    case RecordType::SRef: return "SREF";
+    case RecordType::ARef: return "AREF";
+    case RecordType::Layer: return "LAYER";
+    case RecordType::DataType: return "DATATYPE";
+    case RecordType::Width: return "WIDTH";
+    case RecordType::Xy: return "XY";
+    case RecordType::EndEl: return "ENDEL";
+    case RecordType::SName: return "SNAME";
+    case RecordType::ColRow: return "COLROW";
+    case RecordType::STrans: return "STRANS";
+    case RecordType::Mag: return "MAG";
+    case RecordType::Angle: return "ANGLE";
+    case RecordType::PathType: return "PATHTYPE";
+  }
+  return "UNKNOWN";
+}
+
+void append_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void append_i16(std::vector<std::uint8_t>& out, std::int16_t v) {
+  append_u16(out, static_cast<std::uint16_t>(v));
+}
+
+void append_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  const auto u = static_cast<std::uint32_t>(v);
+  out.push_back(static_cast<std::uint8_t>(u >> 24));
+  out.push_back(static_cast<std::uint8_t>((u >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((u >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(u & 0xFF));
+}
+
+std::uint16_t read_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::int32_t read_i32(const std::uint8_t* p) {
+  const std::uint32_t u = (static_cast<std::uint32_t>(p[0]) << 24) |
+                          (static_cast<std::uint32_t>(p[1]) << 16) |
+                          (static_cast<std::uint32_t>(p[2]) << 8) |
+                          static_cast<std::uint32_t>(p[3]);
+  return static_cast<std::int32_t>(u);
+}
+
+std::uint64_t encode_real64(double value) {
+  if (value == 0.0) return 0;
+  std::uint64_t sign = 0;
+  if (value < 0) {
+    sign = 1ULL << 63;
+    value = -value;
+  }
+  // Normalize mantissa into [1/16, 1) with exponent base 16.
+  int exp16 = 0;
+  while (value >= 1.0) {
+    value /= 16.0;
+    ++exp16;
+  }
+  while (value < 1.0 / 16.0) {
+    value *= 16.0;
+    --exp16;
+  }
+  LHD_CHECK(exp16 + 64 >= 0 && exp16 + 64 < 128, "real64 exponent overflow");
+  const auto mantissa =
+      static_cast<std::uint64_t>(std::llround(value * 72057594037927936.0));
+  // 2^56; rounding can push the mantissa to exactly 2^56 — renormalize.
+  if (mantissa >> 56 != 0) {
+    return sign | (static_cast<std::uint64_t>(exp16 + 65) << 56) |
+           (mantissa >> 4);
+  }
+  return sign | (static_cast<std::uint64_t>(exp16 + 64) << 56) | mantissa;
+}
+
+double decode_real64(std::uint64_t bits) {
+  if ((bits & ~(1ULL << 63)) == 0) return 0.0;
+  const bool negative = (bits >> 63) != 0;
+  const int exp16 = static_cast<int>((bits >> 56) & 0x7F) - 64;
+  const std::uint64_t mantissa = bits & 0x00FFFFFFFFFFFFFFULL;
+  double value =
+      static_cast<double>(mantissa) / 72057594037927936.0;  // / 2^56
+  value *= std::pow(16.0, exp16);
+  return negative ? -value : value;
+}
+
+void append_real64(std::vector<std::uint8_t>& out, double value) {
+  const std::uint64_t bits = encode_real64(value);
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>((bits >> (i * 8)) & 0xFF));
+  }
+}
+
+}  // namespace lhd::gds

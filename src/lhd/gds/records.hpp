@@ -1,0 +1,83 @@
+#pragma once
+// GDSII stream-format record layer: record/data-type ids, byte-order
+// helpers, and the excess-64 8-byte floating point encoding ("GDS real").
+//
+// A GDSII file is a sequence of records:
+//   [u16 total_length][u8 record_type][u8 data_type][payload ...]
+// with big-endian integers throughout.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lhd::gds {
+
+enum class RecordType : std::uint8_t {
+  Header = 0x00,
+  BgnLib = 0x01,
+  LibName = 0x02,
+  Units = 0x03,
+  EndLib = 0x04,
+  BgnStr = 0x05,
+  StrName = 0x06,
+  EndStr = 0x07,
+  Boundary = 0x08,
+  Path = 0x09,
+  SRef = 0x0A,
+  ARef = 0x0B,
+  Layer = 0x0D,
+  DataType = 0x0E,
+  Width = 0x0F,
+  Xy = 0x10,
+  EndEl = 0x11,
+  SName = 0x12,
+  ColRow = 0x13,
+  STrans = 0x1A,
+  Mag = 0x1B,
+  Angle = 0x1C,
+  PathType = 0x21,
+};
+
+enum class DataType : std::uint8_t {
+  None = 0,
+  BitArray = 1,
+  Int16 = 2,
+  Int32 = 3,
+  Real32 = 4,
+  Real64 = 5,
+  Ascii = 6,
+};
+
+/// One decoded record: type tags plus the raw big-endian payload bytes.
+struct Record {
+  RecordType type;
+  DataType data_type;
+  std::vector<std::uint8_t> payload;
+
+  // Typed payload decoding (validates size, throws lhd::Error on mismatch).
+  std::int16_t as_i16(std::size_t index = 0) const;
+  std::int32_t as_i32(std::size_t index = 0) const;
+  double as_real64(std::size_t index = 0) const;
+  std::string as_string() const;
+  std::size_t count_i16() const { return payload.size() / 2; }
+  std::size_t count_i32() const { return payload.size() / 4; }
+};
+
+/// Human-readable record name for error messages.
+const char* record_name(RecordType type);
+
+// --- big-endian scalar packing ---------------------------------------------
+void append_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
+void append_i16(std::vector<std::uint8_t>& out, std::int16_t v);
+void append_i32(std::vector<std::uint8_t>& out, std::int32_t v);
+std::uint16_t read_u16(const std::uint8_t* p);
+std::int32_t read_i32(const std::uint8_t* p);
+
+// --- GDS 8-byte real (excess-64, base-16 exponent) --------------------------
+/// Encode an IEEE double; values representable in the GDS format round-trip
+/// exactly (1e-9, 1e-3 and friends do).
+std::uint64_t encode_real64(double value);
+double decode_real64(std::uint64_t bits);
+void append_real64(std::vector<std::uint8_t>& out, double value);
+
+}  // namespace lhd::gds

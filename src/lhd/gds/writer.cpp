@@ -1,0 +1,164 @@
+#include "lhd/gds/writer.hpp"
+
+#include <fstream>
+
+#include "lhd/gds/records.hpp"
+#include "lhd/util/check.hpp"
+
+namespace lhd::gds {
+
+namespace {
+
+class RecordWriter {
+ public:
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  void record(RecordType type, DataType dtype,
+              const std::vector<std::uint8_t>& payload = {}) {
+    const std::size_t total = payload.size() + 4;
+    LHD_CHECK(total <= 0xFFFF, "GDS record too long");
+    LHD_CHECK(payload.size() % 2 == 0, "GDS payload must be even-sized");
+    append_u16(bytes_, static_cast<std::uint16_t>(total));
+    bytes_.push_back(static_cast<std::uint8_t>(type));
+    bytes_.push_back(static_cast<std::uint8_t>(dtype));
+    bytes_.insert(bytes_.end(), payload.begin(), payload.end());
+  }
+
+  void i16_record(RecordType type, std::int16_t v) {
+    std::vector<std::uint8_t> p;
+    append_i16(p, v);
+    record(type, DataType::Int16, p);
+  }
+
+  void i32_record(RecordType type, std::int32_t v) {
+    std::vector<std::uint8_t> p;
+    append_i32(p, v);
+    record(type, DataType::Int32, p);
+  }
+
+  void string_record(RecordType type, const std::string& s) {
+    std::vector<std::uint8_t> p(s.begin(), s.end());
+    if (p.size() % 2 != 0) p.push_back(0);  // pad to even length
+    record(type, DataType::Ascii, p);
+  }
+
+  void xy_record(const std::vector<geom::Point>& pts) {
+    std::vector<std::uint8_t> p;
+    p.reserve(pts.size() * 8);
+    for (const auto& pt : pts) {
+      append_i32(p, pt.x);
+      append_i32(p, pt.y);
+    }
+    record(RecordType::Xy, DataType::Int32, p);
+  }
+
+  void timestamp_record(RecordType type) {
+    // Fixed timestamp (2017-10-01 00:00:00 twice) for byte-reproducible
+    // output; GDS requires 12 int16s: modification + access time.
+    std::vector<std::uint8_t> p;
+    const std::int16_t t[6] = {2017, 10, 1, 0, 0, 0};
+    for (int rep = 0; rep < 2; ++rep) {
+      for (const std::int16_t v : t) append_i16(p, v);
+    }
+    record(type, DataType::Int16, p);
+  }
+
+  void transform_records(const Transform& t) {
+    if (t.mirror_x) {
+      std::vector<std::uint8_t> p;
+      append_u16(p, 0x8000);  // bit 0 (MSB-first) = reflection
+      record(RecordType::STrans, DataType::BitArray, p);
+    } else if (t.angle_deg != 0) {
+      std::vector<std::uint8_t> p;
+      append_u16(p, 0);
+      record(RecordType::STrans, DataType::BitArray, p);
+    }
+    if (t.angle_deg != 0) {
+      std::vector<std::uint8_t> p;
+      append_real64(p, static_cast<double>(t.angle_deg));
+      record(RecordType::Angle, DataType::Real64, p);
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+void write_element(RecordWriter& w, const Element& el) {
+  if (const auto* b = std::get_if<Boundary>(&el)) {
+    w.record(RecordType::Boundary, DataType::None);
+    w.i16_record(RecordType::Layer, b->layer);
+    w.i16_record(RecordType::DataType, b->datatype);
+    std::vector<geom::Point> ring = b->polygon.ring();
+    ring.push_back(ring.front());  // GDS closes the ring explicitly
+    w.xy_record(ring);
+  } else if (const auto* p = std::get_if<Path>(&el)) {
+    w.record(RecordType::Path, DataType::None);
+    w.i16_record(RecordType::Layer, p->layer);
+    w.i16_record(RecordType::DataType, p->datatype);
+    if (p->pathtype != 0) w.i16_record(RecordType::PathType, p->pathtype);
+    w.i32_record(RecordType::Width, p->width);
+    w.xy_record(p->points);
+  } else if (const auto* sr = std::get_if<SRef>(&el)) {
+    w.record(RecordType::SRef, DataType::None);
+    w.string_record(RecordType::SName, sr->structure);
+    w.transform_records(sr->transform);
+    w.xy_record({sr->transform.origin});
+  } else if (const auto* ar = std::get_if<ARef>(&el)) {
+    w.record(RecordType::ARef, DataType::None);
+    w.string_record(RecordType::SName, ar->structure);
+    w.transform_records(ar->transform);
+    {
+      std::vector<std::uint8_t> p;
+      append_i16(p, static_cast<std::int16_t>(ar->cols));
+      append_i16(p, static_cast<std::int16_t>(ar->rows));
+      w.record(RecordType::ColRow, DataType::Int16, p);
+    }
+    // AREF XY: origin, origin + cols*col_step, origin + rows*row_step.
+    const geom::Point o = ar->transform.origin;
+    w.xy_record({o,
+                 {o.x + ar->cols * ar->col_step.x,
+                  o.y + ar->cols * ar->col_step.y},
+                 {o.x + ar->rows * ar->row_step.x,
+                  o.y + ar->rows * ar->row_step.y}});
+  }
+  w.record(RecordType::EndEl, DataType::None);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> write_bytes(const Library& lib) {
+  RecordWriter w;
+  {
+    std::vector<std::uint8_t> p;
+    append_i16(p, 600);  // stream version 6
+    w.record(RecordType::Header, DataType::Int16, p);
+  }
+  w.timestamp_record(RecordType::BgnLib);
+  w.string_record(RecordType::LibName, lib.name);
+  {
+    std::vector<std::uint8_t> p;
+    append_real64(p, lib.dbu_in_user);
+    append_real64(p, lib.dbu_in_meters);
+    w.record(RecordType::Units, DataType::Real64, p);
+  }
+  for (const Structure& s : lib.structures()) {
+    w.timestamp_record(RecordType::BgnStr);
+    w.string_record(RecordType::StrName, s.name);
+    for (const Element& el : s.elements) write_element(w, el);
+    w.record(RecordType::EndStr, DataType::None);
+  }
+  w.record(RecordType::EndLib, DataType::None);
+  return w.take();
+}
+
+void write_file(const Library& lib, const std::string& path) {
+  const auto bytes = write_bytes(lib);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  LHD_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  LHD_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+}  // namespace lhd::gds

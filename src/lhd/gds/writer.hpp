@@ -1,0 +1,17 @@
+#pragma once
+// GDSII binary stream writer.
+
+#include <string>
+#include <vector>
+
+#include "lhd/gds/model.hpp"
+
+namespace lhd::gds {
+
+/// Serialize a library to GDSII stream-format bytes.
+std::vector<std::uint8_t> write_bytes(const Library& lib);
+
+/// Serialize to a file; throws lhd::Error on I/O failure.
+void write_file(const Library& lib, const std::string& path);
+
+}  // namespace lhd::gds

@@ -1,0 +1,130 @@
+#include "lhd/geom/boolean.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace lhd::geom {
+
+namespace {
+
+/// Generic scanline combine: for each y-slab, computes covered x-intervals
+/// of A and B and emits slab rects where `keep(inA, inB)` holds. The
+/// output is canonical: within a slab intervals are disjoint and sorted;
+/// vertically adjacent rects with identical x-spans are merged afterwards.
+std::vector<Rect> combine(const std::vector<Rect>& a,
+                          const std::vector<Rect>& b,
+                          const std::function<bool(bool, bool)>& keep) {
+  std::vector<Coord> ys;
+  for (const auto& r : a) {
+    if (r.empty()) continue;
+    ys.push_back(r.ylo);
+    ys.push_back(r.yhi);
+  }
+  for (const auto& r : b) {
+    if (r.empty()) continue;
+    ys.push_back(r.ylo);
+    ys.push_back(r.yhi);
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  // Covered x-intervals of a rect set within slab [ya, yb).
+  auto spans_in_slab = [](const std::vector<Rect>& rects, Coord ya,
+                          Coord yb) {
+    std::vector<std::pair<Coord, Coord>> spans;
+    for (const auto& r : rects) {
+      if (!r.empty() && r.ylo <= ya && r.yhi >= yb) {
+        spans.emplace_back(r.xlo, r.xhi);
+      }
+    }
+    std::sort(spans.begin(), spans.end());
+    // Merge overlaps.
+    std::vector<std::pair<Coord, Coord>> merged;
+    for (const auto& s : spans) {
+      if (!merged.empty() && s.first <= merged.back().second) {
+        merged.back().second = std::max(merged.back().second, s.second);
+      } else {
+        merged.push_back(s);
+      }
+    }
+    return merged;
+  };
+
+  std::vector<Rect> out;
+  for (std::size_t s = 0; s + 1 < ys.size(); ++s) {
+    const Coord ya = ys[s];
+    const Coord yb = ys[s + 1];
+    const auto sa = spans_in_slab(a, ya, yb);
+    const auto sb = spans_in_slab(b, ya, yb);
+    // Sweep the merged x breakpoints of both interval sets.
+    std::vector<Coord> xs;
+    for (const auto& [lo, hi] : sa) {
+      xs.push_back(lo);
+      xs.push_back(hi);
+    }
+    for (const auto& [lo, hi] : sb) {
+      xs.push_back(lo);
+      xs.push_back(hi);
+    }
+    std::sort(xs.begin(), xs.end());
+    xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+    auto covered = [](const std::vector<std::pair<Coord, Coord>>& spans,
+                      Coord x) {
+      for (const auto& [lo, hi] : spans) {
+        if (x >= lo && x < hi) return true;
+        if (lo > x) break;
+      }
+      return false;
+    };
+    Coord run_start = 0;
+    bool in_run = false;
+    for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+      const Coord x = xs[i];
+      const bool on = keep(covered(sa, x), covered(sb, x));
+      if (on && !in_run) {
+        run_start = x;
+        in_run = true;
+      }
+      if (!on && in_run) {
+        out.emplace_back(run_start, ya, x, yb);
+        in_run = false;
+      }
+    }
+    if (in_run) out.emplace_back(run_start, ya, xs.back(), yb);
+  }
+
+  // Vertical merge of identical x-spans (canonical form).
+  std::sort(out.begin(), out.end(), [](const Rect& p, const Rect& q) {
+    if (p.xlo != q.xlo) return p.xlo < q.xlo;
+    if (p.xhi != q.xhi) return p.xhi < q.xhi;
+    return p.ylo < q.ylo;
+  });
+  std::vector<Rect> merged;
+  for (const auto& r : out) {
+    if (!merged.empty() && merged.back().xlo == r.xlo &&
+        merged.back().xhi == r.xhi && merged.back().yhi == r.ylo) {
+      merged.back().yhi = r.yhi;
+    } else {
+      merged.push_back(r);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+std::vector<Rect> rect_union(const std::vector<Rect>& rects) {
+  return combine(rects, {}, [](bool a, bool) { return a; });
+}
+
+std::vector<Rect> rect_intersection(const std::vector<Rect>& a,
+                                    const std::vector<Rect>& b) {
+  return combine(a, b, [](bool ia, bool ib) { return ia && ib; });
+}
+
+std::vector<Rect> rect_difference(const std::vector<Rect>& a,
+                                  const std::vector<Rect>& b) {
+  return combine(a, b, [](bool ia, bool ib) { return ia && !ib; });
+}
+
+}  // namespace lhd::geom

@@ -1,0 +1,25 @@
+#pragma once
+// Exact boolean operations on Manhattan rectangle sets via coordinate-
+// compressed scanline: union (as disjoint rects), intersection, and
+// difference. Used by layout analysis utilities and available to users who
+// need geometric set algebra on flattened layers.
+
+#include <vector>
+
+#include "lhd/geom/rect.hpp"
+
+namespace lhd::geom {
+
+/// Disjoint decomposition of the union of `rects` (maximal horizontal
+/// slabs merged vertically where spans coincide).
+std::vector<Rect> rect_union(const std::vector<Rect>& rects);
+
+/// Disjoint decomposition of (union of a) ∩ (union of b).
+std::vector<Rect> rect_intersection(const std::vector<Rect>& a,
+                                    const std::vector<Rect>& b);
+
+/// Disjoint decomposition of (union of a) \ (union of b).
+std::vector<Rect> rect_difference(const std::vector<Rect>& a,
+                                  const std::vector<Rect>& b);
+
+}  // namespace lhd::geom

@@ -1,0 +1,41 @@
+#pragma once
+// Integer layout coordinates. The database unit throughout the library is
+// 1 nanometre, stored as 32-bit signed integers (±2.1 m of layout — ample).
+
+#include <cstdint>
+#include <functional>
+
+namespace lhd::geom {
+
+using Coord = std::int32_t;
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+};
+
+/// Lexicographic order (x, then y) — handy for canonicalization in tests.
+inline bool operator<(const Point& a, const Point& b) {
+  return a.x != b.x ? a.x < b.x : a.y < b.y;
+}
+
+}  // namespace lhd::geom
+
+template <>
+struct std::hash<lhd::geom::Point> {
+  std::size_t operator()(const lhd::geom::Point& p) const noexcept {
+    const std::uint64_t k =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x)) << 32) |
+        static_cast<std::uint32_t>(p.y);
+    // splitmix64 finalizer
+    std::uint64_t z = k + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

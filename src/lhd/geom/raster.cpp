@@ -1,0 +1,183 @@
+#include "lhd/geom/raster.hpp"
+
+#include <algorithm>
+
+namespace lhd::geom {
+
+FloatImage rasterize(const std::vector<Rect>& rects, Coord window_nm,
+                     Coord pixel_nm) {
+  LHD_CHECK(window_nm > 0 && pixel_nm > 0, "bad raster dims");
+  LHD_CHECK(window_nm % pixel_nm == 0, "pixel size must divide window");
+  const int n = static_cast<int>(window_nm / pixel_nm);
+  FloatImage img(n, n, 0.0f);
+  const Rect window(0, 0, window_nm, window_nm);
+  const double inv_area =
+      1.0 / (static_cast<double>(pixel_nm) * static_cast<double>(pixel_nm));
+
+  for (const Rect& raw : rects) {
+    const Rect r = raw.intersect(window);
+    if (r.empty()) continue;
+    const int px_lo = static_cast<int>(r.xlo / pixel_nm);
+    const int py_lo = static_cast<int>(r.ylo / pixel_nm);
+    const int px_hi = static_cast<int>((r.xhi - 1) / pixel_nm);
+    const int py_hi = static_cast<int>((r.yhi - 1) / pixel_nm);
+    for (int py = py_lo; py <= py_hi; ++py) {
+      const Coord cell_ylo = static_cast<Coord>(py) * pixel_nm;
+      const Coord ylo = std::max(r.ylo, cell_ylo);
+      const Coord yhi = std::min(r.yhi, cell_ylo + pixel_nm);
+      float* row = img.row(py);
+      for (int px = px_lo; px <= px_hi; ++px) {
+        const Coord cell_xlo = static_cast<Coord>(px) * pixel_nm;
+        const Coord xlo = std::max(r.xlo, cell_xlo);
+        const Coord xhi = std::min(r.xhi, cell_xlo + pixel_nm);
+        const double frac = static_cast<double>(xhi - xlo) *
+                            static_cast<double>(yhi - ylo) * inv_area;
+        row[px] = std::min(1.0f, row[px] + static_cast<float>(frac));
+      }
+    }
+  }
+  return img;
+}
+
+ByteImage binarize(const FloatImage& img, float threshold) {
+  ByteImage out(img.width(), img.height(), 0);
+  const auto& src = img.data();
+  auto& dst = out.data();
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i] >= threshold;
+  return out;
+}
+
+template <typename T>
+Image<T> flip_x(const Image<T>& img) {
+  Image<T> out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      out.at(img.width() - 1 - x, y) = img.at(x, y);
+    }
+  }
+  return out;
+}
+
+template <typename T>
+Image<T> flip_y(const Image<T>& img) {
+  Image<T> out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      out.at(x, img.height() - 1 - y) = img.at(x, y);
+    }
+  }
+  return out;
+}
+
+template <typename T>
+Image<T> rotate90(const Image<T>& img) {
+  Image<T> out(img.height(), img.width());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      // CCW: (x, y) -> (y, W-1-x) in the rotated frame.
+      out.at(y, img.width() - 1 - x) = img.at(x, y);
+    }
+  }
+  return out;
+}
+
+template Image<float> flip_x(const Image<float>&);
+template Image<float> flip_y(const Image<float>&);
+template Image<float> rotate90(const Image<float>&);
+template Image<std::uint8_t> flip_x(const Image<std::uint8_t>&);
+template Image<std::uint8_t> flip_y(const Image<std::uint8_t>&);
+template Image<std::uint8_t> rotate90(const Image<std::uint8_t>&);
+
+Image<std::int32_t> connected_components(const ByteImage& img,
+                                         int* component_count) {
+  const int w = img.width();
+  const int h = img.height();
+  Image<std::int32_t> labels(w, h, 0);
+  int next_label = 0;
+  std::vector<std::pair<int, int>> stack;
+
+  for (int y0 = 0; y0 < h; ++y0) {
+    for (int x0 = 0; x0 < w; ++x0) {
+      if (!img.at(x0, y0) || labels.at(x0, y0) != 0) continue;
+      ++next_label;
+      stack.clear();
+      stack.emplace_back(x0, y0);
+      labels.at(x0, y0) = next_label;
+      while (!stack.empty()) {
+        const auto [x, y] = stack.back();
+        stack.pop_back();
+        constexpr int dx[4] = {1, -1, 0, 0};
+        constexpr int dy[4] = {0, 0, 1, -1};
+        for (int k = 0; k < 4; ++k) {
+          const int nx = x + dx[k];
+          const int ny = y + dy[k];
+          if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+          if (!img.at(nx, ny) || labels.at(nx, ny) != 0) continue;
+          labels.at(nx, ny) = next_label;
+          stack.emplace_back(nx, ny);
+        }
+      }
+    }
+  }
+  if (component_count != nullptr) *component_count = next_label;
+  return labels;
+}
+
+std::int64_t count_nonzero(const ByteImage& img) {
+  std::int64_t n = 0;
+  for (const auto v : img.data()) n += (v != 0);
+  return n;
+}
+
+namespace {
+
+// Separable chebyshev-ball morphology: a horizontal pass then a vertical
+// pass of 1-D max (dilate) or min (erode) filters of width 2r+1.
+ByteImage morph(const ByteImage& img, int radius, bool is_dilate,
+                std::uint8_t outside) {
+  LHD_CHECK(radius >= 0, "negative morphology radius");
+  if (radius == 0) return img;
+  const int w = img.width();
+  const int h = img.height();
+  ByteImage tmp(w, h, 0);
+  ByteImage out(w, h, 0);
+  auto combine = [is_dilate](std::uint8_t acc, std::uint8_t v) {
+    return is_dilate ? std::max(acc, v) : std::min(acc, v);
+  };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      std::uint8_t acc = is_dilate ? 0 : 1;
+      for (int d = -radius; d <= radius; ++d) {
+        const int xx = x + d;
+        const std::uint8_t v =
+            (xx < 0 || xx >= w) ? outside : (img.at(xx, y) ? 1 : 0);
+        acc = combine(acc, v);
+      }
+      tmp.at(x, y) = acc;
+    }
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      std::uint8_t acc = is_dilate ? 0 : 1;
+      for (int d = -radius; d <= radius; ++d) {
+        const int yy = y + d;
+        const std::uint8_t v = (yy < 0 || yy >= h) ? outside : tmp.at(x, yy);
+        acc = combine(acc, v);
+      }
+      out.at(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ByteImage dilate(const ByteImage& img, int radius) {
+  return morph(img, radius, /*is_dilate=*/true, /*outside=*/0);
+}
+
+ByteImage erode(const ByteImage& img, int radius) {
+  return morph(img, radius, /*is_dilate=*/false, /*outside=*/1);
+}
+
+}  // namespace lhd::geom

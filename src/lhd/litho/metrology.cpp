@@ -1,0 +1,90 @@
+#include "lhd/litho/metrology.hpp"
+
+#include <algorithm>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::litho {
+
+using geom::ByteImage;
+using geom::FloatImage;
+
+PvBand pv_band(const LithoSimulator& sim, const FloatImage& mask) {
+  PvBand result;
+  const int w = mask.width();
+  const int h = mask.height();
+  ByteImage all_union(w, h, 0);
+  ByteImage all_inter(w, h, 1);
+
+  // Group corners by defocus so aerials are shared.
+  const auto corners = standard_corners();
+  for (const auto& corner : corners) {
+    const ByteImage printed = sim.printed(mask, corner);
+    for (std::size_t i = 0; i < printed.data().size(); ++i) {
+      all_union.data()[i] |= printed.data()[i];
+      all_inter.data()[i] &= printed.data()[i];
+    }
+  }
+
+  result.band = ByteImage(w, h, 0);
+  for (std::size_t i = 0; i < result.band.data().size(); ++i) {
+    result.band.data()[i] =
+        static_cast<std::uint8_t>(all_union.data()[i] & ~all_inter.data()[i] & 1);
+    result.area_px += result.band.data()[i];
+  }
+
+  std::int64_t drawn = 0;
+  for (const float v : mask.data()) drawn += (v >= 0.5f);
+  result.area_ratio =
+      drawn > 0 ? static_cast<double>(result.area_px) / static_cast<double>(drawn)
+                : 0.0;
+  return result;
+}
+
+namespace {
+
+/// a ⊆ b ?
+bool subset_of(const ByteImage& a, const ByteImage& b) {
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    if (a.data()[i] && !b.data()[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+EpeResult edge_placement_error(const ByteImage& target,
+                               const ByteImage& printed, int max_px) {
+  LHD_CHECK(max_px >= 0, "max_px must be >= 0");
+  LHD_CHECK(target.width() == printed.width() &&
+                target.height() == printed.height(),
+            "image size mismatch");
+  EpeResult r;
+
+  // Outer EPE: grow the target until it swallows everything printed.
+  r.outer_px = max_px;
+  r.capped = true;
+  for (int t = 0; t <= max_px; ++t) {
+    if (subset_of(printed, geom::dilate(target, t))) {
+      r.outer_px = t;
+      r.capped = false;
+      break;
+    }
+  }
+
+  // Inner EPE: shrink the target until the remainder is fully printed.
+  bool inner_capped = true;
+  r.inner_px = max_px;
+  for (int t = 0; t <= max_px; ++t) {
+    if (subset_of(geom::erode(target, t), printed)) {
+      r.inner_px = t;
+      inner_capped = false;
+      break;
+    }
+  }
+  r.capped = r.capped || inner_capped;
+  r.worst_px = std::max(r.outer_px, r.inner_px);
+  return r;
+}
+
+}  // namespace lhd::litho

@@ -1,0 +1,40 @@
+#pragma once
+// Lithography metrology beyond the binary hotspot label:
+//
+//  * PV band — the XOR of the printed contours across all process corners
+//    (the classic process-variation robustness picture; its area is a
+//    scalar printability score);
+//  * EPE bounds — the smallest dilation/erosion tolerances within which a
+//    printed contour stays of its drawn target (outer = over-print,
+//    inner = under-print), i.e. worst-case edge placement error in pixels.
+
+#include "lhd/litho/optics.hpp"
+
+namespace lhd::litho {
+
+struct PvBand {
+  geom::ByteImage band;      ///< 1 where some corner prints and another doesn't
+  std::int64_t area_px = 0;  ///< band pixel count
+  /// band area / drawn pattern area (0 when the clip is empty).
+  double area_ratio = 0.0;
+};
+
+/// Compute the PV band of a mask raster over the standard corner set.
+PvBand pv_band(const LithoSimulator& sim, const geom::FloatImage& mask);
+
+struct EpeResult {
+  /// Smallest r such that printed ⊆ dilate(target, r); capped at max_px.
+  int outer_px = 0;
+  /// Smallest r such that erode(target, r) ⊆ printed; capped at max_px.
+  int inner_px = 0;
+  /// max(outer, inner) — worst-case edge placement error.
+  int worst_px = 0;
+  bool capped = false;  ///< true if either bound hit max_px
+};
+
+/// Worst-case EPE of a printed contour against the drawn target.
+EpeResult edge_placement_error(const geom::ByteImage& target,
+                               const geom::ByteImage& printed,
+                               int max_px = 8);
+
+}  // namespace lhd::litho

@@ -1,0 +1,126 @@
+#include "lhd/litho/optics.hpp"
+
+#include <cmath>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::litho {
+
+using geom::ByteImage;
+using geom::FloatImage;
+
+std::vector<ProcessCorner> standard_corners() {
+  return {
+      {"nominal", 1.00, 0.0},
+      {"dose-", 0.95, 0.0},
+      {"dose+", 1.05, 0.0},
+      {"defocus/dose-", 0.96, 12.0},
+      {"defocus/dose+", 1.04, 12.0},
+  };
+}
+
+namespace {
+
+/// Reflect an index into [0, n) (mirror boundary, period 2n). The clip is a
+/// window into a larger layout; mirroring statistically continues the
+/// pattern beyond the window instead of pretending the field goes dark,
+/// which would artificially under-print (and even disconnect) shapes near
+/// the window boundary.
+int reflect(int i, int n) {
+  while (i < 0 || i >= n) {
+    if (i < 0) i = -i - 1;
+    if (i >= n) i = 2 * n - 1 - i;
+  }
+  return i;
+}
+
+}  // namespace
+
+FloatImage gaussian_blur(const FloatImage& src, double sigma_px) {
+  LHD_CHECK(sigma_px > 0, "sigma must be positive");
+  const int radius = static_cast<int>(std::ceil(3.5 * sigma_px));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-0.5 * (i / sigma_px) * (i / sigma_px));
+    kernel[static_cast<std::size_t>(i + radius)] = static_cast<float>(v);
+    sum += v;
+  }
+  for (auto& k : kernel) k = static_cast<float>(k / sum);
+
+  const int w = src.width();
+  const int h = src.height();
+  FloatImage tmp(w, h, 0.0f);
+  // Horizontal pass (mirror padding).
+  for (int y = 0; y < h; ++y) {
+    const float* in = src.row(y);
+    float* out = tmp.row(y);
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      if (x >= radius && x + radius < w) {
+        for (int d = -radius; d <= radius; ++d) {
+          acc += in[x + d] * kernel[static_cast<std::size_t>(d + radius)];
+        }
+      } else {
+        for (int d = -radius; d <= radius; ++d) {
+          acc += in[reflect(x + d, w)] *
+                 kernel[static_cast<std::size_t>(d + radius)];
+        }
+      }
+      out[x] = acc;
+    }
+  }
+  // Vertical pass (mirror padding).
+  FloatImage dst(w, h, 0.0f);
+  for (int y = 0; y < h; ++y) {
+    float* out = dst.row(y);
+    for (int d = -radius; d <= radius; ++d) {
+      const float k = kernel[static_cast<std::size_t>(d + radius)];
+      const float* in = tmp.row(reflect(y + d, h));
+      for (int x = 0; x < w; ++x) out[x] += in[x] * k;
+    }
+  }
+  return dst;
+}
+
+LithoSimulator::LithoSimulator(OpticsConfig config) : config_(config) {
+  LHD_CHECK(config_.pixel_nm > 0, "pixel_nm must be positive");
+  LHD_CHECK(config_.sigma_main_nm > 0 && config_.sigma_bg_nm > 0,
+            "sigmas must be positive");
+  LHD_CHECK(config_.threshold > 0, "threshold must be positive");
+}
+
+FloatImage LithoSimulator::aerial(const FloatImage& mask,
+                                  double defocus_nm) const {
+  const double defocus2 = defocus_nm * defocus_nm;
+  const double sigma_main_px =
+      std::sqrt(config_.sigma_main_nm * config_.sigma_main_nm + defocus2) /
+      config_.pixel_nm;
+  const double sigma_bg_px =
+      std::sqrt(config_.sigma_bg_nm * config_.sigma_bg_nm + defocus2) /
+      config_.pixel_nm;
+  const FloatImage main = gaussian_blur(mask, sigma_main_px);
+  const FloatImage bg = gaussian_blur(mask, sigma_bg_px);
+  FloatImage out(mask.width(), mask.height(), 0.0f);
+  auto& dst = out.data();
+  const auto& m = main.data();
+  const auto& b = bg.data();
+  const auto wm = static_cast<float>(config_.w_main);
+  const auto wb = static_cast<float>(config_.w_bg);
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = wm * m[i] + wb * b[i];
+  return out;
+}
+
+ByteImage LithoSimulator::printed(const FloatImage& mask,
+                                  const ProcessCorner& corner) const {
+  return threshold_aerial(aerial(mask, corner.defocus_nm), corner.dose);
+}
+
+ByteImage LithoSimulator::threshold_aerial(const FloatImage& aerial_img,
+                                           double dose) const {
+  LHD_CHECK(dose > 0, "dose must be positive");
+  return geom::binarize(aerial_img,
+                        static_cast<float>(config_.threshold / dose));
+}
+
+}  // namespace lhd::litho

@@ -1,0 +1,166 @@
+#include "lhd/litho/oracle.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "lhd/util/check.hpp"
+#include "lhd/util/stopwatch.hpp"
+
+namespace lhd::litho {
+
+using geom::ByteImage;
+using geom::FloatImage;
+
+HotspotOracle::HotspotOracle(OracleConfig config)
+    : config_(config), sim_(config.optics) {
+  LHD_CHECK(config_.core_frac > 0 && config_.core_frac <= 1,
+            "core_frac must be in (0, 1]");
+  LHD_CHECK(config_.epe_tol_px >= 0, "epe_tol_px must be >= 0");
+  LHD_CHECK(config_.min_shape_px > 0 && config_.extra_area_px > 0,
+            "violation thresholds must be positive");
+}
+
+OracleResult HotspotOracle::evaluate(const FloatImage& mask) const {
+  const ByteImage target = geom::binarize(mask, 0.5f);
+  OracleResult combined;
+  // Group corners by defocus so each aerial image is computed once.
+  std::map<double, std::vector<const ProcessCorner*>> by_defocus;
+  static const std::vector<ProcessCorner> corners = standard_corners();
+  for (const auto& c : corners) by_defocus[c.defocus_nm].push_back(&c);
+
+  for (const auto& [defocus, group] : by_defocus) {
+    const FloatImage air = sim_.aerial(mask, defocus);
+    for (const ProcessCorner* corner : group) {
+      const ByteImage printed = sim_.threshold_aerial(air, corner->dose);
+      const OracleResult r = check_contour(target, printed, corner->name);
+      combined.pinch |= r.pinch;
+      combined.bridge |= r.bridge;
+      combined.cd_blowup |= r.cd_blowup;
+      combined.worst_pinch_frags =
+          std::max(combined.worst_pinch_frags, r.worst_pinch_frags);
+      combined.worst_extra_px =
+          std::max(combined.worst_extra_px, r.worst_extra_px);
+      if (r.hotspot && combined.worst_corner.empty()) {
+        combined.worst_corner = corner->name;
+      }
+    }
+  }
+  combined.hotspot = combined.pinch || combined.bridge || combined.cd_blowup;
+  return combined;
+}
+
+OracleResult HotspotOracle::evaluate_corner(const FloatImage& mask,
+                                            const ProcessCorner& corner) const {
+  const ByteImage target = geom::binarize(mask, 0.5f);
+  return check_contour(target, sim_.printed(mask, corner), corner.name);
+}
+
+OracleResult HotspotOracle::check_contour(const ByteImage& target,
+                                          const ByteImage& printed,
+                                          const std::string& corner_name) const {
+  OracleResult r;
+  const int w = target.width();
+  const int h = target.height();
+  const int margin_x = static_cast<int>(w * (1.0 - config_.core_frac) / 2.0);
+  const int margin_y = static_cast<int>(h * (1.0 - config_.core_frac) / 2.0);
+  auto in_core = [&](int x, int y) {
+    return x >= margin_x && x < w - margin_x && y >= margin_y &&
+           y < h - margin_y;
+  };
+
+  int target_components = 0;
+  const auto target_labels =
+      geom::connected_components(target, &target_components);
+  int printed_components = 0;
+  const auto printed_labels =
+      geom::connected_components(printed, &printed_components);
+
+  // One pass gathers, per target component: drawn area, core contact, and
+  // the set of printed components overlapping it; and per printed
+  // component: the set of target components it overlaps plus core contact.
+  std::vector<std::int64_t> t_area(static_cast<std::size_t>(target_components) + 1, 0);
+  std::vector<bool> t_core(static_cast<std::size_t>(target_components) + 1, false);
+  std::vector<std::set<std::int32_t>> t_overlap(
+      static_cast<std::size_t>(target_components) + 1);
+  std::vector<std::set<std::int32_t>> p_overlap(
+      static_cast<std::size_t>(printed_components) + 1);
+  std::vector<bool> p_core(static_cast<std::size_t>(printed_components) + 1,
+                           false);
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const std::int32_t tl = target_labels.at(x, y);
+      const std::int32_t pl = printed_labels.at(x, y);
+      if (tl != 0) {
+        ++t_area[static_cast<std::size_t>(tl)];
+        if (in_core(x, y)) t_core[static_cast<std::size_t>(tl)] = true;
+        if (pl != 0) {
+          t_overlap[static_cast<std::size_t>(tl)].insert(pl);
+          p_overlap[static_cast<std::size_t>(pl)].insert(tl);
+        }
+      }
+      if (pl != 0 && in_core(x, y)) {
+        p_core[static_cast<std::size_t>(pl)] = true;
+      }
+    }
+  }
+
+  // --- pinch/open: a drawn shape prints as >= 2 fragments or vanishes ----
+  for (int c = 1; c <= target_components; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (!t_core[ci]) continue;  // violations outside the core don't count
+    const auto frags = static_cast<int>(t_overlap[ci].size());
+    r.worst_pinch_frags = std::max(r.worst_pinch_frags, frags);
+    if (frags >= 2) {
+      r.pinch = true;
+    } else if (frags == 0 && t_area[ci] >= config_.min_shape_px) {
+      r.pinch = true;  // the shape vanished entirely
+    }
+  }
+
+  // --- bridge: one printed blob overlapping >= 2 drawn shapes ------------
+  for (int c = 1; c <= printed_components; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (p_overlap[ci].size() >= 2 && p_core[ci]) {
+      r.bridge = true;
+      break;
+    }
+  }
+
+  // --- CD blow-up: gross out-of-tolerance extra ink in the core ----------
+  const ByteImage band = geom::dilate(target, config_.epe_tol_px);
+  int extra = 0;
+  for (int y = margin_y; y < h - margin_y; ++y) {
+    for (int x = margin_x; x < w - margin_x; ++x) {
+      if (printed.at(x, y) && !band.at(x, y)) ++extra;
+    }
+  }
+  r.worst_extra_px = extra;
+  r.cd_blowup = extra >= config_.extra_area_px;
+
+  r.hotspot = r.pinch || r.bridge || r.cd_blowup;
+  if (r.hotspot) r.worst_corner = corner_name;
+  return r;
+}
+
+double HotspotOracle::seconds_per_clip(const OracleConfig& config) {
+  static double cached = -1.0;
+  if (cached >= 0) return cached;
+  // Measure on a representative 128x128 clip with a few shapes.
+  HotspotOracle oracle(config);
+  FloatImage mask(128, 128, 0.0f);
+  for (int y = 20; y < 110; ++y) {
+    for (int x = 0; x < 128; ++x) {
+      if ((y / 12) % 2 == 0) mask.at(x, y) = 1.0f;
+    }
+  }
+  constexpr int kReps = 5;
+  Stopwatch sw;
+  for (int i = 0; i < kReps; ++i) (void)oracle.evaluate(mask);
+  cached = sw.seconds() / kReps;
+  return cached;
+}
+
+}  // namespace lhd::litho

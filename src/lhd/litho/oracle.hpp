@@ -1,0 +1,66 @@
+#pragma once
+// Hotspot ground-truth oracle: compares printed contours against the drawn
+// target across process corners and reports pinch / bridge / CD-blowup
+// violations. This plays the role the contest organizers' industrial
+// lithography simulator played when the ICCAD 2012 benchmark labels were
+// produced.
+
+#include <string>
+
+#include "lhd/litho/optics.hpp"
+
+namespace lhd::litho {
+
+struct OracleConfig {
+  OpticsConfig optics;
+  /// Fraction of the clip (centred) whose violations count. Clip borders are
+  /// excluded because shapes cut by the clip window under-print artificially.
+  double core_frac = 0.5;
+  /// EPE tolerance in pixels: contour may wander this far from the drawn
+  /// edge without penalty (used by the CD blow-up check).
+  int epe_tol_px = 2;
+  /// A drawn shape counts as vanished (open) only if its drawn area is at
+  /// least this many pixels — smaller slivers are clip artifacts.
+  int min_shape_px = 20;
+  /// Printed ink >= epe_tol outside any target totalling >= this many core
+  /// pixels is a CD blow-up violation even without an actual merge.
+  int extra_area_px = 40;
+};
+
+struct OracleResult {
+  bool hotspot = false;
+  bool pinch = false;        ///< a drawn shape breaks apart or vanishes (open)
+  bool bridge = false;       ///< one printed blob spans >= 2 drawn shapes
+  bool cd_blowup = false;    ///< gross over-print without a merge
+  int worst_pinch_frags = 0; ///< max printed fragments of one drawn shape
+  int worst_extra_px = 0;    ///< total out-of-tolerance extra ink (worst corner)
+  std::string worst_corner;  ///< corner that produced the first violation
+};
+
+class HotspotOracle {
+ public:
+  explicit HotspotOracle(OracleConfig config = {});
+
+  const OracleConfig& config() const { return config_; }
+
+  /// Label one clip. `mask` is the rasterized layout (coverage in [0,1]).
+  OracleResult evaluate(const geom::FloatImage& mask) const;
+
+  /// Detailed single-corner check (exposed for tests and diagnostics).
+  OracleResult evaluate_corner(const geom::FloatImage& mask,
+                               const ProcessCorner& corner) const;
+
+  /// Approximate wall-clock cost of one evaluate() call in seconds; used by
+  /// the ODST metric to price false alarms. Measured once, lazily.
+  static double seconds_per_clip(const OracleConfig& config);
+
+ private:
+  OracleResult check_contour(const geom::ByteImage& target,
+                             const geom::ByteImage& printed,
+                             const std::string& corner_name) const;
+
+  OracleConfig config_;
+  LithoSimulator sim_;
+};
+
+}  // namespace lhd::litho

@@ -1,0 +1,94 @@
+#include "lhd/ml/adaboost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lhd::ml {
+
+void AdaBoost::fit(const Matrix& x, const std::vector<float>& y) {
+  validate(x, y);
+  const std::size_t n = x.size();
+  const std::size_t dim = x[0].size();
+  stumps_.clear();
+
+  // Initial weights (optionally class-weighted), normalized.
+  std::vector<double> w(n);
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = y[i] > 0 ? config_.positive_weight : 1.0;
+    wsum += w[i];
+  }
+  for (auto& wi : w) wi /= wsum;
+
+  // Candidate cut points per feature: evenly spaced quantiles.
+  std::vector<std::vector<float>> cuts(dim);
+  {
+    std::vector<float> column(n);
+    for (std::size_t d = 0; d < dim; ++d) {
+      for (std::size_t i = 0; i < n; ++i) column[i] = x[i][d];
+      std::sort(column.begin(), column.end());
+      auto& c = cuts[d];
+      for (int q = 1; q <= config_.threshold_candidates; ++q) {
+        const std::size_t idx =
+            std::min(n - 1, q * n / (config_.threshold_candidates + 1));
+        const float v = column[idx];
+        if (c.empty() || c.back() != v) c.push_back(v);
+      }
+    }
+  }
+
+  for (int round = 0; round < config_.rounds; ++round) {
+    Stump best;
+    double best_err = 1.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      for (const float cut : cuts[d]) {
+        // err for polarity +1 (predict + when value > cut).
+        double err_pos = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const float pred = x[i][d] > cut ? 1.0f : -1.0f;
+          if (pred != y[i]) err_pos += w[i];
+        }
+        const double err_neg = 1.0 - err_pos;  // flipped polarity
+        if (err_pos < best_err) {
+          best_err = err_pos;
+          best = {static_cast<int>(d), cut, 1.0f, 0.0f};
+        }
+        if (err_neg < best_err) {
+          best_err = err_neg;
+          best = {static_cast<int>(d), cut, -1.0f, 0.0f};
+        }
+      }
+    }
+    best_err = std::clamp(best_err, 1e-10, 1.0 - 1e-10);
+    if (best_err >= 0.5) break;  // no better-than-chance stump remains
+    const double alpha = 0.5 * std::log((1.0 - best_err) / best_err);
+    best.weight = static_cast<float>(alpha);
+    stumps_.push_back(best);
+
+    // Reweight and renormalize.
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float pred =
+          (x[i][static_cast<std::size_t>(best.feature)] > best.cut
+               ? best.polarity
+               : -best.polarity);
+      w[i] *= std::exp(-alpha * y[i] * pred);
+      norm += w[i];
+    }
+    for (auto& wi : w) wi /= norm;
+  }
+}
+
+float AdaBoost::score(const std::vector<float>& x) const {
+  LHD_CHECK(!stumps_.empty(), "model not fitted");
+  double s = 0.0;
+  for (const auto& st : stumps_) {
+    const float pred =
+        x[static_cast<std::size_t>(st.feature)] > st.cut ? st.polarity
+                                                         : -st.polarity;
+    s += st.weight * pred;
+  }
+  return static_cast<float>(s);
+}
+
+}  // namespace lhd::ml

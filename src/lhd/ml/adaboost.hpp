@@ -1,0 +1,37 @@
+#pragma once
+// AdaBoost over decision stumps — the boosting-era hotspot detector.
+// Each round fits the best single-feature threshold stump under the current
+// sample weights; the ensemble score is the weighted stump vote.
+
+#include "lhd/ml/classifier.hpp"
+
+namespace lhd::ml {
+
+struct AdaBoostConfig {
+  int rounds = 80;               ///< number of stumps
+  int threshold_candidates = 32; ///< quantile cut points tried per feature
+  double positive_weight = 1.0;  ///< initial weight multiplier for +1 samples
+};
+
+class AdaBoost final : public BinaryClassifier {
+ public:
+  explicit AdaBoost(AdaBoostConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "adaboost"; }
+  void fit(const Matrix& x, const std::vector<float>& y) override;
+  float score(const std::vector<float>& x) const override;
+
+  struct Stump {
+    int feature = 0;
+    float cut = 0.0f;
+    float polarity = 1.0f;  ///< +1: predict hotspot when value > cut
+    float weight = 0.0f;    ///< alpha_t
+  };
+  const std::vector<Stump>& stumps() const { return stumps_; }
+
+ private:
+  AdaBoostConfig config_;
+  std::vector<Stump> stumps_;
+};
+
+}  // namespace lhd::ml

@@ -1,0 +1,48 @@
+#pragma once
+// Common interface for the shallow binary classifiers. Labels are signed
+// floats: +1 = hotspot, -1 = non-hotspot. score() returns a real-valued
+// decision value; predict() thresholds it, and the threshold is exposed so
+// the accuracy/false-alarm trade-off experiments can sweep it.
+
+#include <string>
+#include <vector>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::ml {
+
+using Matrix = std::vector<std::vector<float>>;
+
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Train on rows X with signed labels y (+1 hotspot / -1 non-hotspot).
+  virtual void fit(const Matrix& x, const std::vector<float>& y) = 0;
+
+  /// Real-valued decision score; positive leans hotspot.
+  virtual float score(const std::vector<float>& x) const = 0;
+
+  bool predict(const std::vector<float>& x) const {
+    return score(x) > threshold_;
+  }
+
+  float threshold() const { return threshold_; }
+  void set_threshold(float t) { threshold_ = t; }
+
+ protected:
+  static void validate(const Matrix& x, const std::vector<float>& y) {
+    LHD_CHECK(!x.empty(), "empty training set");
+    LHD_CHECK(x.size() == y.size(), "X/y size mismatch");
+    for (const float v : y) {
+      LHD_CHECK(v == 1.0f || v == -1.0f, "labels must be +1/-1");
+    }
+  }
+
+ private:
+  float threshold_ = 0.0f;
+};
+
+}  // namespace lhd::ml

@@ -1,0 +1,154 @@
+#include "lhd/ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lhd::ml {
+
+namespace {
+
+/// Gini impurity of a weighted label split: 2 p (1-p) with p = weight of
+/// positives / total.
+double gini(double pos_w, double total_w) {
+  if (total_w <= 0) return 0.0;
+  const double p = pos_w / total_w;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Matrix& x, const std::vector<float>& y) {
+  fit_weighted(x, y, std::vector<double>(x.size(), 1.0));
+}
+
+void DecisionTree::fit_weighted(const Matrix& x, const std::vector<float>& y,
+                                const std::vector<double>& weights) {
+  validate(x, y);
+  LHD_CHECK(weights.size() == x.size(), "weights size mismatch");
+  nodes_.clear();
+  std::vector<std::size_t> indices(x.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  Rng rng(config_.seed);
+  build(x, y, weights, indices, 0, rng);
+}
+
+int DecisionTree::build(const Matrix& x, const std::vector<float>& y,
+                        const std::vector<double>& w,
+                        std::vector<std::size_t>& indices, int depth,
+                        Rng& rng) {
+  double pos_w = 0.0, total_w = 0.0;
+  for (const auto i : indices) {
+    total_w += w[i];
+    if (y[i] > 0) pos_w += w[i];
+  }
+  const float leaf_value =
+      total_w > 0 ? static_cast<float>(2.0 * pos_w / total_w - 1.0) : 0.0f;
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{-1, 0.0f, -1, -1, leaf_value});
+
+  const bool pure = pos_w <= 0 || pos_w >= total_w;
+  if (depth >= config_.max_depth || pure ||
+      indices.size() < static_cast<std::size_t>(config_.min_samples_split)) {
+    return node_id;
+  }
+
+  const std::size_t dim = x[0].size();
+  // Feature subset for this split.
+  std::vector<std::size_t> features(dim);
+  std::iota(features.begin(), features.end(), 0);
+  std::size_t n_try = dim;
+  if (config_.max_features > 0 &&
+      static_cast<std::size_t>(config_.max_features) < dim) {
+    rng.shuffle(features);
+    n_try = static_cast<std::size_t>(config_.max_features);
+  }
+
+  const double parent_gini = gini(pos_w, total_w);
+  int best_feature = -1;
+  float best_cut = 0.0f;
+  double best_gain = 1e-9;
+
+  std::vector<std::pair<float, std::size_t>> sorted;
+  sorted.reserve(indices.size());
+  for (std::size_t f = 0; f < n_try; ++f) {
+    const std::size_t d = features[f];
+    sorted.clear();
+    for (const auto i : indices) sorted.emplace_back(x[i][d], i);
+    std::sort(sorted.begin(), sorted.end());
+
+    double left_pos = 0.0, left_w = 0.0;
+    for (std::size_t s = 0; s + 1 < sorted.size(); ++s) {
+      const std::size_t i = sorted[s].second;
+      left_w += w[i];
+      if (y[i] > 0) left_pos += w[i];
+      if (sorted[s].first == sorted[s + 1].first) continue;  // no cut here
+      const std::size_t left_n = s + 1;
+      const std::size_t right_n = sorted.size() - left_n;
+      if (left_n < static_cast<std::size_t>(config_.min_samples_leaf) ||
+          right_n < static_cast<std::size_t>(config_.min_samples_leaf)) {
+        continue;
+      }
+      const double right_w = total_w - left_w;
+      const double right_pos = pos_w - left_pos;
+      const double child =
+          (left_w * gini(left_pos, left_w) +
+           right_w * gini(right_pos, right_w)) /
+          total_w;
+      const double gain = parent_gini - child;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(d);
+        best_cut = (sorted[s].first + sorted[s + 1].first) / 2.0f;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;  // no useful split
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (const auto i : indices) {
+    (x[i][static_cast<std::size_t>(best_feature)] <= best_cut ? left_idx
+                                                              : right_idx)
+        .push_back(i);
+  }
+  indices.clear();
+  indices.shrink_to_fit();
+
+  const int left = build(x, y, w, left_idx, depth + 1, rng);
+  const int right = build(x, y, w, right_idx, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_id)].cut = best_cut;
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+float DecisionTree::score(const std::vector<float>& x) const {
+  LHD_CHECK(!nodes_.empty(), "model not fitted");
+  int id = 0;
+  for (;;) {
+    const Node& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.feature < 0) return n.value;
+    id = x[static_cast<std::size_t>(n.feature)] <= n.cut ? n.left : n.right;
+  }
+}
+
+int DecisionTree::depth() const {
+  // Iterative depth computation over the implicit tree.
+  int max_depth = 0;
+  std::vector<std::pair<int, int>> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [id, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.feature >= 0) {
+      stack.emplace_back(n.left, d + 1);
+      stack.emplace_back(n.right, d + 1);
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace lhd::ml

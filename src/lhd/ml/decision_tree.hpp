@@ -1,0 +1,55 @@
+#pragma once
+// CART-style binary decision tree (Gini impurity, axis-aligned splits).
+// Used standalone and as the base learner of the random forest.
+
+#include <optional>
+
+#include "lhd/ml/classifier.hpp"
+#include "lhd/util/rng.hpp"
+
+namespace lhd::ml {
+
+struct DecisionTreeConfig {
+  int max_depth = 8;
+  int min_samples_split = 8;
+  int min_samples_leaf = 3;
+  /// Number of features examined per split; 0 = all (set by the forest to
+  /// sqrt(dim) for decorrelated trees).
+  int max_features = 0;
+  std::uint64_t seed = 1;
+};
+
+class DecisionTree final : public BinaryClassifier {
+ public:
+  explicit DecisionTree(DecisionTreeConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "decision-tree"; }
+  void fit(const Matrix& x, const std::vector<float>& y) override;
+
+  /// Weighted fit used by ensembles (weights >= 0).
+  void fit_weighted(const Matrix& x, const std::vector<float>& y,
+                    const std::vector<double>& weights);
+
+  /// Score = P(hotspot | leaf) mapped to [-1, 1].
+  float score(const std::vector<float>& x) const override;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int depth() const;
+
+ private:
+  struct Node {
+    int feature = -1;     ///< -1 = leaf
+    float cut = 0.0f;
+    int left = -1, right = -1;
+    float value = 0.0f;   ///< leaf score in [-1, 1]
+  };
+
+  int build(const Matrix& x, const std::vector<float>& y,
+            const std::vector<double>& w, std::vector<std::size_t>& indices,
+            int depth, Rng& rng);
+
+  DecisionTreeConfig config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace lhd::ml

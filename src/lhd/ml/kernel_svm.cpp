@@ -1,0 +1,123 @@
+#include "lhd/ml/kernel_svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lhd/util/log.hpp"
+
+namespace lhd::ml {
+
+double KernelSvm::kernel(const std::vector<float>& a,
+                         const std::vector<float>& b) const {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    d2 += d * d;
+  }
+  return std::exp(-gamma_ * d2);
+}
+
+void KernelSvm::fit(const Matrix& x, const std::vector<float>& y) {
+  validate(x, y);
+  const std::size_t n = x.size();
+  gamma_ = config_.gamma > 0 ? config_.gamma
+                             : 1.0 / static_cast<double>(x[0].size());
+
+  // Precompute the kernel matrix (n is benchmark-scale, so O(n^2) is fine).
+  std::vector<std::vector<double>> k(n, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      k[i][j] = k[j][i] = kernel(x[i], x[j]);
+    }
+  }
+
+  std::vector<double> alpha(n, 0.0);
+  b_ = 0.0;
+  Rng rng(config_.seed);
+  auto box = [&](std::size_t i) {
+    return y[i] > 0 ? config_.c * config_.positive_weight : config_.c;
+  };
+  auto f = [&](std::size_t i) {
+    double s = b_;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alpha[j] != 0.0) s += alpha[j] * y[j] * k[j][i];
+    }
+    return s;
+  };
+
+  int passes = 0;
+  int iterations = 0;
+  while (passes < config_.max_passes &&
+         iterations < config_.max_iterations) {
+    int changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ei = f(i) - y[i];
+      const double ci = box(i);
+      if ((y[i] * ei < -config_.tol && alpha[i] < ci) ||
+          (y[i] * ei > config_.tol && alpha[i] > 0)) {
+        std::size_t j = static_cast<std::size_t>(rng.next_below(n - 1));
+        if (j >= i) ++j;
+        const double ej = f(j) - y[j];
+        const double cj = box(j);
+
+        const double ai_old = alpha[i];
+        const double aj_old = alpha[j];
+        double lo, hi;
+        if (y[i] != y[j]) {
+          lo = std::max(0.0, aj_old - ai_old);
+          hi = std::min(cj, ci + aj_old - ai_old);
+        } else {
+          lo = std::max(0.0, ai_old + aj_old - ci);
+          hi = std::min(cj, ai_old + aj_old);
+        }
+        if (lo >= hi) continue;
+        const double eta = 2.0 * k[i][j] - k[i][i] - k[j][j];
+        if (eta >= 0) continue;
+        double aj = aj_old - y[j] * (ei - ej) / eta;
+        aj = std::clamp(aj, lo, hi);
+        if (std::abs(aj - aj_old) < 1e-6) continue;
+        const double ai = ai_old + y[i] * y[j] * (aj_old - aj);
+        alpha[i] = ai;
+        alpha[j] = aj;
+
+        const double b1 = b_ - ei - y[i] * (ai - ai_old) * k[i][i] -
+                          y[j] * (aj - aj_old) * k[i][j];
+        const double b2 = b_ - ej - y[i] * (ai - ai_old) * k[i][j] -
+                          y[j] * (aj - aj_old) * k[j][j];
+        if (ai > 0 && ai < ci) {
+          b_ = b1;
+        } else if (aj > 0 && aj < cj) {
+          b_ = b2;
+        } else {
+          b_ = (b1 + b2) / 2.0;
+        }
+        ++changed;
+      }
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+    ++iterations;
+  }
+
+  // Retain support vectors only.
+  support_.clear();
+  alpha_y_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-8) {
+      support_.push_back(x[i]);
+      alpha_y_.push_back(static_cast<float>(alpha[i] * y[i]));
+    }
+  }
+  LHD_LOG(Debug) << "rbf-svm: " << support_.size() << "/" << n
+                 << " support vectors after " << iterations << " sweeps";
+}
+
+float KernelSvm::score(const std::vector<float>& x) const {
+  LHD_CHECK(!support_.empty(), "model not fitted");
+  double s = b_;
+  for (std::size_t i = 0; i < support_.size(); ++i) {
+    s += alpha_y_[i] * kernel(support_[i], x);
+  }
+  return static_cast<float>(s);
+}
+
+}  // namespace lhd::ml

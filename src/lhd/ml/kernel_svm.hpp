@@ -1,0 +1,43 @@
+#pragma once
+// RBF-kernel SVM trained with the simplified SMO algorithm (Platt 1998 /
+// the CS229 simplified variant with random second-choice). The full kernel
+// matrix is cached, which is fine at benchmark training-set sizes
+// (hundreds to a few thousand samples).
+
+#include "lhd/ml/classifier.hpp"
+#include "lhd/util/rng.hpp"
+
+namespace lhd::ml {
+
+struct KernelSvmConfig {
+  double c = 10.0;          ///< box constraint
+  double gamma = 0.0;       ///< RBF width; 0 = auto (1 / dim)
+  double tol = 1e-3;        ///< KKT violation tolerance
+  int max_passes = 5;       ///< passes without alpha change before stopping
+  int max_iterations = 200; ///< hard cap on full sweeps
+  double positive_weight = 1.0;  ///< C multiplier for +1 samples
+  std::uint64_t seed = 1;
+};
+
+class KernelSvm final : public BinaryClassifier {
+ public:
+  explicit KernelSvm(KernelSvmConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "rbf-svm"; }
+  void fit(const Matrix& x, const std::vector<float>& y) override;
+  float score(const std::vector<float>& x) const override;
+
+  /// Number of support vectors retained after training.
+  std::size_t support_vector_count() const { return support_.size(); }
+
+ private:
+  double kernel(const std::vector<float>& a, const std::vector<float>& b) const;
+
+  KernelSvmConfig config_;
+  double gamma_ = 1.0;
+  Matrix support_;
+  std::vector<float> alpha_y_;  ///< alpha_i * y_i per support vector
+  double b_ = 0.0;
+};
+
+}  // namespace lhd::ml

@@ -1,0 +1,47 @@
+#include "lhd/ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lhd::ml {
+
+void KNearest::fit(const Matrix& x, const std::vector<float>& y) {
+  validate(x, y);
+  LHD_CHECK(config_.k > 0, "k must be positive");
+  x_ = x;
+  y_ = y;
+}
+
+float KNearest::score(const std::vector<float>& x) const {
+  LHD_CHECK(!x_.empty(), "model not fitted");
+  LHD_CHECK(x.size() == x_[0].size(), "dimension mismatch");
+  const std::size_t k = std::min<std::size_t>(
+      static_cast<std::size_t>(config_.k), x_.size());
+
+  // Partial selection of the k nearest by squared distance.
+  std::vector<std::pair<double, float>> dist;
+  dist.reserve(x_.size());
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t d = 0; d < x.size(); ++d) {
+      const double diff = static_cast<double>(x[d]) - x_[i][d];
+      d2 += diff * diff;
+    }
+    dist.emplace_back(d2, y_[i]);
+  }
+  std::nth_element(dist.begin(),
+                   dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   dist.end());
+
+  double vote = 0.0, weight_sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = config_.distance_weighted
+                         ? 1.0 / (std::sqrt(dist[i].first) + 1e-9)
+                         : 1.0;
+    vote += w * dist[i].second;
+    weight_sum += w;
+  }
+  return static_cast<float>(vote / weight_sum);
+}
+
+}  // namespace lhd::ml

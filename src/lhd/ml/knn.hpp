@@ -1,0 +1,33 @@
+#pragma once
+// k-nearest-neighbour classifier — the bridge between pattern matching
+// (k=1 on exact signatures) and learned models: distance-weighted vote of
+// the k closest training samples.
+
+#include "lhd/ml/classifier.hpp"
+
+namespace lhd::ml {
+
+struct KnnConfig {
+  int k = 5;
+  /// Weight votes by 1/(distance + epsilon) instead of uniformly.
+  bool distance_weighted = true;
+};
+
+class KNearest final : public BinaryClassifier {
+ public:
+  explicit KNearest(KnnConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "knn"; }
+  void fit(const Matrix& x, const std::vector<float>& y) override;
+  /// Signed vote in [-1, 1].
+  float score(const std::vector<float>& x) const override;
+
+  std::size_t stored() const { return x_.size(); }
+
+ private:
+  KnnConfig config_;
+  Matrix x_;
+  std::vector<float> y_;
+};
+
+}  // namespace lhd::ml

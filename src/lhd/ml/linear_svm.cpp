@@ -1,0 +1,56 @@
+#include "lhd/ml/linear_svm.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace lhd::ml {
+
+void LinearSvm::fit(const Matrix& x, const std::vector<float>& y) {
+  validate(x, y);
+  const std::size_t n = x.size();
+  const std::size_t dim = x[0].size();
+  w_.assign(dim, 0.0f);
+  b_ = 0.0f;
+
+  Rng rng(config_.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  const double lambda = config_.lambda;
+  std::size_t t = 0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (const std::size_t i : order) {
+      ++t;
+      const double eta = 1.0 / (lambda * static_cast<double>(t));
+      const auto& xi = x[i];
+      const float yi = y[i];
+      double margin = b_;
+      for (std::size_t d = 0; d < dim; ++d) {
+        margin += static_cast<double>(w_[d]) * xi[d];
+      }
+      margin *= yi;
+      // Regularization shrink.
+      const auto shrink = static_cast<float>(1.0 - eta * lambda);
+      for (auto& wd : w_) wd *= shrink;
+      if (margin < 1.0) {
+        const double weight =
+            yi > 0 ? config_.positive_weight : 1.0;
+        const auto step = static_cast<float>(eta * weight * yi);
+        for (std::size_t d = 0; d < dim; ++d) w_[d] += step * xi[d];
+        b_ += static_cast<float>(0.01 * eta * weight * yi);  // unregularized bias, damped
+      }
+    }
+  }
+}
+
+float LinearSvm::score(const std::vector<float>& x) const {
+  LHD_CHECK(x.size() == w_.size(), "dimension mismatch (model not fitted?)");
+  double s = b_;
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    s += static_cast<double>(w_[d]) * x[d];
+  }
+  return static_cast<float>(s);
+}
+
+}  // namespace lhd::ml

@@ -1,0 +1,35 @@
+#pragma once
+// Linear SVM trained with the Pegasos stochastic sub-gradient algorithm
+// (Shalev-Shwartz et al.). Supports per-class weighting so the rare hotspot
+// class is not swamped by the majority.
+
+#include "lhd/ml/classifier.hpp"
+#include "lhd/util/rng.hpp"
+
+namespace lhd::ml {
+
+struct LinearSvmConfig {
+  double lambda = 1e-4;       ///< L2 regularization strength
+  int epochs = 40;            ///< passes over the training set
+  double positive_weight = 1.0;  ///< loss weight multiplier for +1 samples
+  std::uint64_t seed = 1;
+};
+
+class LinearSvm final : public BinaryClassifier {
+ public:
+  explicit LinearSvm(LinearSvmConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "linear-svm"; }
+  void fit(const Matrix& x, const std::vector<float>& y) override;
+  float score(const std::vector<float>& x) const override;
+
+  const std::vector<float>& weights() const { return w_; }
+  float bias() const { return b_; }
+
+ private:
+  LinearSvmConfig config_;
+  std::vector<float> w_;
+  float b_ = 0.0f;
+};
+
+}  // namespace lhd::ml

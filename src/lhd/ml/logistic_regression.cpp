@@ -1,0 +1,70 @@
+#include "lhd/ml/logistic_regression.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace lhd::ml {
+
+void LogisticRegression::fit(const Matrix& x, const std::vector<float>& y) {
+  validate(x, y);
+  const std::size_t n = x.size();
+  const std::size_t dim = x[0].size();
+  w_.assign(dim, 0.0f);
+  b_ = 0.0f;
+  std::vector<float> vw(dim, 0.0f);
+  float vb = 0.0f;
+
+  Rng rng(config_.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < n;
+         start += static_cast<std::size_t>(config_.batch)) {
+      const std::size_t end =
+          std::min(n, start + static_cast<std::size_t>(config_.batch));
+      std::vector<float> grad(dim, 0.0f);
+      float grad_b = 0.0f;
+      for (std::size_t s = start; s < end; ++s) {
+        const std::size_t i = order[s];
+        double z = b_;
+        for (std::size_t d = 0; d < dim; ++d) {
+          z += static_cast<double>(w_[d]) * x[i][d];
+        }
+        // dL/dz for label t in {0,1}: sigmoid(z) - t.
+        const double t = y[i] > 0 ? 1.0 : 0.0;
+        const double p = 1.0 / (1.0 + std::exp(-z));
+        const double cw = y[i] > 0 ? config_.positive_weight : 1.0;
+        const auto g = static_cast<float>(cw * (p - t));
+        for (std::size_t d = 0; d < dim; ++d) grad[d] += g * x[i][d];
+        grad_b += g;
+      }
+      const auto scale =
+          static_cast<float>(config_.learning_rate / (end - start));
+      const auto l2 = static_cast<float>(config_.l2);
+      const auto mu = static_cast<float>(config_.momentum);
+      for (std::size_t d = 0; d < dim; ++d) {
+        vw[d] = mu * vw[d] - scale * (grad[d] + l2 * w_[d]);
+        w_[d] += vw[d];
+      }
+      vb = mu * vb - scale * grad_b;
+      b_ += vb;
+    }
+  }
+}
+
+float LogisticRegression::score(const std::vector<float>& x) const {
+  LHD_CHECK(x.size() == w_.size(), "dimension mismatch (model not fitted?)");
+  double z = b_;
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    z += static_cast<double>(w_[d]) * x[d];
+  }
+  return static_cast<float>(z);
+}
+
+float LogisticRegression::probability(const std::vector<float>& x) const {
+  return static_cast<float>(1.0 / (1.0 + std::exp(-score(x))));
+}
+
+}  // namespace lhd::ml

@@ -1,0 +1,38 @@
+#pragma once
+// L2-regularized logistic regression trained by mini-batch SGD with
+// momentum. Scores are log-odds, so threshold 0 equals probability 0.5.
+
+#include "lhd/ml/classifier.hpp"
+#include "lhd/util/rng.hpp"
+
+namespace lhd::ml {
+
+struct LogisticRegressionConfig {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  int epochs = 60;
+  int batch = 32;
+  double momentum = 0.9;
+  double positive_weight = 1.0;
+  std::uint64_t seed = 1;
+};
+
+class LogisticRegression final : public BinaryClassifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionConfig config = {})
+      : config_(config) {}
+
+  std::string name() const override { return "logistic-regression"; }
+  void fit(const Matrix& x, const std::vector<float>& y) override;
+  float score(const std::vector<float>& x) const override;
+
+  /// Probability of hotspot.
+  float probability(const std::vector<float>& x) const;
+
+ private:
+  LogisticRegressionConfig config_;
+  std::vector<float> w_;
+  float b_ = 0.0f;
+};
+
+}  // namespace lhd::ml

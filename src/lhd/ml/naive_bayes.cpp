@@ -1,0 +1,70 @@
+#include "lhd/ml/naive_bayes.hpp"
+
+#include <cmath>
+
+namespace lhd::ml {
+
+namespace {
+
+void fit_class(const Matrix& x, const std::vector<float>& y, float cls,
+               double smoothing, std::vector<float>& mean,
+               std::vector<float>& var, std::size_t* count) {
+  const std::size_t dim = x[0].size();
+  std::vector<double> sum(dim, 0.0), sum2(dim, 0.0);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (y[i] != cls) continue;
+    ++n;
+    for (std::size_t d = 0; d < dim; ++d) {
+      sum[d] += x[i][d];
+      sum2[d] += static_cast<double>(x[i][d]) * x[i][d];
+    }
+  }
+  mean.assign(dim, 0.0f);
+  var.assign(dim, 1.0f);
+  if (n > 0) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double mu = sum[d] / static_cast<double>(n);
+      mean[d] = static_cast<float>(mu);
+      var[d] = static_cast<float>(
+          std::max(0.0, sum2[d] / static_cast<double>(n) - mu * mu) +
+          smoothing);
+    }
+  }
+  *count = n;
+}
+
+double log_likelihood(const std::vector<float>& x,
+                      const std::vector<float>& mean,
+                      const std::vector<float>& var) {
+  double ll = 0.0;
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    const double diff = static_cast<double>(x[d]) - mean[d];
+    ll += -0.5 * (std::log(6.283185307179586 * var[d]) +
+                  diff * diff / var[d]);
+  }
+  return ll;
+}
+
+}  // namespace
+
+void GaussianNaiveBayes::fit(const Matrix& x, const std::vector<float>& y) {
+  validate(x, y);
+  std::size_t n_pos = 0, n_neg = 0;
+  fit_class(x, y, 1.0f, config_.var_smoothing, mean_pos_, var_pos_, &n_pos);
+  fit_class(x, y, -1.0f, config_.var_smoothing, mean_neg_, var_neg_, &n_neg);
+  LHD_CHECK(n_pos > 0 && n_neg > 0,
+            "naive bayes needs at least one sample of each class");
+  log_prior_ratio_ = std::log(static_cast<double>(n_pos)) -
+                     std::log(static_cast<double>(n_neg));
+}
+
+float GaussianNaiveBayes::score(const std::vector<float>& x) const {
+  LHD_CHECK(x.size() == mean_pos_.size(),
+            "dimension mismatch (model not fitted?)");
+  const double ll_pos = log_likelihood(x, mean_pos_, var_pos_);
+  const double ll_neg = log_likelihood(x, mean_neg_, var_neg_);
+  return static_cast<float>(ll_pos - ll_neg + log_prior_ratio_);
+}
+
+}  // namespace lhd::ml

@@ -1,0 +1,30 @@
+#pragma once
+// Gaussian naive Bayes — the simplest probabilistic baseline; per-feature
+// Gaussians per class, scores are class log-odds.
+
+#include "lhd/ml/classifier.hpp"
+
+namespace lhd::ml {
+
+struct NaiveBayesConfig {
+  double var_smoothing = 1e-6;  ///< added to variances for stability
+};
+
+class GaussianNaiveBayes final : public BinaryClassifier {
+ public:
+  explicit GaussianNaiveBayes(NaiveBayesConfig config = {})
+      : config_(config) {}
+
+  std::string name() const override { return "naive-bayes"; }
+  void fit(const Matrix& x, const std::vector<float>& y) override;
+  /// log P(+1|x) - log P(-1|x).
+  float score(const std::vector<float>& x) const override;
+
+ private:
+  NaiveBayesConfig config_;
+  std::vector<float> mean_pos_, var_pos_;
+  std::vector<float> mean_neg_, var_neg_;
+  double log_prior_ratio_ = 0.0;
+};
+
+}  // namespace lhd::ml

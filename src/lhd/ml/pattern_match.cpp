@@ -1,0 +1,93 @@
+#include "lhd/ml/pattern_match.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lhd::ml {
+
+std::vector<std::int8_t> PatternMatcher::quantize(
+    const std::vector<float>& x) const {
+  std::vector<std::int8_t> sig(x.size());
+  const float span = hi_ - lo_ > 1e-9f ? hi_ - lo_ : 1.0f;
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    const float unit = std::clamp((x[d] - lo_) / span, 0.0f, 1.0f);
+    int q = static_cast<int>(unit * static_cast<float>(config_.quant_levels));
+    q = std::min(q, config_.quant_levels - 1);
+    sig[d] = static_cast<std::int8_t>(q);
+  }
+  return sig;
+}
+
+std::uint64_t PatternMatcher::hash_signature(
+    const std::vector<std::int8_t>& sig) {
+  // FNV-1a.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto v : sig) {
+    h ^= static_cast<std::uint8_t>(v);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void PatternMatcher::fit(const Matrix& x, const std::vector<float>& y) {
+  validate(x, y);
+  exact_.clear();
+  library_.clear();
+  lo_ = x[0][0];
+  hi_ = x[0][0];
+  for (const auto& row : x) {
+    for (const float v : row) {
+      lo_ = std::min(lo_, v);
+      hi_ = std::max(hi_, v);
+    }
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (y[i] <= 0) continue;
+    exact_.insert(hash_signature(quantize(x[i])));
+    if (config_.match_radius > 0 || config_.auto_radius) {
+      library_.push_back(x[i]);
+    }
+  }
+  if (config_.auto_radius && library_.size() >= 2) {
+    // Median nearest-neighbour distance among stored hotspots.
+    std::vector<double> nn(library_.size(), 1e30);
+    for (std::size_t i = 0; i < library_.size(); ++i) {
+      for (std::size_t j = 0; j < library_.size(); ++j) {
+        if (i == j) continue;
+        double d2 = 0.0;
+        for (std::size_t d = 0; d < library_[i].size(); ++d) {
+          const double diff =
+              static_cast<double>(library_[i][d]) - library_[j][d];
+          d2 += diff * diff;
+        }
+        nn[i] = std::min(nn[i], d2);
+      }
+    }
+    std::nth_element(nn.begin(), nn.begin() + static_cast<std::ptrdiff_t>(nn.size() / 2),
+                     nn.end());
+    config_.match_radius =
+        std::sqrt(nn[nn.size() / 2]) * config_.radius_scale;
+  }
+}
+
+float PatternMatcher::score(const std::vector<float>& x) const {
+  LHD_CHECK(!exact_.empty() || config_.match_radius > 0,
+            "pattern library is empty (model not fitted?)");
+  if (exact_.count(hash_signature(quantize(x))) > 0) return 1.0f;
+  if (config_.match_radius > 0) {
+    double best = 1e30;
+    for (const auto& row : library_) {
+      double d2 = 0.0;
+      for (std::size_t d = 0; d < x.size(); ++d) {
+        const double diff = static_cast<double>(x[d]) - row[d];
+        d2 += diff * diff;
+        if (d2 > best) break;
+      }
+      best = std::min(best, d2);
+    }
+    return static_cast<float>(config_.match_radius - std::sqrt(best));
+  }
+  return -1.0f;
+}
+
+}  // namespace lhd::ml

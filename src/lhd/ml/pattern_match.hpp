@@ -1,0 +1,49 @@
+#pragma once
+// Pattern-matching baseline — the pre-ML generation of hotspot detection.
+// Known hotspot patterns are stored as quantized feature signatures in a
+// hash table; a test clip is flagged when it exactly matches a stored
+// signature, or (fuzzy mode) lies within an L2 ball of one. Fast and
+// precise on seen patterns, blind to unseen ones — exactly the failure
+// mode the ML generations were invented to fix.
+
+#include <unordered_set>
+
+#include "lhd/ml/classifier.hpp"
+
+namespace lhd::ml {
+
+struct PatternMatchConfig {
+  int quant_levels = 8;    ///< quantization levels per feature dimension
+  double match_radius = 0.0;  ///< L2 radius for fuzzy match (0 = exact only)
+  /// Calibrate match_radius from the data: median nearest-neighbour
+  /// distance among stored hotspot signatures, times radius_scale.
+  bool auto_radius = false;
+  double radius_scale = 1.0;
+};
+
+class PatternMatcher final : public BinaryClassifier {
+ public:
+  explicit PatternMatcher(PatternMatchConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "pattern-match"; }
+
+  /// Stores quantized signatures of the *hotspot* training samples.
+  void fit(const Matrix& x, const std::vector<float>& y) override;
+
+  /// +1 on a match, -1 otherwise; fuzzy mode returns radius - distance to
+  /// the nearest stored hotspot (positive inside the ball).
+  float score(const std::vector<float>& x) const override;
+
+  std::size_t library_size() const { return library_.size(); }
+
+ private:
+  std::vector<std::int8_t> quantize(const std::vector<float>& x) const;
+  static std::uint64_t hash_signature(const std::vector<std::int8_t>& sig);
+
+  PatternMatchConfig config_;
+  std::unordered_set<std::uint64_t> exact_;
+  Matrix library_;  ///< raw hotspot feature rows (fuzzy matching)
+  float lo_ = 0.0f, hi_ = 1.0f;  ///< quantization range from training data
+};
+
+}  // namespace lhd::ml

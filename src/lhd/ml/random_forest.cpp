@@ -1,0 +1,41 @@
+#include "lhd/ml/random_forest.hpp"
+
+#include <cmath>
+
+namespace lhd::ml {
+
+void RandomForest::fit(const Matrix& x, const std::vector<float>& y) {
+  validate(x, y);
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(config_.trees));
+  Rng rng(config_.seed);
+  const std::size_t n = x.size();
+
+  DecisionTreeConfig tree_cfg = config_.tree;
+  if (tree_cfg.max_features == 0) {
+    tree_cfg.max_features = std::max(
+        1, static_cast<int>(std::sqrt(static_cast<double>(x[0].size()))));
+  }
+
+  for (int t = 0; t < config_.trees; ++t) {
+    // Bootstrap sample expressed as per-sample multiplicity weights, so we
+    // reuse the weighted tree fit without copying rows.
+    std::vector<double> w(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      w[static_cast<std::size_t>(rng.next_below(n))] += 1.0;
+    }
+    tree_cfg.seed = rng.next_u64();
+    DecisionTree tree(tree_cfg);
+    tree.fit_weighted(x, y, w);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+float RandomForest::score(const std::vector<float>& x) const {
+  LHD_CHECK(!trees_.empty(), "model not fitted");
+  double s = 0.0;
+  for (const auto& t : trees_) s += t.score(x);
+  return static_cast<float>(s / static_cast<double>(trees_.size()));
+}
+
+}  // namespace lhd::ml

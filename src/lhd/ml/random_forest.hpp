@@ -1,0 +1,32 @@
+#pragma once
+// Random forest: bagged CART trees with per-split feature subsampling.
+
+#include <memory>
+
+#include "lhd/ml/decision_tree.hpp"
+
+namespace lhd::ml {
+
+struct RandomForestConfig {
+  int trees = 40;
+  DecisionTreeConfig tree;  ///< tree.max_features 0 = auto sqrt(dim)
+  std::uint64_t seed = 1;
+};
+
+class RandomForest final : public BinaryClassifier {
+ public:
+  explicit RandomForest(RandomForestConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "random-forest"; }
+  void fit(const Matrix& x, const std::vector<float>& y) override;
+  /// Mean tree score (soft vote in [-1, 1]).
+  float score(const std::vector<float>& x) const override;
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  RandomForestConfig config_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace lhd::ml

@@ -1,0 +1,525 @@
+#include "lhd/nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lhd::nn {
+
+// ---------------------------------------------------------------- Conv2d --
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int pad)
+    : in_c_(in_channels), out_c_(out_channels), k_(kernel), pad_(pad) {
+  LHD_CHECK(in_c_ > 0 && out_c_ > 0 && k_ > 0 && pad_ >= 0, "bad conv dims");
+  const auto wsize = static_cast<std::size_t>(out_c_) * in_c_ * k_ * k_;
+  weight_.assign(wsize, 0.0f);
+  weight_grad_.assign(wsize, 0.0f);
+  bias_.assign(static_cast<std::size_t>(out_c_), 0.0f);
+  bias_grad_.assign(static_cast<std::size_t>(out_c_), 0.0f);
+}
+
+void Conv2d::init(Rng& rng) {
+  const double fan_in = static_cast<double>(in_c_) * k_ * k_;
+  const double stddev = std::sqrt(2.0 / fan_in);
+  for (auto& w : weight_) {
+    w = static_cast<float>(rng.next_gaussian(0.0, stddev));
+  }
+  std::fill(bias_.begin(), bias_.end(), 0.0f);
+}
+
+void Conv2d::im2col(const float* src, int h, int w, float* col) const {
+  // col layout: [in_c*k*k][h*w] — output spatial size equals input size
+  // because stride 1 with symmetric padding keeps H, W when pad = (k-1)/2.
+  const int oh = h + 2 * pad_ - k_ + 1;
+  const int ow = w + 2 * pad_ - k_ + 1;
+  std::size_t row = 0;
+  for (int c = 0; c < in_c_; ++c) {
+    const float* plane = src + static_cast<std::size_t>(c) * h * w;
+    for (int ky = 0; ky < k_; ++ky) {
+      for (int kx = 0; kx < k_; ++kx, ++row) {
+        float* dst = col + row * static_cast<std::size_t>(oh) * ow;
+        for (int y = 0; y < oh; ++y) {
+          const int sy = y + ky - pad_;
+          for (int x = 0; x < ow; ++x) {
+            const int sx = x + kx - pad_;
+            dst[y * ow + x] =
+                (sy < 0 || sy >= h || sx < 0 || sx >= w)
+                    ? 0.0f
+                    : plane[sy * w + sx];
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::col2im(const float* col, int h, int w, float* dst) const {
+  const int oh = h + 2 * pad_ - k_ + 1;
+  const int ow = w + 2 * pad_ - k_ + 1;
+  std::size_t row = 0;
+  for (int c = 0; c < in_c_; ++c) {
+    float* plane = dst + static_cast<std::size_t>(c) * h * w;
+    for (int ky = 0; ky < k_; ++ky) {
+      for (int kx = 0; kx < k_; ++kx, ++row) {
+        const float* src = col + row * static_cast<std::size_t>(oh) * ow;
+        for (int y = 0; y < oh; ++y) {
+          const int sy = y + ky - pad_;
+          if (sy < 0 || sy >= h) continue;
+          for (int x = 0; x < ow; ++x) {
+            const int sx = x + kx - pad_;
+            if (sx < 0 || sx >= w) continue;
+            plane[sy * w + sx] += src[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  LHD_CHECK(input.rank() == 4, "conv expects NCHW");
+  const int n = input.dim(0);
+  LHD_CHECK_MSG(input.dim(1) == in_c_, "conv channel mismatch: got "
+                                           << input.dim(1) << ", want "
+                                           << in_c_);
+  const int h = input.dim(2);
+  const int w = input.dim(3);
+  const int oh = h + 2 * pad_ - k_ + 1;
+  const int ow = w + 2 * pad_ - k_ + 1;
+  LHD_CHECK(oh > 0 && ow > 0, "conv output collapsed to zero");
+  input_ = input;
+
+  Tensor out({n, out_c_, oh, ow});
+  const int krows = in_c_ * k_ * k_;
+  std::vector<float> col(static_cast<std::size_t>(krows) * oh * ow);
+  const std::size_t spatial = static_cast<std::size_t>(oh) * ow;
+
+  for (int s = 0; s < n; ++s) {
+    im2col(input.data() + static_cast<std::size_t>(s) * in_c_ * h * w, h, w,
+           col.data());
+    float* dst = out.data() + static_cast<std::size_t>(s) * out_c_ * spatial;
+    // Process output channels four at a time so each col row is read once
+    // per group instead of once per channel (the loop is memory-bound).
+    int oc = 0;
+    for (; oc + 4 <= out_c_; oc += 4) {
+      float* o0 = dst + static_cast<std::size_t>(oc) * spatial;
+      float* o1 = o0 + spatial;
+      float* o2 = o1 + spatial;
+      float* o3 = o2 + spatial;
+      std::fill(o0, o0 + spatial, bias_[static_cast<std::size_t>(oc)]);
+      std::fill(o1, o1 + spatial, bias_[static_cast<std::size_t>(oc) + 1]);
+      std::fill(o2, o2 + spatial, bias_[static_cast<std::size_t>(oc) + 2]);
+      std::fill(o3, o3 + spatial, bias_[static_cast<std::size_t>(oc) + 3]);
+      const float* w0 = weight_.data() + static_cast<std::size_t>(oc) * krows;
+      const float* w1 = w0 + krows;
+      const float* w2 = w1 + krows;
+      const float* w3 = w2 + krows;
+      for (int r = 0; r < krows; ++r) {
+        const float* crow = col.data() + static_cast<std::size_t>(r) * spatial;
+        const float a = w0[r], b = w1[r], c = w2[r], d = w3[r];
+        for (std::size_t i = 0; i < spatial; ++i) {
+          const float v = crow[i];
+          o0[i] += a * v;
+          o1[i] += b * v;
+          o2[i] += c * v;
+          o3[i] += d * v;
+        }
+      }
+    }
+    for (; oc < out_c_; ++oc) {
+      const float* wrow = weight_.data() + static_cast<std::size_t>(oc) * krows;
+      float* orow = dst + static_cast<std::size_t>(oc) * spatial;
+      std::fill(orow, orow + spatial, bias_[static_cast<std::size_t>(oc)]);
+      for (int r = 0; r < krows; ++r) {
+        const float wv = wrow[r];
+        const float* crow = col.data() + static_cast<std::size_t>(r) * spatial;
+        for (std::size_t i = 0; i < spatial; ++i) orow[i] += wv * crow[i];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const int n = input_.dim(0);
+  const int h = input_.dim(2);
+  const int w = input_.dim(3);
+  const int oh = grad_output.dim(2);
+  const int ow = grad_output.dim(3);
+  const int krows = in_c_ * k_ * k_;
+  const std::size_t spatial = static_cast<std::size_t>(oh) * ow;
+
+  Tensor grad_in(input_.shape());
+  std::vector<float> col(static_cast<std::size_t>(krows) * spatial);
+  std::vector<float> col_grad(col.size());
+
+  for (int s = 0; s < n; ++s) {
+    im2col(input_.data() + static_cast<std::size_t>(s) * in_c_ * h * w, h, w,
+           col.data());
+    const float* gout =
+        grad_output.data() + static_cast<std::size_t>(s) * out_c_ * spatial;
+
+    // dW += gout * col^T ; db += sum(gout). col rows are the long axis, so
+    // walk them once and accumulate against all output-channel grads.
+    for (int oc = 0; oc < out_c_; ++oc) {
+      const float* grow = gout + static_cast<std::size_t>(oc) * spatial;
+      double bsum = 0.0;
+      for (std::size_t i = 0; i < spatial; ++i) bsum += grow[i];
+      bias_grad_[static_cast<std::size_t>(oc)] += static_cast<float>(bsum);
+    }
+    for (int r = 0; r < krows; ++r) {
+      const float* crow = col.data() + static_cast<std::size_t>(r) * spatial;
+      int oc = 0;
+      for (; oc + 4 <= out_c_; oc += 4) {
+        const float* g0 = gout + static_cast<std::size_t>(oc) * spatial;
+        const float* g1 = g0 + spatial;
+        const float* g2 = g1 + spatial;
+        const float* g3 = g2 + spatial;
+        float a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+        for (std::size_t i = 0; i < spatial; ++i) {
+          const float v = crow[i];
+          a0 += g0[i] * v;
+          a1 += g1[i] * v;
+          a2 += g2[i] * v;
+          a3 += g3[i] * v;
+        }
+        weight_grad_[static_cast<std::size_t>(oc) * krows + r] += a0;
+        weight_grad_[(static_cast<std::size_t>(oc) + 1) * krows + r] += a1;
+        weight_grad_[(static_cast<std::size_t>(oc) + 2) * krows + r] += a2;
+        weight_grad_[(static_cast<std::size_t>(oc) + 3) * krows + r] += a3;
+      }
+      for (; oc < out_c_; ++oc) {
+        const float* grow = gout + static_cast<std::size_t>(oc) * spatial;
+        float acc = 0;
+        for (std::size_t i = 0; i < spatial; ++i) acc += grow[i] * crow[i];
+        weight_grad_[static_cast<std::size_t>(oc) * krows + r] += acc;
+      }
+    }
+
+    // dcol = W^T * gout, then scatter back with col2im.
+    std::fill(col_grad.begin(), col_grad.end(), 0.0f);
+    for (int r = 0; r < krows; ++r) {
+      float* crow = col_grad.data() + static_cast<std::size_t>(r) * spatial;
+      int oc = 0;
+      for (; oc + 4 <= out_c_; oc += 4) {
+        const float* g0 = gout + static_cast<std::size_t>(oc) * spatial;
+        const float* g1 = g0 + spatial;
+        const float* g2 = g1 + spatial;
+        const float* g3 = g2 + spatial;
+        const float a = weight_[static_cast<std::size_t>(oc) * krows + r];
+        const float b = weight_[(static_cast<std::size_t>(oc) + 1) * krows + r];
+        const float c = weight_[(static_cast<std::size_t>(oc) + 2) * krows + r];
+        const float d = weight_[(static_cast<std::size_t>(oc) + 3) * krows + r];
+        for (std::size_t i = 0; i < spatial; ++i) {
+          crow[i] += a * g0[i] + b * g1[i] + c * g2[i] + d * g3[i];
+        }
+      }
+      for (; oc < out_c_; ++oc) {
+        const float wv = weight_[static_cast<std::size_t>(oc) * krows + r];
+        const float* grow = gout + static_cast<std::size_t>(oc) * spatial;
+        for (std::size_t i = 0; i < spatial; ++i) crow[i] += wv * grow[i];
+      }
+    }
+    col2im(col_grad.data(), h, w,
+           grad_in.data() + static_cast<std::size_t>(s) * in_c_ * h * w);
+  }
+  return grad_in;
+}
+
+std::vector<Param> Conv2d::params() {
+  return {{&weight_, &weight_grad_}, {&bias_, &bias_grad_}};
+}
+
+// ------------------------------------------------------------------ Relu --
+
+Tensor Relu::forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  mask_.assign(input.size(), 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] > 0) {
+      mask_[i] = 1;
+    } else {
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor Relu::backward(const Tensor& grad_output) {
+  LHD_CHECK(grad_output.size() == mask_.size(), "relu backward shape mismatch");
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (!mask_[i]) grad[i] = 0.0f;
+  }
+  return grad;
+}
+
+// -------------------------------------------------------------- MaxPool2 --
+
+Tensor MaxPool2::forward(const Tensor& input, bool /*training*/) {
+  LHD_CHECK(input.rank() == 4, "pool expects NCHW");
+  const int n = input.dim(0), c = input.dim(1);
+  const int h = input.dim(2), w = input.dim(3);
+  LHD_CHECK(h % 2 == 0 && w % 2 == 0, "pool input dims must be even");
+  in_shape_ = input.shape();
+  const int oh = h / 2, ow = w / 2;
+  Tensor out({n, c, oh, ow});
+  argmax_.assign(out.size(), 0);
+
+  std::size_t oi = 0;
+  for (int s = 0; s < n; ++s) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* plane =
+          input.data() + (static_cast<std::size_t>(s) * c + ch) * h * w;
+      for (int y = 0; y < oh; ++y) {
+        for (int x = 0; x < ow; ++x, ++oi) {
+          int best_idx = (2 * y) * w + 2 * x;
+          float best = plane[best_idx];
+          const int candidates[3] = {(2 * y) * w + 2 * x + 1,
+                                     (2 * y + 1) * w + 2 * x,
+                                     (2 * y + 1) * w + 2 * x + 1};
+          for (const int idx : candidates) {
+            if (plane[idx] > best) {
+              best = plane[idx];
+              best_idx = idx;
+            }
+          }
+          out[oi] = best;
+          argmax_[oi] =
+              static_cast<int>((static_cast<std::size_t>(s) * c + ch) * h * w) +
+              best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2::backward(const Tensor& grad_output) {
+  Tensor grad_in(in_shape_);
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    grad_in[static_cast<std::size_t>(argmax_[i])] += grad_output[i];
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------- Linear --
+
+Linear::Linear(int in_features, int out_features)
+    : in_f_(in_features), out_f_(out_features) {
+  LHD_CHECK(in_f_ > 0 && out_f_ > 0, "bad linear dims");
+  weight_.assign(static_cast<std::size_t>(out_f_) * in_f_, 0.0f);
+  weight_grad_.assign(weight_.size(), 0.0f);
+  bias_.assign(static_cast<std::size_t>(out_f_), 0.0f);
+  bias_grad_.assign(bias_.size(), 0.0f);
+}
+
+void Linear::init(Rng& rng) {
+  const double stddev = std::sqrt(2.0 / in_f_);
+  for (auto& w : weight_) {
+    w = static_cast<float>(rng.next_gaussian(0.0, stddev));
+  }
+  std::fill(bias_.begin(), bias_.end(), 0.0f);
+}
+
+Tensor Linear::forward(const Tensor& input, bool /*training*/) {
+  const int n = input.dim(0);
+  LHD_CHECK_MSG(input.size() == static_cast<std::size_t>(n) * in_f_,
+                "linear expects " << in_f_ << " features, got "
+                                  << input.size() / static_cast<std::size_t>(n));
+  in_shape_ = input.shape();
+  input_ = input;
+  input_.reshape({n, in_f_});
+
+  Tensor out({n, out_f_});
+  for (int s = 0; s < n; ++s) {
+    const float* x = input_.data() + static_cast<std::size_t>(s) * in_f_;
+    float* o = out.data() + static_cast<std::size_t>(s) * out_f_;
+    for (int j = 0; j < out_f_; ++j) {
+      const float* wrow = weight_.data() + static_cast<std::size_t>(j) * in_f_;
+      double acc = bias_[static_cast<std::size_t>(j)];
+      for (int i = 0; i < in_f_; ++i) acc += wrow[i] * x[i];
+      o[j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  const int n = input_.dim(0);
+  Tensor grad_in({n, in_f_});
+  for (int s = 0; s < n; ++s) {
+    const float* x = input_.data() + static_cast<std::size_t>(s) * in_f_;
+    const float* g = grad_output.data() + static_cast<std::size_t>(s) * out_f_;
+    float* gi = grad_in.data() + static_cast<std::size_t>(s) * in_f_;
+    for (int j = 0; j < out_f_; ++j) {
+      const float gj = g[j];
+      bias_grad_[static_cast<std::size_t>(j)] += gj;
+      float* wg = weight_grad_.data() + static_cast<std::size_t>(j) * in_f_;
+      const float* wrow = weight_.data() + static_cast<std::size_t>(j) * in_f_;
+      for (int i = 0; i < in_f_; ++i) {
+        wg[i] += gj * x[i];
+        gi[i] += gj * wrow[i];
+      }
+    }
+  }
+  grad_in.reshape(in_shape_);
+  return grad_in;
+}
+
+std::vector<Param> Linear::params() {
+  return {{&weight_, &weight_grad_}, {&bias_, &bias_grad_}};
+}
+
+// ------------------------------------------------------------- BatchNorm --
+
+BatchNorm2d::BatchNorm2d(int channels, double momentum, double epsilon)
+    : c_(channels), momentum_(momentum), eps_(epsilon) {
+  LHD_CHECK(c_ > 0, "channels must be positive");
+  gamma_.assign(static_cast<std::size_t>(c_), 1.0f);
+  gamma_grad_.assign(gamma_.size(), 0.0f);
+  beta_.assign(gamma_.size(), 0.0f);
+  beta_grad_.assign(gamma_.size(), 0.0f);
+  running_mean_.assign(gamma_.size(), 0.0f);
+  running_var_.assign(gamma_.size(), 1.0f);
+}
+
+void BatchNorm2d::init(Rng& /*rng*/) {
+  std::fill(gamma_.begin(), gamma_.end(), 1.0f);
+  std::fill(beta_.begin(), beta_.end(), 0.0f);
+  std::fill(running_mean_.begin(), running_mean_.end(), 0.0f);
+  std::fill(running_var_.begin(), running_var_.end(), 1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
+  LHD_CHECK(input.rank() == 4 && input.dim(1) == c_,
+            "batchnorm expects NCHW with matching channels");
+  const int n = input.dim(0);
+  const int h = input.dim(2);
+  const int w = input.dim(3);
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  const std::size_t per_c = static_cast<std::size_t>(n) * plane;
+  in_shape_ = input.shape();
+
+  Tensor out(input.shape());
+  x_hat_ = Tensor(input.shape());
+  inv_std_.assign(static_cast<std::size_t>(c_), 0.0f);
+  trained_forward_ = training;
+
+  for (int c = 0; c < c_; ++c) {
+    double mean, var;
+    if (training) {
+      double sum = 0.0, sum2 = 0.0;
+      for (int s = 0; s < n; ++s) {
+        const float* p = input.data() +
+                         (static_cast<std::size_t>(s) * c_ + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          sum += p[i];
+          sum2 += static_cast<double>(p[i]) * p[i];
+        }
+      }
+      mean = sum / static_cast<double>(per_c);
+      var = std::max(0.0, sum2 / static_cast<double>(per_c) - mean * mean);
+      running_mean_[static_cast<std::size_t>(c)] = static_cast<float>(
+          momentum_ * running_mean_[static_cast<std::size_t>(c)] +
+          (1.0 - momentum_) * mean);
+      running_var_[static_cast<std::size_t>(c)] = static_cast<float>(
+          momentum_ * running_var_[static_cast<std::size_t>(c)] +
+          (1.0 - momentum_) * var);
+    } else {
+      mean = running_mean_[static_cast<std::size_t>(c)];
+      var = running_var_[static_cast<std::size_t>(c)];
+    }
+    const auto istd = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    inv_std_[static_cast<std::size_t>(c)] = istd;
+    const float g = gamma_[static_cast<std::size_t>(c)];
+    const float b = beta_[static_cast<std::size_t>(c)];
+    const auto m = static_cast<float>(mean);
+    for (int s = 0; s < n; ++s) {
+      const std::size_t off = (static_cast<std::size_t>(s) * c_ + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        const float xh = (input.data()[off + i] - m) * istd;
+        x_hat_.data()[off + i] = xh;
+        out.data()[off + i] = g * xh + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  const int n = in_shape_[0];
+  const int h = in_shape_[2];
+  const int w = in_shape_[3];
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  const auto per_c = static_cast<double>(static_cast<std::size_t>(n) * plane);
+
+  Tensor grad_in(in_shape_);
+  for (int c = 0; c < c_; ++c) {
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (int s = 0; s < n; ++s) {
+      const std::size_t off = (static_cast<std::size_t>(s) * c_ + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        sum_g += grad_output.data()[off + i];
+        sum_gx += static_cast<double>(grad_output.data()[off + i]) *
+                  x_hat_.data()[off + i];
+      }
+    }
+    gamma_grad_[static_cast<std::size_t>(c)] += static_cast<float>(sum_gx);
+    beta_grad_[static_cast<std::size_t>(c)] += static_cast<float>(sum_g);
+    // Training mode couples every output to the batch statistics; eval mode
+    // treats mean/var as constants, so the input gradient is a pure scale.
+    const double mean_g = trained_forward_ ? sum_g / per_c : 0.0;
+    const double mean_gx = trained_forward_ ? sum_gx / per_c : 0.0;
+    const float scale = gamma_[static_cast<std::size_t>(c)] *
+                        inv_std_[static_cast<std::size_t>(c)];
+    for (int s = 0; s < n; ++s) {
+      const std::size_t off = (static_cast<std::size_t>(s) * c_ + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        grad_in.data()[off + i] = static_cast<float>(
+            scale * (grad_output.data()[off + i] - mean_g -
+                     x_hat_.data()[off + i] * mean_gx));
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param> BatchNorm2d::params() {
+  return {{&gamma_, &gamma_grad_}, {&beta_, &beta_grad_}};
+}
+
+// --------------------------------------------------------------- Dropout --
+
+Dropout::Dropout(double p, std::uint64_t seed) : p_(p), rng_(seed) {
+  LHD_CHECK(p >= 0 && p < 1, "dropout p must be in [0,1)");
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  if (!training || p_ == 0.0) {
+    mask_.assign(input.size(), 1);
+    return input;
+  }
+  Tensor out = input;
+  mask_.assign(input.size(), 0);
+  const auto scale = static_cast<float>(1.0 / (1.0 - p_));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (rng_.next_double() >= p_) {
+      mask_[i] = 1;
+      out[i] *= scale;
+    } else {
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  const auto scale = static_cast<float>(1.0 / (1.0 - p_));
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad[i] = mask_[i] ? grad[i] * scale : 0.0f;
+  }
+  return grad;
+}
+
+}  // namespace lhd::nn

@@ -1,0 +1,148 @@
+#pragma once
+// Neural-network layers with explicit forward/backward passes. Batched
+// NCHW tensors; convolution is im2col + matmul, the standard CPU route.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lhd/nn/tensor.hpp"
+#include "lhd/util/rng.hpp"
+
+namespace lhd::nn {
+
+/// A trainable parameter: the value vector and its gradient accumulator.
+struct Param {
+  std::vector<float>* value = nullptr;
+  std::vector<float>* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Forward pass; `training` toggles dropout-style behaviour. The layer
+  /// caches whatever it needs for backward().
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Backward pass: takes dL/d(output), accumulates parameter gradients,
+  /// returns dL/d(input).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param> params() { return {}; }
+
+  /// Initialize weights (He-normal for conv/fc); stateless layers no-op.
+  virtual void init(Rng& /*rng*/) {}
+};
+
+/// 2-D convolution, stride 1, symmetric zero padding.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, int pad);
+
+  std::string name() const override { return "conv2d"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> params() override;
+  void init(Rng& rng) override;
+
+  int in_channels() const { return in_c_; }
+  int out_channels() const { return out_c_; }
+
+ private:
+  void im2col(const float* src, int h, int w, float* col) const;
+  void col2im(const float* col, int h, int w, float* dst) const;
+
+  int in_c_, out_c_, k_, pad_;
+  std::vector<float> weight_, weight_grad_;  // [out_c][in_c*k*k]
+  std::vector<float> bias_, bias_grad_;      // [out_c]
+  Tensor input_;                             // cached for backward
+};
+
+class Relu final : public Layer {
+ public:
+  std::string name() const override { return "relu"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::vector<std::uint8_t> mask_;
+};
+
+/// 2x2 max pooling, stride 2 (input H, W must be even).
+class MaxPool2 final : public Layer {
+ public:
+  std::string name() const override { return "maxpool2"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::vector<int> argmax_;
+  std::vector<int> in_shape_;
+};
+
+/// Fully connected layer; flattens any input to [N, in_features].
+class Linear final : public Layer {
+ public:
+  Linear(int in_features, int out_features);
+
+  std::string name() const override { return "linear"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> params() override;
+  void init(Rng& rng) override;
+
+ private:
+  int in_f_, out_f_;
+  std::vector<float> weight_, weight_grad_;  // [out_f][in_f]
+  std::vector<float> bias_, bias_grad_;
+  Tensor input_;
+  std::vector<int> in_shape_;
+};
+
+/// Per-channel batch normalization for NCHW tensors. Training uses batch
+/// statistics and maintains running estimates; evaluation uses the running
+/// estimates.
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(int channels, double momentum = 0.9,
+                       double epsilon = 1e-5);
+
+  std::string name() const override { return "batchnorm2d"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> params() override;
+  void init(Rng& rng) override;
+
+ private:
+  int c_;
+  double momentum_, eps_;
+  std::vector<float> gamma_, gamma_grad_;
+  std::vector<float> beta_, beta_grad_;
+  std::vector<float> running_mean_, running_var_;
+  // backward cache
+  Tensor x_hat_;
+  std::vector<float> inv_std_;
+  std::vector<int> in_shape_;
+  bool trained_forward_ = true;  ///< mode of the cached forward pass
+};
+
+/// Inverted dropout (train-time scaling by 1/(1-p)).
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(double p, std::uint64_t seed = 7);
+
+  std::string name() const override { return "dropout"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  double p_;
+  Rng rng_;
+  std::vector<std::uint8_t> mask_;
+};
+
+}  // namespace lhd::nn

@@ -1,0 +1,53 @@
+#include "lhd/nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lhd::nn {
+
+Tensor softmax(const Tensor& logits) {
+  LHD_CHECK(logits.rank() == 2, "softmax expects [N, C]");
+  const int n = logits.dim(0);
+  const int c = logits.dim(1);
+  Tensor probs(logits.shape());
+  for (int s = 0; s < n; ++s) {
+    const float* in = logits.data() + static_cast<std::size_t>(s) * c;
+    float* out = probs.data() + static_cast<std::size_t>(s) * c;
+    float max_v = in[0];
+    for (int j = 1; j < c; ++j) max_v = std::max(max_v, in[j]);
+    double sum = 0.0;
+    for (int j = 0; j < c; ++j) {
+      out[j] = std::exp(in[j] - max_v);
+      sum += out[j];
+    }
+    for (int j = 0; j < c; ++j) {
+      out[j] = static_cast<float>(out[j] / sum);
+    }
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits, const Tensor& targets) {
+  LHD_CHECK(logits.shape() == targets.shape(), "logits/targets shape mismatch");
+  const int n = logits.dim(0);
+  const int c = logits.dim(1);
+  LossResult r;
+  r.probs = softmax(logits);
+  r.grad = Tensor(logits.shape());
+  double total = 0.0;
+  for (int s = 0; s < n; ++s) {
+    const float* p = r.probs.data() + static_cast<std::size_t>(s) * c;
+    const float* t = targets.data() + static_cast<std::size_t>(s) * c;
+    float* g = r.grad.data() + static_cast<std::size_t>(s) * c;
+    for (int j = 0; j < c; ++j) {
+      if (t[j] > 0) {
+        total -= t[j] * std::log(std::max(p[j], 1e-12f));
+      }
+      g[j] = (p[j] - t[j]) / static_cast<float>(n);
+    }
+  }
+  r.loss = total / n;
+  return r;
+}
+
+}  // namespace lhd::nn

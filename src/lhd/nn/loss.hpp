@@ -1,0 +1,22 @@
+#pragma once
+// Softmax cross-entropy with *soft* targets. Soft targets are what the
+// biased-learning algorithm manipulates: a non-hotspot sample's target is
+// shifted from (0,1) to (λ, 1-λ) during the bias phase.
+
+#include "lhd/nn/tensor.hpp"
+
+namespace lhd::nn {
+
+struct LossResult {
+  double loss = 0.0;   ///< mean cross-entropy over the batch
+  Tensor grad;         ///< dL/dlogits, shape [N, C]
+  Tensor probs;        ///< softmax probabilities, shape [N, C]
+};
+
+/// logits [N, C], targets [N, C] rows summing to 1.
+LossResult softmax_cross_entropy(const Tensor& logits, const Tensor& targets);
+
+/// Softmax probabilities only (inference path).
+Tensor softmax(const Tensor& logits);
+
+}  // namespace lhd::nn

@@ -1,0 +1,61 @@
+#include "lhd/nn/network.hpp"
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::nn {
+
+void Network::init(Rng& rng) {
+  for (auto& l : layers_) l->init(rng);
+}
+
+Tensor Network::forward(const Tensor& input, bool training) {
+  LHD_CHECK(!layers_.empty(), "empty network");
+  Tensor t = input;
+  for (auto& l : layers_) t = l->forward(t, training);
+  return t;
+}
+
+void Network::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+}
+
+std::vector<Param> Network::params() {
+  std::vector<Param> all;
+  for (auto& l : layers_) {
+    for (auto& p : l->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::size_t Network::param_count() {
+  std::size_t n = 0;
+  for (const auto& p : params()) n += p.value->size();
+  return n;
+}
+
+Network make_hotspot_cnn(int in_channels, int grid, bool batchnorm) {
+  LHD_CHECK(grid % 4 == 0, "grid must be divisible by 4 (two pools)");
+  Network net;
+  net.add(std::make_unique<Conv2d>(in_channels, 24, 3, 1));
+  if (batchnorm) net.add(std::make_unique<BatchNorm2d>(24));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<Conv2d>(24, 24, 3, 1));
+  if (batchnorm) net.add(std::make_unique<BatchNorm2d>(24));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<MaxPool2>());
+  net.add(std::make_unique<Conv2d>(24, 32, 3, 1));
+  if (batchnorm) net.add(std::make_unique<BatchNorm2d>(32));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<MaxPool2>());
+  const int flat = 32 * (grid / 4) * (grid / 4);
+  net.add(std::make_unique<Linear>(flat, 64));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<Dropout>(0.3));
+  net.add(std::make_unique<Linear>(64, 2));
+  return net;
+}
+
+}  // namespace lhd::nn

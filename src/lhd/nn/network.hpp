@@ -1,0 +1,51 @@
+#pragma once
+// Sequential network container + the reference hotspot CNN architecture
+// (a scaled-down variant of the feature-tensor CNN of Yang et al.: two
+// conv blocks with pooling, then two fully connected layers over the
+// DCT tensor input).
+
+#include <memory>
+#include <vector>
+
+#include "lhd/nn/layers.hpp"
+#include "lhd/nn/loss.hpp"
+
+namespace lhd::nn {
+
+class Network {
+ public:
+  Network() = default;
+
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  /// Initialize all layer weights.
+  void init(Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training);
+
+  /// Backprop from dL/d(output); accumulates parameter gradients.
+  void backward(const Tensor& grad_output);
+
+  /// All trainable parameters across layers.
+  std::vector<Param> params();
+
+  /// Total number of trainable scalars.
+  std::size_t param_count();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// The hotspot-CNN used by the deep-learning detector. Input is the DCT
+/// feature tensor [channels, grid, grid] (grid must be divisible by 4).
+/// With batchnorm = true, each conv is followed by BatchNorm2d (an
+/// ablation-ready variant; the benchmarked default is without).
+Network make_hotspot_cnn(int in_channels, int grid, bool batchnorm = false);
+
+}  // namespace lhd::nn

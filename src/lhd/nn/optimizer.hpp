@@ -1,0 +1,44 @@
+#pragma once
+// First-order optimizers operating on Param handles (value + grad pairs).
+// step() consumes the accumulated gradients and zeroes them.
+
+#include <memory>
+#include <vector>
+
+#include "lhd/nn/layers.hpp"
+
+namespace lhd::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Bind the parameter set (allocates per-parameter state).
+  virtual void attach(std::vector<Param> params) = 0;
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  virtual void step() = 0;
+
+  virtual double learning_rate() const = 0;
+  virtual void set_learning_rate(double lr) = 0;
+};
+
+struct SgdConfig {
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+};
+
+std::unique_ptr<Optimizer> make_sgd(SgdConfig config = {});
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 1e-4;
+};
+
+std::unique_ptr<Optimizer> make_adam(AdamConfig config = {});
+
+}  // namespace lhd::nn

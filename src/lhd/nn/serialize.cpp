@@ -1,0 +1,68 @@
+#include "lhd/nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::nn {
+
+namespace {
+constexpr char kMagic[4] = {'L', 'H', 'D', 'N'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_weights(Network& net, std::ostream& out) {
+  out.write(kMagic, 4);
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  const auto params = net.params();
+  const auto count = static_cast<std::uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    const auto n = static_cast<std::uint64_t>(p.value->size());
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(p.value->data()),
+              static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  LHD_CHECK(out.good(), "weight write failed");
+}
+
+void load_weights(Network& net, std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  LHD_CHECK(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+            "not a lhd weight stream");
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  LHD_CHECK_MSG(version == kVersion, "unsupported weight version " << version);
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  const auto params = net.params();
+  LHD_CHECK_MSG(count == params.size(),
+                "parameter count mismatch: stream has "
+                    << count << ", network has " << params.size());
+  for (const auto& p : params) {
+    std::uint64_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    LHD_CHECK_MSG(in.good() && n == p.value->size(),
+                  "parameter size mismatch: stream has "
+                      << n << ", network wants " << p.value->size());
+    in.read(reinterpret_cast<char*>(p.value->data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    LHD_CHECK(in.good(), "truncated weight stream");
+  }
+}
+
+void save_weights_file(Network& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  LHD_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  save_weights(net, out);
+}
+
+void load_weights_file(Network& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  LHD_CHECK_MSG(in.good(), "cannot open " << path << " for reading");
+  load_weights(net, in);
+}
+
+}  // namespace lhd::nn

@@ -1,0 +1,24 @@
+#include "lhd/nn/tensor.hpp"
+
+namespace lhd::nn {
+
+Tensor::Tensor(std::vector<int> shape, float fill)
+    : shape_(std::move(shape)), data_(count(shape_), fill) {}
+
+void Tensor::reshape(std::vector<int> shape) {
+  LHD_CHECK_MSG(count(shape) == data_.size(),
+                "reshape size mismatch: " << count(shape) << " vs "
+                                          << data_.size());
+  shape_ = std::move(shape);
+}
+
+std::size_t Tensor::count(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (const int d : shape) {
+    LHD_CHECK(d > 0, "tensor dims must be positive");
+    n *= static_cast<std::size_t>(d);
+  }
+  return shape.empty() ? 0 : n;
+}
+
+}  // namespace lhd::nn

@@ -1,0 +1,50 @@
+#pragma once
+// Dense float tensor with dynamic shape (row-major). Deliberately minimal:
+// the layers below need shape bookkeeping and raw storage, nothing more.
+
+#include <initializer_list>
+#include <numeric>
+#include <vector>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape, float fill = 0.0f);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(std::size_t i) const {
+    LHD_CHECK(i < shape_.size(), "dim index out of range");
+    return shape_[i];
+  }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Change the shape without touching data (total size must match).
+  void reshape(std::vector<int> shape);
+
+  friend bool operator==(const Tensor&, const Tensor&) = default;
+
+  /// Total element count implied by a shape.
+  static std::size_t count(const std::vector<int>& shape);
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace lhd::nn

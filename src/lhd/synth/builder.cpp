@@ -1,0 +1,126 @@
+#include "lhd/synth/builder.hpp"
+
+#include <filesystem>
+
+#include "lhd/data/io.hpp"
+#include "lhd/gds/reader.hpp"
+#include "lhd/gds/writer.hpp"
+#include "lhd/synth/clip_gen.hpp"
+#include "lhd/util/log.hpp"
+#include "lhd/util/thread_pool.hpp"
+
+namespace lhd::synth {
+
+namespace {
+
+constexpr std::int16_t kLayer = 1;
+
+std::string clip_name(int i) { return "CLIP_" + std::to_string(i); }
+
+/// Push every clip through GDSII stream bytes and back — the same I/O path
+/// a real benchmark distribution would take — and return the re-parsed
+/// geometry.
+std::vector<std::vector<geom::Rect>> gds_roundtrip(
+    const std::vector<std::vector<geom::Rect>>& all, geom::Coord window_nm) {
+  gds::Library lib;
+  lib.name = "LHD_BENCH";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    gds::Structure& s = lib.add_structure(clip_name(static_cast<int>(i)));
+    for (const auto& r : all[i]) {
+      gds::Boundary b;
+      b.layer = kLayer;
+      b.polygon = geom::Polygon::from_rect(r);
+      s.elements.push_back(std::move(b));
+    }
+  }
+  (void)window_nm;
+  const auto bytes = gds::write_bytes(lib);
+  const gds::Library parsed = gds::read_bytes(bytes);
+  std::vector<std::vector<geom::Rect>> out(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    out[i] = parsed.flatten_layer(clip_name(static_cast<int>(i)), kLayer);
+  }
+  return out;
+}
+
+}  // namespace
+
+data::Dataset build_clips(const StyleConfig& style, int count,
+                          std::uint64_t seed, const std::string& name,
+                          const BuildOptions& options) {
+  LHD_CHECK(count >= 0, "negative clip count");
+  Rng master(seed);
+  std::vector<Rng> clip_rngs;
+  clip_rngs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) clip_rngs.push_back(master.fork());
+
+  // 1. Generate geometry (deterministic per clip).
+  std::vector<std::vector<geom::Rect>> geometry(
+      static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    geometry[static_cast<std::size_t>(i)] =
+        generate_clip(style, clip_rngs[static_cast<std::size_t>(i)]);
+  }
+
+  // 2. GDSII round-trip.
+  if (options.gds_roundtrip) {
+    geometry = gds_roundtrip(geometry, style.window_nm);
+  }
+
+  // 3. Label with the lithography oracle (parallel over clips).
+  const litho::HotspotOracle oracle(options.oracle);
+  const auto pixel_nm = static_cast<geom::Coord>(options.oracle.optics.pixel_nm);
+  std::vector<data::Label> labels(static_cast<std::size_t>(count),
+                                  data::Label::NonHotspot);
+  ThreadPool::global().parallel_for(0, static_cast<std::size_t>(count),
+                                    [&](std::size_t i) {
+    const auto mask =
+        geom::rasterize(geometry[i], style.window_nm, pixel_nm);
+    if (oracle.evaluate(mask).hotspot) labels[i] = data::Label::Hotspot;
+  });
+
+  // 4. Assemble.
+  data::Dataset ds(name);
+  ds.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    data::Clip c;
+    c.rects = std::move(geometry[static_cast<std::size_t>(i)]);
+    c.window_nm = style.window_nm;
+    c.label = labels[static_cast<std::size_t>(i)];
+    ds.add(std::move(c));
+  }
+  return ds;
+}
+
+BuiltSuite build_suite(const SuiteSpec& spec, const BuildOptions& options) {
+  namespace fs = std::filesystem;
+  std::string train_path, test_path;
+  if (!options.cache_dir.empty()) {
+    fs::create_directories(options.cache_dir);
+    train_path = options.cache_dir + "/" + spec.name + "_train.lhdd";
+    test_path = options.cache_dir + "/" + spec.name + "_test.lhdd";
+    if (fs::exists(train_path) && fs::exists(test_path)) {
+      LHD_LOG(Debug) << "suite " << spec.name << " loaded from cache";
+      return {data::load_dataset_file(train_path),
+              data::load_dataset_file(test_path)};
+    }
+  }
+
+  BuiltSuite built;
+  built.train = build_clips(spec.style, spec.n_train, spec.seed * 2 + 1,
+                            spec.name + "_train", options);
+  built.test = build_clips(spec.style, spec.n_test, spec.seed * 2 + 2,
+                           spec.name + "_test", options);
+  const auto ts = built.train.stats();
+  const auto vs = built.test.stats();
+  LHD_LOG(Info) << "built suite " << spec.name << ": train " << ts.total
+                << " clips (" << ts.hotspots << " hs), test " << vs.total
+                << " clips (" << vs.hotspots << " hs)";
+  if (!train_path.empty()) {
+    data::save_dataset_file(built.train, train_path);
+    data::save_dataset_file(built.test, test_path);
+  }
+  return built;
+}
+
+}  // namespace lhd::synth

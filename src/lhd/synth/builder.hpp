@@ -1,0 +1,35 @@
+#pragma once
+// Benchmark construction: generate clips, round-trip them through real
+// GDSII bytes, label them with the lithography oracle, and assemble
+// train/test datasets. Optionally caches built suites on disk.
+
+#include <string>
+
+#include "lhd/data/dataset.hpp"
+#include "lhd/litho/oracle.hpp"
+#include "lhd/synth/suites.hpp"
+
+namespace lhd::synth {
+
+struct BuildOptions {
+  litho::OracleConfig oracle;     ///< labeling model
+  bool gds_roundtrip = true;      ///< serialize+parse clips through GDSII
+  std::string cache_dir;          ///< if non-empty, cache datasets here
+};
+
+struct BuiltSuite {
+  data::Dataset train;
+  data::Dataset test;
+};
+
+/// Generate and label `count` clips with the given style. Deterministic in
+/// (style, seed, options.oracle).
+data::Dataset build_clips(const StyleConfig& style, int count,
+                          std::uint64_t seed, const std::string& name,
+                          const BuildOptions& options = {});
+
+/// Build a full suite (train + test). With cache_dir set, loads/saves
+/// "<cache_dir>/<suite>_{train,test}.lhdd".
+BuiltSuite build_suite(const SuiteSpec& spec, const BuildOptions& options = {});
+
+}  // namespace lhd::synth

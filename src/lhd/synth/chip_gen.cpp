@@ -1,0 +1,40 @@
+#include "lhd/synth/chip_gen.hpp"
+
+#include "lhd/geom/polygon.hpp"
+#include "lhd/synth/clip_gen.hpp"
+#include "lhd/util/check.hpp"
+
+namespace lhd::synth {
+
+gds::Library build_chip(const StyleConfig& style, int tiles_x, int tiles_y,
+                        std::uint64_t seed) {
+  LHD_CHECK(tiles_x > 0 && tiles_y > 0, "tile counts must be positive");
+  gds::Library lib;
+  lib.name = "LHD_CHIP";
+  Rng master(seed);
+
+  // Add TOP first so readers find it immediately; tiles follow. The
+  // reference stays valid: Library stores structures in a deque.
+  gds::Structure* top = &lib.add_structure("TOP");
+  for (int ty = 0; ty < tiles_y; ++ty) {
+    for (int tx = 0; tx < tiles_x; ++tx) {
+      Rng tile_rng = master.fork();
+      const std::string name =
+          "TILE_" + std::to_string(tx) + "_" + std::to_string(ty);
+      gds::Structure& s = lib.add_structure(name);
+      for (const auto& r : generate_clip(style, tile_rng)) {
+        gds::Boundary b;
+        b.layer = kChipLayer;
+        b.polygon = geom::Polygon::from_rect(r);
+        s.elements.push_back(std::move(b));
+      }
+      gds::SRef ref;
+      ref.structure = name;
+      ref.transform.origin = {tx * style.window_nm, ty * style.window_nm};
+      top->elements.push_back(std::move(ref));
+    }
+  }
+  return lib;
+}
+
+}  // namespace lhd::synth

@@ -1,0 +1,20 @@
+#pragma once
+// Full-chip synthesis: tile a large area with generated patterns and expose
+// it as a GDSII library (TOP structure with one SREF per tile). Feeds the
+// full-chip scanning experiments.
+
+#include "lhd/gds/model.hpp"
+#include "lhd/synth/style.hpp"
+#include "lhd/util/rng.hpp"
+
+namespace lhd::synth {
+
+/// Layer all chip shapes are placed on.
+inline constexpr std::int16_t kChipLayer = 1;
+
+/// Build a (tiles_x × tiles_y)-tile chip; each tile is one window_nm square
+/// of generated pattern, placed via SREF into the TOP structure.
+gds::Library build_chip(const StyleConfig& style, int tiles_x, int tiles_y,
+                        std::uint64_t seed);
+
+}  // namespace lhd::synth

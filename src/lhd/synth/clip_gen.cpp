@@ -1,0 +1,226 @@
+#include "lhd/synth/clip_gen.hpp"
+
+#include <algorithm>
+
+#include "lhd/geom/polygon.hpp"
+#include "lhd/synth/motifs.hpp"
+#include "lhd/util/check.hpp"
+
+namespace lhd::synth {
+
+using geom::Coord;
+using geom::Rect;
+
+namespace {
+
+constexpr Coord kGuard = 128;  ///< oversize margin around the clip window
+
+Coord snap(Coord v, Coord grid) { return v - (v % grid); }
+
+Coord pick(Rng& rng, Coord lo, Coord hi, Coord grid) {
+  return snap(static_cast<Coord>(rng.next_int(lo, hi)), grid);
+}
+
+/// Safe background dimensions only — all risk is concentrated in the
+/// centre site (the contest convention: the candidate defect is centred).
+struct Dims {
+  const StyleConfig& cfg;
+  Rng& rng;
+
+  Coord width() const {
+    return pick(rng, cfg.width_min, cfg.width_max, cfg.grid_nm);
+  }
+  Coord space() const {
+    return pick(rng, cfg.space_min, cfg.space_max, cfg.grid_nm);
+  }
+  Coord gap() const { return pick(rng, cfg.gap_min, cfg.gap_max, cfg.grid_nm); }
+  Coord via() const {
+    return pick(rng, cfg.via_size_min, cfg.via_size_max, cfg.grid_nm);
+  }
+};
+
+/// r minus box, emitted as up to 4 rects.
+void subtract_box(const Rect& r, const Rect& box, std::vector<Rect>& out) {
+  const Rect overlap = r.intersect(box);
+  if (overlap.empty()) {
+    out.push_back(r);
+    return;
+  }
+  if (r.ylo < overlap.ylo) out.emplace_back(r.xlo, r.ylo, r.xhi, overlap.ylo);
+  if (overlap.yhi < r.yhi) out.emplace_back(r.xlo, overlap.yhi, r.xhi, r.yhi);
+  if (r.xlo < overlap.xlo) {
+    out.emplace_back(r.xlo, overlap.ylo, overlap.xlo, overlap.yhi);
+  }
+  if (overlap.xhi < r.xhi) {
+    out.emplace_back(overlap.xhi, overlap.ylo, r.xhi, overlap.yhi);
+  }
+}
+
+void gen_tracks(const StyleConfig& cfg, Rng& rng, std::vector<Rect>& out) {
+  const Dims dims{cfg, rng};
+  const Coord lo = -kGuard;
+  const Coord hi = cfg.window_nm + kGuard;
+  Coord y = lo + static_cast<Coord>(rng.next_int(0, cfg.space_max));
+  Coord prev_y_bot = lo;
+  std::vector<std::pair<Coord, Coord>> prev_spans;
+
+  while (y < hi) {
+    const Coord w = dims.width();
+    Coord x = lo;
+    std::vector<std::pair<Coord, Coord>> spans;
+    if (rng.next_bool(cfg.p_break)) {
+      const int breaks = static_cast<int>(rng.next_int(1, 2));
+      for (int b = 0; b < breaks && x < hi; ++b) {
+        const Coord seg =
+            pick(rng, cfg.window_nm / 4, cfg.window_nm, cfg.grid_nm);
+        const Coord x1 = std::min(hi, x + seg);
+        if (x1 > x) spans.emplace_back(x, x1);
+        x = x1 + dims.gap();
+      }
+      if (x < hi) spans.emplace_back(x, hi);
+    } else {
+      spans.emplace_back(lo, hi);
+    }
+    for (const auto& [x0, x1] : spans) out.emplace_back(x0, y, x1, y + w);
+
+    // Jog: vertical connector to the previous track. The jog's x extent
+    // must land well inside a span of BOTH tracks, otherwise its free end
+    // would sit at an uncontrolled distance from a segment tip.
+    if (!prev_spans.empty() && rng.next_bool(cfg.p_jog) && !spans.empty()) {
+      const auto& [sx0, sx1] = spans[rng.next_below(spans.size())];
+      if (sx1 - sx0 > 4 * cfg.width_max) {
+        const Coord jw = dims.width();
+        const Coord jx = pick(rng, sx0 + cfg.width_max,
+                              sx1 - cfg.width_max - jw, cfg.grid_nm);
+        const bool inside_prev = std::any_of(
+            prev_spans.begin(), prev_spans.end(), [&](const auto& span) {
+              return jx - cfg.space_min >= span.first &&
+                     jx + jw + cfg.space_min <= span.second;
+            });
+        if (inside_prev) {
+          out.emplace_back(jx, prev_y_bot, jx + jw, y + w);
+        }
+      }
+    }
+
+    prev_y_bot = y;
+    prev_spans = std::move(spans);
+    y = y + w + dims.space();
+  }
+}
+
+void gen_serpentine(const StyleConfig& cfg, Rng& rng, std::vector<Rect>& out) {
+  const Dims dims{cfg, rng};
+  const int arms = static_cast<int>(
+      rng.next_int(cfg.serp_arms_min, cfg.serp_arms_max));
+  const Coord w = dims.width();
+  const Coord margin = static_cast<Coord>(rng.next_int(16, 96));
+  const Coord xl = margin;
+  const Coord xr = cfg.window_nm - margin;
+  Coord y = -kGuard + static_cast<Coord>(rng.next_int(0, cfg.space_max));
+  bool left_turn = rng.next_bool();
+
+  for (int a = 0; a < arms && y < cfg.window_nm + kGuard; ++a) {
+    out.emplace_back(xl - w, y, xr + w, y + w);
+    const Coord s = dims.space();
+    const Coord y_next = y + w + s;
+    if (a + 1 < arms) {
+      const Coord cx = left_turn ? xl - w : xr;
+      out.emplace_back(cx, y, cx + w, y_next + w);
+      left_turn = !left_turn;
+    }
+    y = y_next;
+  }
+}
+
+void gen_vias(const StyleConfig& cfg, Rng& rng, std::vector<Rect>& out) {
+  const Dims dims{cfg, rng};
+  const Coord pitch = cfg.via_size_max +
+                      pick(rng, cfg.space_min, cfg.space_max, cfg.grid_nm);
+  for (Coord gy = -kGuard; gy < cfg.window_nm + kGuard; gy += pitch) {
+    for (Coord gx = -kGuard; gx < cfg.window_nm + kGuard; gx += pitch) {
+      if (!rng.next_bool(cfg.via_fill)) continue;
+      const Coord v = dims.via();
+      // Jitter inside the cell, keeping >= space_min/2 clearance to the
+      // cell boundary so neighbouring vias never come closer than
+      // space_min regardless of their own jitter.
+      const Coord hi_j = pitch - v - cfg.space_min / 2;
+      const Coord lo_j = cfg.space_min / 2;
+      const Coord jx = lo_j >= hi_j
+                           ? lo_j
+                           : static_cast<Coord>(rng.next_int(lo_j, hi_j));
+      const Coord jy = lo_j >= hi_j
+                           ? lo_j
+                           : static_cast<Coord>(rng.next_int(lo_j, hi_j));
+      out.emplace_back(gx + jx, gy + jy, gx + jx + v, gy + jy + v);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Rect> generate_clip(const StyleConfig& cfg, Rng& rng) {
+  LHD_CHECK(cfg.window_nm > 0 && cfg.grid_nm > 0, "bad style dims");
+  LHD_CHECK(cfg.window_nm % cfg.grid_nm == 0, "grid must divide window");
+  LHD_CHECK(cfg.site_frame_nm > 0 &&
+                cfg.site_frame_nm + 2 * cfg.site_jitter_nm < cfg.window_nm,
+            "site frame too large for window");
+
+  // 1. Safe background.
+  std::vector<Rect> background;
+  switch (cfg.family) {
+    case PatternFamily::Tracks: gen_tracks(cfg, rng, background); break;
+    case PatternFamily::Serpentine: gen_serpentine(cfg, rng, background); break;
+    case PatternFamily::Vias: gen_vias(cfg, rng, background); break;
+  }
+
+  std::vector<Rect> shapes;
+  if (rng.next_bool(cfg.p_center_site)) {
+    // 2. Centre site: a motif instance, risky or near-critical-safe.
+    const auto& motifs = motifs_for(cfg.family);
+    const MotifKind kind = motifs[rng.next_below(motifs.size())];
+    const bool risky = rng.next_bool(cfg.p_risky_site);
+    const auto site = render_motif(kind, cfg, risky, cfg.site_frame_nm, rng);
+
+    const Coord jitter_x = static_cast<Coord>(
+        rng.next_int(-cfg.site_jitter_nm, cfg.site_jitter_nm));
+    const Coord jitter_y = static_cast<Coord>(
+        rng.next_int(-cfg.site_jitter_nm, cfg.site_jitter_nm));
+    const Coord origin_x = (cfg.window_nm - cfg.site_frame_nm) / 2 + jitter_x;
+    const Coord origin_y = (cfg.window_nm - cfg.site_frame_nm) / 2 + jitter_y;
+
+    // Carve the site box (plus moat) out of the background so background
+    // shapes never interact with the motif dimensions.
+    const Rect moat(origin_x - cfg.site_moat_nm, origin_y - cfg.site_moat_nm,
+                    origin_x + cfg.site_frame_nm + cfg.site_moat_nm,
+                    origin_y + cfg.site_frame_nm + cfg.site_moat_nm);
+    std::vector<Rect> carved;
+    for (const auto& r : background) subtract_box(r, moat, carved);
+    // Drop fragments that became so small they would not print reliably
+    // (e.g. a via half-cut by the moat) — they would inject label noise.
+    for (const auto& r : carved) {
+      const Coord short_side = std::min(r.width(), r.height());
+      const Coord long_side = std::max(r.width(), r.height());
+      // Keep only fragments that still print robustly on their own: at
+      // least a safe wire width across and several widths long (a compact
+      // near-square remnant behaves like an undersized via and would
+      // vanish at the defocus corner, injecting label noise).
+      if (short_side >= cfg.width_min && long_side >= 3 * cfg.width_min) {
+        shapes.push_back(r);
+      }
+    }
+    for (const auto& r : site) {
+      shapes.push_back(r.shifted(origin_x, origin_y));
+    }
+  } else {
+    shapes = std::move(background);
+  }
+
+  // Random whole-clip diagonal reflection so both orientations appear.
+  if (rng.next_bool(cfg.p_vertical)) {
+    for (auto& r : shapes) r = Rect(r.ylo, r.xlo, r.yhi, r.xhi);
+  }
+  return geom::clip_rects(shapes, Rect(0, 0, cfg.window_nm, cfg.window_nm));
+}
+
+}  // namespace lhd::synth

@@ -1,0 +1,18 @@
+#pragma once
+// Random Manhattan layout generation for a single clip window.
+
+#include <vector>
+
+#include "lhd/geom/rect.hpp"
+#include "lhd/synth/style.hpp"
+#include "lhd/util/rng.hpp"
+
+namespace lhd::synth {
+
+/// Generate one clip's geometry. Shapes are drawn over an oversized frame
+/// (guard band on every side) and then clipped to [0, window_nm)^2, so the
+/// clip boundary cuts through shapes the way a real layout window does.
+/// The result is deterministic in (config, rng state).
+std::vector<geom::Rect> generate_clip(const StyleConfig& config, Rng& rng);
+
+}  // namespace lhd::synth

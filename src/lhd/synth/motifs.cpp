@@ -1,0 +1,231 @@
+#include "lhd/synth/motifs.hpp"
+
+#include <algorithm>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::synth {
+
+using geom::Coord;
+using geom::Rect;
+
+namespace {
+
+Coord snap(Coord v, Coord grid) { return v - (v % grid); }
+
+Coord pick(Rng& rng, Coord lo, Coord hi, Coord grid) {
+  return snap(static_cast<Coord>(rng.next_int(lo, hi)), grid);
+}
+
+/// Dimension pickers. "Safe" variants use the tight end of the safe range
+/// so safe sites still *look* similar to risky ones — the classifier has to
+/// resolve the actual dimensions, not just detect that a motif is present.
+struct MotifDims {
+  const StyleConfig& s;
+  Rng& rng;
+
+  Coord width() const { return pick(rng, s.width_min, s.width_min + 20, s.grid_nm); }
+  Coord space(bool risky) const {
+    return risky ? pick(rng, s.risky_space_min, s.risky_space_max, s.grid_nm)
+                 : pick(rng, s.space_min, s.space_min + 24, s.grid_nm);
+  }
+  Coord neck(bool risky) const {
+    return risky ? pick(rng, s.risky_width_min, s.risky_width_max, s.grid_nm)
+                 : pick(rng, s.width_min, s.width_min + 16, s.grid_nm);
+  }
+  Coord via(bool risky) const {
+    return risky ? pick(rng, s.risky_via_min, s.risky_via_max, s.grid_nm)
+                 : pick(rng, s.via_size_min, s.via_size_min + 20, s.grid_nm);
+  }
+};
+
+void parallel_run(const StyleConfig& s, bool risky, Coord f, Rng& rng,
+                  std::vector<Rect>& out) {
+  const MotifDims d{s, rng};
+  const Coord w1 = d.width();
+  const Coord w2 = d.width();
+  const Coord sp = d.space(risky);
+  const Coord len = pick(rng, 3 * f / 4, f, s.grid_nm);
+  const Coord x0 = (f - len) / 2;
+  const Coord cy = f / 2;
+  out.emplace_back(x0, cy - sp / 2 - w1, x0 + len, cy - sp / 2);
+  out.emplace_back(x0, cy + sp - sp / 2, x0 + len, cy + sp - sp / 2 + w2);
+}
+
+void tip_to_tip(const StyleConfig& s, bool risky, Coord f, Rng& rng,
+                std::vector<Rect>& out) {
+  const MotifDims d{s, rng};
+  const Coord w = d.width();
+  // Tip-to-tip needs a much tighter gap than parallel-run to actually
+  // bridge (only two short edges face each other). The risky range is
+  // calibrated against the default optics: gaps <= ~18 nm bridge at the
+  // dose+ corner, >= ~28 nm never do.
+  const Coord g = risky ? pick(rng, 12, 18, s.grid_nm)
+                        : pick(rng, s.space_min, s.space_min + 24, s.grid_nm);
+  const Coord cy = f / 2;
+  out.emplace_back(0, cy - w / 2, f / 2 - g / 2, cy + w - w / 2);
+  out.emplace_back(f / 2 + g - g / 2, cy - w / 2, f, cy + w - w / 2);
+}
+
+void tip_to_line(const StyleConfig& s, bool risky, Coord f, Rng& rng,
+                 std::vector<Rect>& out) {
+  const MotifDims d{s, rng};
+  const Coord w = d.width();
+  const Coord wv = d.width();
+  // Line-end to line-side bridges up to wider gaps than tip-to-tip (the
+  // facing line contributes a full edge): <= ~26 nm fails reliably.
+  const Coord g = risky ? pick(rng, 18, 26, s.grid_nm) : d.space(false);
+  const Coord cy = f / 2;
+  // Horizontal bar ends at the gap; vertical line crosses the full frame.
+  out.emplace_back(0, cy - w / 2, f / 2 - g / 2, cy + w - w / 2);
+  const Coord vx = f / 2 - g / 2 + g;
+  out.emplace_back(vx, 0, vx + wv, f);
+}
+
+void narrow_neck(const StyleConfig& s, bool risky, Coord f, Rng& rng,
+                 std::vector<Rect>& out) {
+  const MotifDims d{s, rng};
+  const Coord w = pick(rng, s.width_min + 8, s.width_max, s.grid_nm);
+  const Coord wn = d.neck(risky);
+  const Coord neck_len = pick(rng, 120, 220, s.grid_nm);
+  const Coord cy = f / 2;
+  const Coord nx0 = (f - neck_len) / 2;
+  // Wide-neck-wide wire across the frame, all sharing a centreline.
+  out.emplace_back(0, cy - w / 2, nx0, cy + w - w / 2);
+  out.emplace_back(nx0, cy - wn / 2, nx0 + neck_len, cy + wn - wn / 2);
+  out.emplace_back(nx0 + neck_len, cy - w / 2, f, cy + w - w / 2);
+}
+
+void corner_pair(const StyleConfig& s, bool risky, Coord f, Rng& rng,
+                 std::vector<Rect>& out) {
+  // Corner-to-corner spacing alone never bridges under the default optics
+  // (convex corners pull back); the realistic corner hotspot is a *pinch*
+  // of narrow L-legs, so the risky variant narrows the legs instead.
+  const MotifDims d{s, rng};
+  // Narrow L-legs pinch reliably below ~32 nm (the corner junction adds
+  // intensity, so the plain neck range is not narrow enough).
+  const Coord w = risky ? pick(rng, 24, 32, s.grid_nm) : d.width();
+  const Coord sp = d.space(false);
+  const Coord c = f / 2;
+  // L from the lower-left, its inner corner at (c - sp/2, c - sp/2).
+  const Coord ax = c - sp / 2;
+  const Coord ay = c - sp / 2;
+  out.emplace_back(0, ay - w, ax, ay);             // horizontal leg
+  out.emplace_back(ax - w, 0, ax, ay);             // vertical leg
+  // Mirrored L from the upper-right, inner corner at (c + sp - sp/2, ...).
+  const Coord bx = ax + sp;
+  const Coord by = ay + sp;
+  out.emplace_back(bx, by, f, by + w);             // horizontal leg
+  out.emplace_back(bx, by, bx + w, f);             // vertical leg
+}
+
+void via_pair(const StyleConfig& s, bool risky, Coord f, Rng& rng,
+              std::vector<Rect>& out) {
+  const MotifDims d{s, rng};
+  const Coord v1 = d.via(false);
+  const Coord v2 = d.via(false);
+  // Via-to-via bridging: <= ~32 nm fails reliably, >= ~36 nm never does.
+  const Coord sp = risky ? pick(rng, 22, 32, s.grid_nm) : d.space(false);
+  const Coord cy = f / 2;
+  const Coord total = v1 + sp + v2;
+  const Coord x0 = (f - total) / 2;
+  out.emplace_back(x0, cy - v1 / 2, x0 + v1, cy + v1 - v1 / 2);
+  out.emplace_back(x0 + v1 + sp, cy - v2 / 2, x0 + v1 + sp + v2,
+                   cy + v2 - v2 / 2);
+}
+
+void small_via(const StyleConfig& s, bool risky, Coord f, Rng& rng,
+               std::vector<Rect>& out) {
+  const MotifDims d{s, rng};
+  const Coord v = d.via(risky);
+  const Coord c = f / 2;
+  out.emplace_back(c - v / 2, c - v / 2, c + v - v / 2, c + v - v / 2);
+  // Landing stub so the via is not floating in empty field. The risky
+  // variant is always isolated: an undersized via with an attached wire
+  // keeps printed connectivity through the wire, which the open-circuit
+  // oracle rightly does not flag.
+  if (!risky && rng.next_bool(0.5)) {
+    const Coord w = d.width();
+    out.emplace_back(c + v - v / 2, c - w / 2, f, c + w - w / 2);
+  }
+}
+
+void comb_fingers(const StyleConfig& s, bool risky, Coord f, Rng& rng,
+                  std::vector<Rect>& out) {
+  const MotifDims d{s, rng};
+  const Coord w = d.width();
+  const Coord sp = d.space(risky);
+  const Coord pitch = w + sp;
+  const Coord total = 3 * w + 2 * sp;
+  const Coord x0 = (f - total) / 2;
+  // Three vertical fingers; middle finger attaches to the opposite rail.
+  for (int i = 0; i < 3; ++i) {
+    const Coord fx = x0 + i * pitch;
+    if (i == 1) {
+      out.emplace_back(fx, f / 8, fx + w, f);  // from the top rail
+    } else {
+      out.emplace_back(fx, 0, fx + w, f - f / 8);  // from the bottom rail
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<MotifKind>& motifs_for(PatternFamily family) {
+  static const std::vector<MotifKind> tracks = {
+      MotifKind::ParallelRun, MotifKind::TipToTip, MotifKind::TipToLine,
+      MotifKind::NarrowNeck, MotifKind::CornerPair};
+  static const std::vector<MotifKind> serp = {
+      MotifKind::CombFingers, MotifKind::ParallelRun, MotifKind::NarrowNeck};
+  static const std::vector<MotifKind> vias = {
+      MotifKind::ViaPair, MotifKind::SmallVia, MotifKind::TipToTip};
+  switch (family) {
+    case PatternFamily::Tracks: return tracks;
+    case PatternFamily::Serpentine: return serp;
+    case PatternFamily::Vias: return vias;
+  }
+  return tracks;
+}
+
+const char* motif_name(MotifKind kind) {
+  switch (kind) {
+    case MotifKind::ParallelRun: return "parallel-run";
+    case MotifKind::TipToTip: return "tip-to-tip";
+    case MotifKind::TipToLine: return "tip-to-line";
+    case MotifKind::NarrowNeck: return "narrow-neck";
+    case MotifKind::CornerPair: return "corner-pair";
+    case MotifKind::ViaPair: return "via-pair";
+    case MotifKind::SmallVia: return "small-via";
+    case MotifKind::CombFingers: return "comb-fingers";
+  }
+  return "unknown";
+}
+
+std::vector<Rect> render_motif(MotifKind kind, const StyleConfig& style,
+                               bool risky, Coord frame_nm, Rng& rng) {
+  LHD_CHECK(frame_nm > 0, "frame must be positive");
+  std::vector<Rect> out;
+  switch (kind) {
+    case MotifKind::ParallelRun: parallel_run(style, risky, frame_nm, rng, out); break;
+    case MotifKind::TipToTip: tip_to_tip(style, risky, frame_nm, rng, out); break;
+    case MotifKind::TipToLine: tip_to_line(style, risky, frame_nm, rng, out); break;
+    case MotifKind::NarrowNeck: narrow_neck(style, risky, frame_nm, rng, out); break;
+    case MotifKind::CornerPair: corner_pair(style, risky, frame_nm, rng, out); break;
+    case MotifKind::ViaPair: via_pair(style, risky, frame_nm, rng, out); break;
+    case MotifKind::SmallVia: small_via(style, risky, frame_nm, rng, out); break;
+    case MotifKind::CombFingers: comb_fingers(style, risky, frame_nm, rng, out); break;
+  }
+  // Random symmetry within the frame so each motif appears in all
+  // orientations.
+  const bool fx = rng.next_bool();
+  const bool fy = rng.next_bool();
+  const bool rot = rng.next_bool();
+  for (auto& r : out) {
+    if (fx) r = Rect(frame_nm - r.xhi, r.ylo, frame_nm - r.xlo, r.yhi);
+    if (fy) r = Rect(r.xlo, frame_nm - r.yhi, r.xhi, frame_nm - r.ylo);
+    if (rot) r = Rect(r.ylo, r.xlo, r.yhi, r.xhi);
+  }
+  return out;
+}
+
+}  // namespace lhd::synth

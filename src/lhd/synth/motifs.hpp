@@ -1,0 +1,45 @@
+#pragma once
+// Parameterized layout motifs — the recurring local configurations that
+// real hotspot benchmarks are built from. Contest clips were produced by
+// centring a window on a pattern-match candidate site and labeling it by
+// lithography simulation; hotspots therefore cluster into a small number
+// of recurring motif families with dimensional jitter. This module
+// reproduces that structure: each motif renders a site pattern in a local
+// frame with dimensions drawn from either a "risky" range (straddling the
+// optical model's failure boundary) or a "safe" range (comfortably
+// printable), so the oracle decides the final label.
+
+#include <string>
+#include <vector>
+
+#include "lhd/geom/rect.hpp"
+#include "lhd/synth/style.hpp"
+#include "lhd/util/rng.hpp"
+
+namespace lhd::synth {
+
+enum class MotifKind {
+  ParallelRun,   ///< two long parallel wires at close spacing (bridge site)
+  TipToTip,      ///< two collinear line ends facing across a gap
+  TipToLine,     ///< a line end facing the side of a perpendicular line
+  NarrowNeck,    ///< a wire necked down in the middle (pinch site)
+  CornerPair,    ///< two L-corners back to back (corner rounding bridge)
+  ViaPair,       ///< two vias at close spacing
+  SmallVia,      ///< an undersized isolated via (open/pinch site)
+  CombFingers,   ///< three interdigitated fingers (serpentine bridge)
+};
+
+/// Motifs applicable to a pattern family.
+const std::vector<MotifKind>& motifs_for(PatternFamily family);
+
+const char* motif_name(MotifKind kind);
+
+/// Render one motif instance centred in a `frame_nm` × `frame_nm` local
+/// frame. `risky` selects the dimension regime (risky straddles the
+/// process-window failure boundary; safe stays clear of it). Dimension
+/// ranges come from `style`. The caller translates/orients the result.
+std::vector<geom::Rect> render_motif(MotifKind kind, const StyleConfig& style,
+                                     bool risky, geom::Coord frame_nm,
+                                     Rng& rng);
+
+}  // namespace lhd::synth

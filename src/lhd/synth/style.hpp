@@ -1,0 +1,67 @@
+#pragma once
+// Knobs controlling the synthetic layout generator. Each benchmark suite
+// (B1–B5) is one StyleConfig instance; the generator itself is shared.
+//
+// Dimensions are calibrated against the optical model in lhd::litho with
+// its defaults (sigma_main = 28 nm, threshold 0.5):
+//   * isolated line widths below ~48 nm risk pinching at the dose-/defocus
+//     corners;
+//   * parallel-run spaces below ~46 nm risk bridging at the dose+ corner.
+// "Safe" dimension ranges sit above those critical values; the generator
+// dips into the "risky" ranges with probability p_risky_* per decision, so
+// hotspot density is a smooth function of the knobs.
+
+#include <cstdint>
+
+#include "lhd/geom/point.hpp"
+
+namespace lhd::synth {
+
+enum class PatternFamily {
+  Tracks,      ///< parallel routed tracks with breaks and jogs (metal layer)
+  Serpentine,  ///< comb / serpentine test structures
+  Vias,        ///< via arrays with landing pads and connecting stubs
+};
+
+struct StyleConfig {
+  PatternFamily family = PatternFamily::Tracks;
+
+  geom::Coord window_nm = 1024;  ///< clip side
+  geom::Coord grid_nm = 2;       ///< all dimensions snap to this grid
+
+  /// Clips are built the way the contest built them: a safe routed
+  /// background plus a central *site* rendered from a motif library (see
+  /// lhd/synth/motifs.hpp). The site either uses risky dimensions (which
+  /// usually — but not always — fail lithography, so the oracle decides
+  /// the label) or near-critical safe dimensions (hard negatives).
+  double p_center_site = 0.95;   ///< chance the clip has a centre site at all
+  double p_risky_site = 0.30;    ///< chance the site uses risky dimensions
+  geom::Coord site_frame_nm = 384;   ///< motif frame side
+  geom::Coord site_jitter_nm = 16;   ///< random offset of the site centre
+  geom::Coord site_moat_nm = 56;     ///< clearance between site and background
+
+  // Safe dimension ranges.
+  geom::Coord width_min = 52, width_max = 76;   ///< wire widths
+  geom::Coord space_min = 52, space_max = 92;   ///< track-to-track spaces
+
+  // Risky (hotspot-prone) dimension ranges used by the motif library.
+  geom::Coord risky_width_min = 28, risky_width_max = 40;
+  geom::Coord risky_space_min = 24, risky_space_max = 36;
+
+  // Track segmentation / topology (Tracks family).
+  double p_break = 0.35;             ///< chance a track is split into segments
+  geom::Coord gap_min = 60, gap_max = 200;  ///< end-to-end gap range
+  double p_jog = 0.25;               ///< vertical connector between tracks
+  double p_vertical = 0.5;           ///< chance the whole clip is rotated 90°
+
+  // Serpentine family.
+  int serp_arms_min = 4, serp_arms_max = 8;
+
+  // Vias family. Isolated squares need ~88 nm to print robustly under the
+  // default optics (2-D corner rounding is stronger than 1-D line loss).
+  geom::Coord via_size_min = 84, via_size_max = 120;
+  geom::Coord risky_via_min = 48, risky_via_max = 64;
+  double via_fill = 0.35;            ///< fraction of via grid sites populated
+};
+
+}  // namespace lhd::synth

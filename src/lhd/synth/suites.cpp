@@ -1,0 +1,92 @@
+#include "lhd/synth/suites.hpp"
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::synth {
+
+namespace {
+
+std::vector<SuiteSpec> make_suites() {
+  std::vector<SuiteSpec> suites;
+
+  {
+    SuiteSpec s;
+    s.name = "B1";
+    s.description = "dense parallel metal tracks, moderate risk";
+    s.style.family = PatternFamily::Tracks;
+    s.style.p_risky_site = 0.20;
+    s.style.p_break = 0.30;
+    s.style.p_jog = 0.20;
+    s.n_train = 500;
+    s.n_test = 500;
+    s.seed = 0xB1;
+    suites.push_back(s);
+  }
+  {
+    SuiteSpec s;
+    s.name = "B2";
+    s.description = "jogged mixed-orientation routing, high risk";
+    s.style.family = PatternFamily::Tracks;
+    s.style.p_risky_site = 0.32;
+    s.style.p_break = 0.5;
+    s.style.p_jog = 0.4;
+    s.style.space_min = 48;
+    s.style.space_max = 76;
+    s.n_train = 500;
+    s.n_test = 500;
+    s.seed = 0xB2;
+    suites.push_back(s);
+  }
+  {
+    SuiteSpec s;
+    s.name = "B3";
+    s.description = "serpentine / comb test structures";
+    s.style.family = PatternFamily::Serpentine;
+    s.style.p_risky_site = 0.28;
+    s.n_train = 400;
+    s.n_test = 400;
+    s.seed = 0xB3;
+    suites.push_back(s);
+  }
+  {
+    SuiteSpec s;
+    s.name = "B4";
+    s.description = "via arrays with landing stubs";
+    s.style.family = PatternFamily::Vias;
+    s.style.p_risky_site = 0.30;
+    s.n_train = 500;
+    s.n_test = 500;
+    s.seed = 0xB4;
+    suites.push_back(s);
+  }
+  {
+    SuiteSpec s;
+    s.name = "B5";
+    s.description = "conservative tracks, rare hotspots (heavy imbalance)";
+    s.style.family = PatternFamily::Tracks;
+    s.style.p_risky_site = 0.03;
+    s.style.p_break = 0.35;
+    s.style.p_jog = 0.25;
+    s.n_train = 600;
+    s.n_test = 1000;
+    s.seed = 0xB5;
+    suites.push_back(s);
+  }
+  return suites;
+}
+
+}  // namespace
+
+const std::vector<SuiteSpec>& benchmark_suites() {
+  static const std::vector<SuiteSpec> suites = make_suites();
+  return suites;
+}
+
+const SuiteSpec& suite_by_name(const std::string& name) {
+  for (const auto& s : benchmark_suites()) {
+    if (s.name == name) return s;
+  }
+  throw Error("unknown benchmark suite: " + name);
+}
+
+}  // namespace lhd::synth

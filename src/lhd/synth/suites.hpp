@@ -1,0 +1,28 @@
+#pragma once
+// The five benchmark suites B1–B5, mirroring the structure of the ICCAD
+// 2012 contest set: different pattern families, densities, and imbalance
+// levels, each with fixed train/test sizes and a fixed seed.
+
+#include <string>
+#include <vector>
+
+#include "lhd/synth/style.hpp"
+
+namespace lhd::synth {
+
+struct SuiteSpec {
+  std::string name;
+  std::string description;
+  StyleConfig style;
+  int n_train = 0;
+  int n_test = 0;
+  std::uint64_t seed = 0;
+};
+
+/// All five suites in order (B1..B5).
+const std::vector<SuiteSpec>& benchmark_suites();
+
+/// Look up a suite by name ("B1".."B5"); throws lhd::Error if unknown.
+const SuiteSpec& suite_by_name(const std::string& name);
+
+}  // namespace lhd::synth

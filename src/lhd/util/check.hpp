@@ -1,0 +1,50 @@
+#pragma once
+// Precondition / invariant checking.
+//
+// LHD_CHECK(cond, msg...) throws lhd::Error on violation; it is active in all
+// build types because the costs here are negligible next to the numerical
+// kernels, and a hard failure with context beats silent corruption.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lhd {
+
+/// Base error type for all lhd failures (bad arguments, parse errors,
+/// violated invariants). Derives from std::runtime_error so callers may
+/// catch either.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace lhd
+
+#define LHD_CHECK(cond, ...)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::lhd::detail::check_failed(#cond, __FILE__, __LINE__,              \
+                                  ::std::string(__VA_ARGS__));            \
+    }                                                                     \
+  } while (false)
+
+#define LHD_CHECK_MSG(cond, stream_expr)                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::std::ostringstream lhd_check_os_;                                 \
+      lhd_check_os_ << stream_expr;                                       \
+      ::lhd::detail::check_failed(#cond, __FILE__, __LINE__,              \
+                                  lhd_check_os_.str());                   \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,33 @@
+#pragma once
+// Tiny --flag=value command-line parser for examples and bench harnesses.
+//
+//   lhd::Cli cli(argc, argv);
+//   const int epochs = cli.get_int("epochs", 20);
+//   const std::string suite = cli.get_string("suite", "B2");
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace lhd {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& def = "") const;
+  long long get_int(const std::string& name, long long def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace lhd

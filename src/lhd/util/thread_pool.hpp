@@ -1,0 +1,51 @@
+#pragma once
+// Fixed-size worker pool with a parallel_for convenience wrapper.
+//
+// The labeling and feature-extraction stages are embarrassingly parallel
+// over clips; on a single-core host the pool degenerates gracefully (the
+// caller thread executes chunks directly when the pool has one worker).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lhd {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue an arbitrary task; the future resolves when it has run.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for every i in [begin, end), blocking until all complete.
+  /// Work is split into roughly 4x#workers contiguous chunks.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace lhd

@@ -1,0 +1,435 @@
+// Tests for lhd/core: metrics, detector adapters, factory, pipeline,
+// threshold sweep, chip index + scanning.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "lhd/core/cnn_detector.hpp"
+#include "lhd/core/ensemble.hpp"
+#include "lhd/core/factory.hpp"
+#include "lhd/core/pipeline.hpp"
+#include "lhd/core/scan.hpp"
+#include "lhd/core/shallow_detector.hpp"
+#include "lhd/ml/naive_bayes.hpp"
+#include "lhd/synth/chip_gen.hpp"
+
+namespace lhd::core {
+namespace {
+
+using geom::Rect;
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(Metrics, ConfusionDerivedRates) {
+  Confusion c;
+  c.tp = 8;
+  c.fn = 2;
+  c.fp = 5;
+  c.tn = 85;
+  EXPECT_EQ(c.total(), 100u);
+  EXPECT_EQ(c.hotspots(), 10u);
+  EXPECT_EQ(c.alarms(), 13u);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.8);
+  EXPECT_DOUBLE_EQ(c.false_alarm_rate(), 5.0 / 90.0);
+  EXPECT_DOUBLE_EQ(c.precision(), 8.0 / 13.0);
+  EXPECT_DOUBLE_EQ(c.overall_accuracy(), 0.93);
+  EXPECT_GT(c.f1(), 0.6);
+  EXPECT_LT(c.f1(), 0.8);
+}
+
+TEST(Metrics, DegenerateCasesDoNotDivideByZero) {
+  Confusion none;
+  EXPECT_DOUBLE_EQ(none.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(none.false_alarm_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(none.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(none.overall_accuracy(), 0.0);
+}
+
+TEST(Metrics, EvaluateCountsAgainstLabels) {
+  data::Dataset ds;
+  for (int i = 0; i < 4; ++i) {
+    data::Clip c;
+    c.label = i < 2 ? data::Label::Hotspot : data::Label::NonHotspot;
+    ds.add(std::move(c));
+  }
+  const auto c = evaluate({true, false, true, false}, ds);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 1u);
+}
+
+TEST(Metrics, EvaluateSizeMismatchThrows) {
+  data::Dataset ds;
+  data::Clip c;
+  ds.add(std::move(c));
+  EXPECT_THROW(evaluate({true, false}, ds), Error);
+}
+
+TEST(Metrics, OdstPricesAlarms) {
+  Confusion c;
+  c.tp = 3;
+  c.fp = 7;
+  EXPECT_DOUBLE_EQ(odst_seconds(c, 2.0, 0.5), 2.0 + 10 * 0.5);
+  EXPECT_DOUBLE_EQ(full_simulation_seconds(100, 0.5), 50.0);
+}
+
+// --------------------------------------------------------------- factory --
+
+TEST(Factory, AllKindsConstruct) {
+  for (const auto& kind : all_detector_kinds()) {
+    EXPECT_NO_THROW({ auto det = make_detector(kind); }) << kind;
+  }
+}
+
+TEST(Factory, UnknownKindThrows) {
+  EXPECT_THROW(make_detector("quantum"), Error);
+}
+
+TEST(Factory, HeadlineKindsAreSubsetOfAll) {
+  const auto& all = all_detector_kinds();
+  for (const auto& kind : headline_detector_kinds()) {
+    EXPECT_NE(std::find(all.begin(), all.end(), kind), all.end()) << kind;
+  }
+}
+
+TEST(Factory, NamesAreStable) {
+  EXPECT_EQ(make_detector("pm")->name(), "pattern-match");
+  EXPECT_EQ(make_detector("svm")->name(), "linear-svm");
+  EXPECT_EQ(make_detector("cnn")->name(), "cnn");
+}
+
+// ------------------------------------------------- tiny synthetic suites --
+
+synth::BuiltSuite tiny_suite(int n_train = 60, int n_test = 40) {
+  synth::SuiteSpec spec = synth::suite_by_name("B2");
+  spec.n_train = n_train;
+  spec.n_test = n_test;
+  return synth::build_suite(spec, {});
+}
+
+TEST(ShallowDetector, TrainsAndBeatsChanceOnTinySuite) {
+  const auto suite = tiny_suite();
+  ShallowDetectorConfig cfg;
+  cfg.augment_factor = 2;
+  ShallowDetector det("nb", feature::make_density_extractor(),
+                      std::make_unique<ml::GaussianNaiveBayes>(), cfg);
+  det.train(suite.train);
+  const auto c = evaluate(det.predict_all(suite.test), suite.test);
+  // Weak learner, tiny data — just demand better-than-random behaviour.
+  EXPECT_GT(c.accuracy() + (1.0 - c.false_alarm_rate()), 1.0);
+}
+
+TEST(ShallowDetector, PcaPipelineRuns) {
+  const auto suite = tiny_suite(40, 20);
+  ShallowDetectorConfig cfg;
+  cfg.pca_components = 8;
+  cfg.augment_factor = 1;
+  ShallowDetector det("nb-pca", feature::make_density_extractor(),
+                      std::make_unique<ml::GaussianNaiveBayes>(), cfg);
+  det.train(suite.train);
+  EXPECT_EQ(det.predict_all(suite.test).size(), suite.test.size());
+}
+
+TEST(ShallowDetector, EmptyTrainingThrows) {
+  ShallowDetector det("nb", feature::make_density_extractor(),
+                      std::make_unique<ml::GaussianNaiveBayes>(), {});
+  EXPECT_THROW(det.train(data::Dataset{}), Error);
+}
+
+TEST(CnnDetector, TinyTrainingRunGoesThroughAllModes) {
+  const auto suite = tiny_suite(40, 20);
+  for (const auto mode : {CnnTrainMode::Plain, CnnTrainMode::Biased,
+                          CnnTrainMode::BatchBiased}) {
+    CnnDetectorConfig cfg;
+    cfg.mode = mode;
+    cfg.train.epochs = 2;
+    cfg.bias_epochs = 1;
+    cfg.epochs_per_stage = 1;
+    cfg.lambda_schedule = {0.2};
+    cfg.augment_factor = 1;
+    CnnDetector det("cnn-tiny", cfg);
+    det.train(suite.train);
+    EXPECT_FALSE(det.history().empty());
+    const auto preds = det.predict_all(suite.test);
+    EXPECT_EQ(preds.size(), suite.test.size());
+    // predict_all must agree with per-clip predict.
+    for (std::size_t i = 0; i < suite.test.size(); ++i) {
+      EXPECT_EQ(preds[i], det.predict(suite.test[i]));
+    }
+  }
+}
+
+TEST(CnnDetector, SaveLoadRoundTrip) {
+  namespace fs = std::filesystem;
+  const auto suite = tiny_suite(30, 10);
+  CnnDetectorConfig cfg;
+  cfg.train.epochs = 2;
+  cfg.augment_factor = 1;
+  CnnDetector det("cnn-io", cfg);
+  det.train(suite.train);
+  const auto path =
+      (fs::temp_directory_path() / "lhd_test_cnn.weights").string();
+  det.save(path);
+  CnnDetector loaded("cnn-io2", cfg);
+  loaded.load(path);
+  for (std::size_t i = 0; i < suite.test.size(); ++i) {
+    EXPECT_NEAR(det.probability(suite.test[i]),
+                loaded.probability(suite.test[i]), 1e-5);
+  }
+  fs::remove(path);
+}
+
+// --------------------------------------------------------------- pipeline --
+
+TEST(Pipeline, RunExperimentFillsAllFields) {
+  const auto suite = tiny_suite(50, 30);
+  auto det = make_detector("nb");
+  const auto r = run_experiment(*det, suite, "tiny", 0.01);
+  EXPECT_EQ(r.detector, "naive-bayes");
+  EXPECT_EQ(r.suite, "tiny");
+  EXPECT_EQ(r.confusion.total(), 30u);
+  EXPECT_GT(r.train_seconds, 0.0);
+  EXPECT_GT(r.test_seconds, 0.0);
+  EXPECT_GE(r.odst, r.test_seconds);
+  EXPECT_DOUBLE_EQ(r.full_sim, 0.3);
+  EXPECT_GT(r.speedup, 0.0);
+}
+
+TEST(Pipeline, ThresholdSweepIsMonotoneInAlarms) {
+  const auto suite = tiny_suite(50, 40);
+  auto det = make_detector("logreg");
+  det->train(suite.train);
+  const std::vector<float> thresholds = {-5.0f, -1.0f, 0.0f, 1.0f, 5.0f};
+  const auto sweep = threshold_sweep(*det, suite.test, thresholds);
+  ASSERT_EQ(sweep.size(), thresholds.size());
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].confusion.alarms(), sweep[i - 1].confusion.alarms());
+  }
+}
+
+TEST(Pipeline, ThresholdSweepRestoresThreshold) {
+  const auto suite = tiny_suite(30, 10);
+  auto det = make_detector("nb");
+  det->train(suite.train);
+  det->set_threshold(0.25f);
+  threshold_sweep(*det, suite.test, {-1.0f, 1.0f});
+  EXPECT_FLOAT_EQ(det->threshold(), 0.25f);
+}
+
+// -------------------------------------------------------------- chip index --
+
+TEST(ChipIndex, QueryMatchesBruteForce) {
+  Rng rng(3);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 300; ++i) {
+    const auto x = static_cast<geom::Coord>(rng.next_int(0, 8000));
+    const auto y = static_cast<geom::Coord>(rng.next_int(0, 8000));
+    const auto w = static_cast<geom::Coord>(rng.next_int(20, 400));
+    const auto h = static_cast<geom::Coord>(rng.next_int(20, 400));
+    rects.emplace_back(x, y, x + w, y + h);
+  }
+  const ChipIndex index(rects);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto x = static_cast<geom::Coord>(rng.next_int(0, 7000));
+    const auto y = static_cast<geom::Coord>(rng.next_int(0, 7000));
+    const Rect window(x, y, x + 1024, y + 1024);
+    auto got = index.query(window);
+    auto expected = geom::clip_rects(rects, window);
+    auto key = [](const Rect& r) {
+      return std::tuple(r.xlo, r.ylo, r.xhi, r.yhi);
+    };
+    std::sort(got.begin(), got.end(),
+              [&](const Rect& a, const Rect& b) { return key(a) < key(b); });
+    std::sort(expected.begin(), expected.end(),
+              [&](const Rect& a, const Rect& b) { return key(a) < key(b); });
+    EXPECT_EQ(got, expected) << "window " << trial;
+  }
+}
+
+TEST(ChipIndex, EmptyIndexQueriesEmpty) {
+  const ChipIndex index({});
+  EXPECT_TRUE(index.query(Rect(0, 0, 100, 100)).empty());
+  EXPECT_EQ(index.rect_count(), 0u);
+}
+
+TEST(ChipIndex, FromLibraryFlattens) {
+  synth::StyleConfig style;
+  const auto lib = synth::build_chip(style, 2, 2, 9);
+  const auto index = ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
+  EXPECT_GT(index.rect_count(), 0u);
+  EXPECT_FALSE(index.extent().empty());
+}
+
+// ------------------------------------------------------------------- scan --
+
+class ThresholdedDensityDetector final : public Detector {
+ public:
+  explicit ThresholdedDensityDetector(float cut) : cut_(cut) {}
+  std::string name() const override { return "density-cut"; }
+  void train(const data::Dataset&) override {}
+  float score(const data::Clip& clip) const override {
+    const double area = static_cast<double>(geom::union_area(clip.rects));
+    const double total =
+        static_cast<double>(clip.window_nm) * clip.window_nm;
+    return static_cast<float>(area / total) - cut_;
+  }
+  bool predict(const data::Clip& clip) const override {
+    return score(clip) > threshold();
+  }
+  void set_threshold(float t) override { threshold_ = t; }
+  float threshold() const override { return threshold_; }
+
+ private:
+  float cut_;
+  float threshold_ = 0.0f;
+};
+
+TEST(Scan, SingleStageVisitsAllWindows) {
+  synth::StyleConfig style;
+  const auto lib = synth::build_chip(style, 3, 3, 21);
+  const auto index = ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
+  const ThresholdedDensityDetector det(0.05f);
+  ScanConfig cfg;
+  cfg.window_nm = 1024;
+  cfg.stride_nm = 1024;
+  const auto result = scan_chip(index, det, cfg);
+  EXPECT_GE(result.windows_total, 9u);
+  EXPECT_GT(result.windows_classified, 0u);
+  EXPECT_EQ(result.hits.size(), result.flagged);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST(Scan, TwoStageClassifiesNoMoreThanSingleStage) {
+  synth::StyleConfig style;
+  const auto lib = synth::build_chip(style, 3, 3, 22);
+  const auto index = ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
+  const ThresholdedDensityDetector prefilter(0.30f);  // strict stage 1
+  const ThresholdedDensityDetector refiner(0.05f);
+  ScanConfig cfg;
+  const auto single = scan_chip(index, refiner, cfg);
+  const auto two = scan_chip_two_stage(index, prefilter, refiner, cfg);
+  EXPECT_EQ(single.windows_total, two.windows_total);
+  EXPECT_LE(two.windows_classified, single.windows_classified);
+  EXPECT_LE(two.flagged, single.flagged);
+}
+
+TEST(Scan, StrictPrefilterSuppressesEverything) {
+  synth::StyleConfig style;
+  const auto lib = synth::build_chip(style, 2, 2, 23);
+  const auto index = ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
+  const ThresholdedDensityDetector never(2.0f);  // density can't exceed 1
+  const ThresholdedDensityDetector always(-1.0f);
+  const auto result = scan_chip_two_stage(index, never, always, {});
+  EXPECT_EQ(result.windows_classified, 0u);
+  EXPECT_EQ(result.flagged, 0u);
+}
+
+TEST(Scan, RejectsBadConfig) {
+  const ChipIndex index({Rect(0, 0, 100, 100)});
+  const ThresholdedDensityDetector det(0.1f);
+  ScanConfig cfg;
+  cfg.stride_nm = 0;
+  EXPECT_THROW(scan_chip(index, det, cfg), Error);
+}
+
+
+// --------------------------------------------------------------- ensemble --
+
+TEST(Ensemble, MajorityVoteOverridesMinority) {
+  std::vector<std::unique_ptr<Detector>> members;
+  members.push_back(std::make_unique<ThresholdedDensityDetector>(0.05f));
+  members.push_back(std::make_unique<ThresholdedDensityDetector>(0.05f));
+  members.push_back(std::make_unique<ThresholdedDensityDetector>(0.90f));
+  EnsembleDetector ens("demo", std::move(members));
+  data::Clip dense;
+  dense.window_nm = 1024;
+  dense.rects = {Rect(0, 0, 1024, 512)};  // density 0.5
+  // Two of three members flag it.
+  EXPECT_TRUE(ens.predict(dense));
+  EXPECT_NEAR(ens.score(dense), 2.0f / 3.0f - 0.5f, 1e-5);
+}
+
+TEST(Ensemble, UnanimousClean) {
+  std::vector<std::unique_ptr<Detector>> members;
+  for (int i = 0; i < 3; ++i) {
+    members.push_back(std::make_unique<ThresholdedDensityDetector>(0.9f));
+  }
+  EnsembleDetector ens("demo", std::move(members));
+  data::Clip sparse;
+  sparse.window_nm = 1024;
+  sparse.rects = {Rect(0, 0, 100, 100)};
+  EXPECT_FALSE(ens.predict(sparse));
+  EXPECT_FLOAT_EQ(ens.score(sparse), -0.5f);
+}
+
+TEST(Ensemble, RejectsEmptyMembership) {
+  std::vector<std::unique_ptr<Detector>> none;
+  EXPECT_THROW(EnsembleDetector("x", std::move(none)), Error);
+}
+
+TEST(Ensemble, SeedEnsembleBeatsOrMatchesWorstMember) {
+  const auto suite = tiny_suite(80, 60);
+  auto ens = make_seed_ensemble("dtree", 5, 7);
+  EXPECT_EQ(ens->size(), 5u);
+  ens->train(suite.train);
+  const auto c_ens = evaluate(ens->predict_all(suite.test), suite.test);
+  double worst_f1 = 1.0;
+  for (std::size_t i = 0; i < ens->size(); ++i) {
+    const auto c = evaluate(ens->member(i).predict_all(suite.test),
+                            suite.test);
+    worst_f1 = std::min(worst_f1, c.f1());
+  }
+  EXPECT_GE(c_ens.f1() + 1e-9, worst_f1);
+}
+
+// -------------------------------------------------------------------- auc --
+
+TEST(RocAuc, PerfectRankingIsOne) {
+  data::Dataset ds;
+  for (int i = 0; i < 4; ++i) {
+    data::Clip c;
+    c.label = i < 2 ? data::Label::Hotspot : data::Label::NonHotspot;
+    ds.add(std::move(c));
+  }
+  EXPECT_DOUBLE_EQ(roc_auc({0.9f, 0.8f, 0.2f, 0.1f}, ds), 1.0);
+}
+
+TEST(RocAuc, InvertedRankingIsZero) {
+  data::Dataset ds;
+  for (int i = 0; i < 4; ++i) {
+    data::Clip c;
+    c.label = i < 2 ? data::Label::Hotspot : data::Label::NonHotspot;
+    ds.add(std::move(c));
+  }
+  EXPECT_DOUBLE_EQ(roc_auc({0.1f, 0.2f, 0.8f, 0.9f}, ds), 0.0);
+}
+
+TEST(RocAuc, ConstantScoresGiveHalf) {
+  data::Dataset ds;
+  for (int i = 0; i < 6; ++i) {
+    data::Clip c;
+    c.label = i < 3 ? data::Label::Hotspot : data::Label::NonHotspot;
+    ds.add(std::move(c));
+  }
+  EXPECT_DOUBLE_EQ(roc_auc(std::vector<float>(6, 0.5f), ds), 0.5);
+}
+
+TEST(RocAuc, SingleClassGivesHalf) {
+  data::Dataset ds;
+  data::Clip c;
+  c.label = data::Label::Hotspot;
+  ds.add(std::move(c));
+  EXPECT_DOUBLE_EQ(roc_auc({0.3f}, ds), 0.5);
+}
+
+TEST(RocAuc, SizeMismatchThrows) {
+  data::Dataset ds;
+  data::Clip c;
+  ds.add(std::move(c));
+  EXPECT_THROW(roc_auc({0.1f, 0.2f}, ds), Error);
+}
+
+}  // namespace
+}  // namespace lhd::core

@@ -1,0 +1,474 @@
+// Tests for lhd/feature: density, CCAS, DCT tensor, extractors, scaler, PCA.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "lhd/feature/extractor.hpp"
+#include "lhd/geom/polygon.hpp"
+#include "lhd/feature/pca.hpp"
+#include "lhd/feature/scaler.hpp"
+#include "lhd/feature/squish.hpp"
+#include "lhd/util/rng.hpp"
+
+namespace lhd::feature {
+namespace {
+
+using geom::Rect;
+
+data::Clip full_clip() {
+  data::Clip c;
+  c.window_nm = 1024;
+  c.rects = {Rect(0, 0, 1024, 1024)};
+  return c;
+}
+
+data::Clip half_clip() {
+  data::Clip c;
+  c.window_nm = 1024;
+  c.rects = {Rect(0, 0, 512, 1024)};  // left half filled
+  return c;
+}
+
+// --------------------------------------------------------------- density --
+
+TEST(Density, FullClipIsAllOnes) {
+  const auto f = density_features(full_clip(), {8, 8});
+  ASSERT_EQ(f.size(), 64u);
+  for (const float v : f) EXPECT_NEAR(v, 1.0f, 1e-6);
+}
+
+TEST(Density, EmptyClipIsAllZeros) {
+  data::Clip c;
+  c.window_nm = 1024;
+  const auto f = density_features(c, {8, 8});
+  for (const float v : f) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Density, HalfClipSplitsCleanly) {
+  const auto f = density_features(half_clip(), {8, 8});
+  // Row-major 8x8: columns 0..3 full, 4..7 empty.
+  for (int gy = 0; gy < 8; ++gy) {
+    for (int gx = 0; gx < 8; ++gx) {
+      const float v = f[static_cast<std::size_t>(gy) * 8 + gx];
+      EXPECT_NEAR(v, gx < 4 ? 1.0f : 0.0f, 1e-6);
+    }
+  }
+}
+
+TEST(Density, MeanEqualsGlobalDensity) {
+  data::Clip c;
+  c.window_nm = 1024;
+  c.rects = {Rect(100, 200, 400, 500), Rect(600, 100, 900, 900)};
+  const auto f = density_features(c, {8, 16});
+  double mean = 0;
+  for (const float v : f) mean += v;
+  mean /= static_cast<double>(f.size());
+  const double expected =
+      static_cast<double>(geom::union_area(c.rects)) / (1024.0 * 1024.0);
+  EXPECT_NEAR(mean, expected, 1e-5);
+}
+
+TEST(Density, RejectsIndivisibleGrid) {
+  EXPECT_THROW(density_features(full_clip(), {8, 7}), Error);
+}
+
+// ------------------------------------------------------------------ ccas --
+
+TEST(Ccas, FullClipRingsAreOne) {
+  const auto f = ccas_features(full_clip(), {8, 8, 4});
+  ASSERT_EQ(f.size(), 32u);
+  for (const float v : f) EXPECT_NEAR(v, 1.0f, 1e-6);
+}
+
+TEST(Ccas, CentreDotOnlyLightsInnerRing) {
+  data::Clip c;
+  c.window_nm = 1024;
+  c.rects = {Rect(472, 472, 552, 552)};  // 80 nm square at centre
+  const CcasConfig cfg{8, 8, 1};
+  const auto f = ccas_features(c, cfg);
+  EXPECT_GT(f[0], 0.2f);
+  for (std::size_t i = 3; i < f.size(); ++i) EXPECT_FLOAT_EQ(f[i], 0.0f);
+}
+
+TEST(Ccas, SectorsDistinguishOrientation) {
+  const CcasConfig cfg{8, 4, 4};
+  // Right half filled vs left half filled must produce different vectors.
+  data::Clip right;
+  right.window_nm = 1024;
+  right.rects = {Rect(512, 0, 1024, 1024)};
+  data::Clip left;
+  left.window_nm = 1024;
+  left.rects = {Rect(0, 0, 512, 1024)};
+  EXPECT_NE(ccas_features(right, cfg), ccas_features(left, cfg));
+}
+
+TEST(Ccas, SingleSectorIsMirrorInvariant) {
+  const CcasConfig cfg{8, 8, 1};
+  data::Clip right;
+  right.window_nm = 1024;
+  right.rects = {Rect(512, 0, 1024, 1024)};
+  data::Clip left;
+  left.window_nm = 1024;
+  left.rects = {Rect(0, 0, 512, 1024)};
+  const auto fr = ccas_features(right, cfg);
+  const auto fl = ccas_features(left, cfg);
+  for (std::size_t i = 0; i < fr.size(); ++i) {
+    EXPECT_NEAR(fr[i], fl[i], 0.02f);
+  }
+}
+
+TEST(Ccas, RejectsBadConfig) {
+  EXPECT_THROW(ccas_features(full_clip(), {8, 0, 4}), Error);
+}
+
+// ------------------------------------------------------------------- dct --
+
+TEST(Dct, ConstantBlockHasOnlyDc) {
+  constexpr int n = 8;
+  std::vector<float> block(n * n, 0.5f);
+  std::vector<float> coef(n * n);
+  dct2d(block.data(), coef.data(), n);
+  // Orthonormal DCT: DC = n * mean = 8 * 0.5 = 4.
+  EXPECT_NEAR(coef[0], 4.0f, 1e-5);
+  for (std::size_t i = 1; i < coef.size(); ++i) EXPECT_NEAR(coef[i], 0.0f, 1e-5);
+}
+
+TEST(Dct, InverseRecoversInput) {
+  constexpr int n = 8;
+  std::vector<float> block(n * n);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    block[i] = static_cast<float>(std::sin(0.37 * static_cast<double>(i)));
+  }
+  std::vector<float> coef(n * n), back(n * n);
+  dct2d(block.data(), coef.data(), n);
+  idct2d(coef.data(), back.data(), n);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    EXPECT_NEAR(back[i], block[i], 1e-4);
+  }
+}
+
+TEST(Dct, ParsevalEnergyPreserved) {
+  constexpr int n = 8;
+  std::vector<float> block(n * n);
+  Rng rng(4);
+  for (auto& v : block) v = static_cast<float>(rng.next_double());
+  std::vector<float> coef(n * n);
+  dct2d(block.data(), coef.data(), n);
+  double e_in = 0, e_out = 0;
+  for (const float v : block) e_in += static_cast<double>(v) * v;
+  for (const float v : coef) e_out += static_cast<double>(v) * v;
+  EXPECT_NEAR(e_in, e_out, 1e-3);
+}
+
+TEST(Dct, ZigzagIsPermutation) {
+  for (const int n : {4, 8, 16}) {
+    const auto& zz = zigzag_order(n);
+    ASSERT_EQ(zz.size(), static_cast<std::size_t>(n) * n);
+    std::set<int> unique(zz.begin(), zz.end());
+    EXPECT_EQ(unique.size(), zz.size());
+    EXPECT_EQ(*unique.begin(), 0);
+    EXPECT_EQ(*unique.rbegin(), n * n - 1);
+  }
+}
+
+TEST(Dct, ZigzagStartsLowFrequency) {
+  const auto& zz = zigzag_order(8);
+  EXPECT_EQ(zz[0], 0);       // (0,0)
+  EXPECT_EQ(zz[1] % 8 + zz[1] / 8, 1);  // first anti-diagonal
+  EXPECT_EQ(zz[2] % 8 + zz[2] / 8, 1);
+}
+
+TEST(Dct, TensorShapeMatchesConfig) {
+  const DctConfig cfg{8, 8, 16};
+  const auto t = dct_tensor(full_clip(), cfg);
+  EXPECT_EQ(t.channels, 16);
+  EXPECT_EQ(t.height, 16);
+  EXPECT_EQ(t.width, 16);
+  EXPECT_EQ(t.values.size(), 16u * 16 * 16);
+}
+
+TEST(Dct, FullClipTensorHasUniformDcOnly) {
+  const auto t = dct_tensor(full_clip(), {8, 8, 16});
+  for (int y = 0; y < t.height; ++y) {
+    for (int x = 0; x < t.width; ++x) {
+      EXPECT_NEAR(t.at(0, y, x), 8.0f, 1e-4);  // DC of all-ones 8x8 block
+      for (int c = 1; c < t.channels; ++c) {
+        EXPECT_NEAR(t.at(c, y, x), 0.0f, 1e-4);
+      }
+    }
+  }
+}
+
+TEST(Dct, RejectsTooManyCoefficients) {
+  EXPECT_THROW(dct_tensor(full_clip(), {8, 8, 65}), Error);
+}
+
+// ------------------------------------------------------------- extractor --
+
+TEST(Extractor, DimsMatchShapes) {
+  const auto density = make_density_extractor({8, 16});
+  EXPECT_EQ(density->dim(), 256);
+  const auto ccas = make_ccas_extractor({8, 16, 4});
+  EXPECT_EQ(ccas->dim(), 64);
+  const auto dct = make_dct_extractor({8, 8, 16});
+  EXPECT_EQ(dct->dim(), 16 * 16 * 16);
+  const auto s = dct->shape();
+  EXPECT_EQ(s[0], 16);
+  EXPECT_EQ(s[1], 16);
+  EXPECT_EQ(s[2], 16);
+}
+
+TEST(Extractor, ExtractMatchesDim) {
+  data::Clip c;
+  c.window_nm = 1024;
+  c.rects = {Rect(0, 0, 500, 300)};
+  std::vector<std::unique_ptr<Extractor>> extractors;
+  extractors.push_back(make_density_extractor());
+  extractors.push_back(make_ccas_extractor());
+  extractors.push_back(make_dct_extractor());
+  for (const auto& e : extractors) {
+    EXPECT_EQ(e->extract(c).size(), static_cast<std::size_t>(e->dim()))
+        << e->name();
+  }
+}
+
+TEST(Extractor, ExtractAllMatchesPerClip) {
+  data::Dataset ds;
+  for (int i = 0; i < 5; ++i) {
+    data::Clip c;
+    c.window_nm = 1024;
+    c.rects = {Rect(i * 50, 0, i * 50 + 100, 800)};
+    ds.add(std::move(c));
+  }
+  const auto extractor = make_density_extractor();
+  const auto rows = extract_all(*extractor, ds);
+  ASSERT_EQ(rows.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(rows[i], extractor->extract(ds[i]));
+  }
+}
+
+TEST(Extractor, SignedLabels) {
+  data::Dataset ds;
+  data::Clip h;
+  h.label = data::Label::Hotspot;
+  data::Clip n;
+  n.label = data::Label::NonHotspot;
+  ds.add(h);
+  ds.add(n);
+  EXPECT_EQ(signed_labels(ds), (std::vector<float>{1.0f, -1.0f}));
+}
+
+// ---------------------------------------------------------------- scaler --
+
+TEST(Scaler, StandardizesToZeroMeanUnitVar) {
+  std::vector<std::vector<float>> rows = {
+      {1.0f, 10.0f}, {2.0f, 20.0f}, {3.0f, 30.0f}, {4.0f, 40.0f}};
+  Scaler s;
+  s.fit(rows);
+  s.transform_all(rows);
+  for (int d = 0; d < 2; ++d) {
+    double mean = 0, var = 0;
+    for (const auto& r : rows) mean += r[static_cast<std::size_t>(d)];
+    mean /= 4;
+    for (const auto& r : rows) {
+      var += (r[static_cast<std::size_t>(d)] - mean) *
+             (r[static_cast<std::size_t>(d)] - mean);
+    }
+    var /= 4;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-4);
+  }
+}
+
+TEST(Scaler, ConstantDimensionPassesThrough) {
+  std::vector<std::vector<float>> rows = {{5.0f}, {5.0f}, {5.0f}};
+  Scaler s;
+  s.fit(rows);
+  std::vector<float> row = {5.0f};
+  s.transform(row);
+  EXPECT_FLOAT_EQ(row[0], 0.0f);  // (5-5)/1
+}
+
+TEST(Scaler, RejectsEmptyFit) {
+  Scaler s;
+  EXPECT_THROW(s.fit({}), Error);
+}
+
+TEST(Scaler, RejectsUnfittedTransform) {
+  Scaler s;
+  std::vector<float> row = {1.0f};
+  EXPECT_THROW(s.transform(row), Error);
+}
+
+TEST(Scaler, RejectsDimensionMismatch) {
+  Scaler s;
+  s.fit({{1.0f, 2.0f}});
+  std::vector<float> row = {1.0f};
+  EXPECT_THROW(s.transform(row), Error);
+}
+
+// ------------------------------------------------------------------- pca --
+
+TEST(Pca, RecoversDominantDirection) {
+  // Points stretched along (1, 1)/sqrt(2) with small orthogonal noise.
+  Rng rng(8);
+  std::vector<std::vector<float>> rows;
+  for (int i = 0; i < 300; ++i) {
+    const double t = rng.next_gaussian(0.0, 10.0);
+    const double n = rng.next_gaussian(0.0, 0.3);
+    rows.push_back({static_cast<float>(t + n), static_cast<float>(t - n)});
+  }
+  Pca pca;
+  Rng fit_rng(9);
+  pca.fit(rows, 1, fit_rng);
+  const auto& dir = pca.components()[0];
+  const double ratio = std::abs(dir[0] / dir[1]);
+  EXPECT_NEAR(ratio, 1.0, 0.05);  // direction ~ (±1, ±1)
+  EXPECT_GT(pca.explained_variance()[0], 50.0f);
+}
+
+TEST(Pca, TransformReducesDimensions) {
+  Rng rng(8);
+  std::vector<std::vector<float>> rows;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back({static_cast<float>(rng.next_double()),
+                    static_cast<float>(rng.next_double()),
+                    static_cast<float>(rng.next_double()),
+                    static_cast<float>(rng.next_double())});
+  }
+  Pca pca;
+  Rng fit_rng(10);
+  pca.fit(rows, 2, fit_rng);
+  const auto out = pca.transform_all(rows);
+  EXPECT_EQ(out.size(), 50u);
+  EXPECT_EQ(out[0].size(), 2u);
+}
+
+TEST(Pca, VarianceIsDescending) {
+  Rng rng(21);
+  std::vector<std::vector<float>> rows;
+  for (int i = 0; i < 200; ++i) {
+    rows.push_back({static_cast<float>(rng.next_gaussian(0, 5)),
+                    static_cast<float>(rng.next_gaussian(0, 2)),
+                    static_cast<float>(rng.next_gaussian(0, 0.5))});
+  }
+  Pca pca;
+  Rng fit_rng(22);
+  pca.fit(rows, 3, fit_rng);
+  const auto& var = pca.explained_variance();
+  EXPECT_GE(var[0], var[1]);
+  EXPECT_GE(var[1], var[2]);
+}
+
+TEST(Pca, RejectsBadComponentCount) {
+  Pca pca;
+  Rng rng(1);
+  std::vector<std::vector<float>> rows = {{1.0f, 2.0f}};
+  EXPECT_THROW(pca.fit(rows, 3, rng), Error);
+  EXPECT_THROW(pca.fit(rows, 0, rng), Error);
+}
+
+TEST(Pca, RejectsUnfittedTransform) {
+  Pca pca;
+  EXPECT_THROW(pca.transform({1.0f}), Error);
+}
+
+
+// ---------------------------------------------------------------- squish --
+
+TEST(Squish, EncodeDecodeIsLossless) {
+  const std::vector<Rect> rects = {Rect(100, 200, 400, 500),
+                                   Rect(600, 100, 900, 900),
+                                   Rect(100, 600, 400, 700)};
+  const auto pattern = squish_encode(rects, 1024);
+  const auto back = squish_decode(pattern);
+  EXPECT_EQ(geom::union_area(back), geom::union_area(rects));
+}
+
+TEST(Squish, EmptyClipEncodesToEmptyTopology) {
+  const auto pattern = squish_encode({}, 1024);
+  EXPECT_EQ(pattern.nx(), 1);
+  EXPECT_EQ(pattern.ny(), 1);
+  EXPECT_EQ(pattern.topology[0], 0);
+}
+
+TEST(Squish, SingleRectTopology) {
+  const auto pattern = squish_encode({Rect(100, 200, 400, 500)}, 1024);
+  // Cuts: x {0,100,400,1024}, y {0,200,500,1024} -> 3x3 cells, centre on.
+  EXPECT_EQ(pattern.nx(), 3);
+  EXPECT_EQ(pattern.ny(), 3);
+  EXPECT_EQ(pattern.topology[1 * 3 + 1], 1);
+  EXPECT_EQ(pattern.topology[0], 0);
+}
+
+TEST(Squish, FeatureHasFixedLength) {
+  data::Clip simple;
+  simple.window_nm = 1024;
+  simple.rects = {Rect(0, 0, 100, 100)};
+  data::Clip busy;
+  busy.window_nm = 1024;
+  for (int i = 0; i < 30; ++i) {
+    busy.rects.push_back(Rect(i * 30, i * 20, i * 30 + 25, i * 20 + 15));
+  }
+  const SquishConfig cfg{16};
+  EXPECT_EQ(squish_features(simple, cfg).size(),
+            squish_features(busy, cfg).size());
+  EXPECT_EQ(squish_features(simple, cfg).size(), 15u * 15 + 2 * 15);
+}
+
+TEST(Squish, DeltasSumToWindow) {
+  data::Clip c;
+  c.window_nm = 1024;
+  c.rects = {Rect(100, 200, 400, 500), Rect(600, 100, 900, 900)};
+  const SquishConfig cfg{16};
+  const auto f = squish_features(c, cfg);
+  const int cells = cfg.max_cuts - 1;
+  double dx = 0, dy = 0;
+  for (int i = 0; i < cells; ++i) {
+    dx += f[static_cast<std::size_t>(cells) * cells + i];
+    dy += f[static_cast<std::size_t>(cells) * cells + cells + i];
+  }
+  EXPECT_NEAR(dx, 1.0, 1e-5);  // normalized deltas tile the window
+  EXPECT_NEAR(dy, 1.0, 1e-5);
+}
+
+TEST(Squish, AdaptiveReductionPreservesCoverageApproximately) {
+  // A clip with many more cuts than the frame: total covered fraction of
+  // the topology must survive the merging within a tolerance.
+  data::Clip c;
+  c.window_nm = 1024;
+  Rng rng(3);
+  for (int i = 0; i < 25; ++i) {
+    const auto x = static_cast<geom::Coord>(rng.next_int(0, 900));
+    const auto y = static_cast<geom::Coord>(rng.next_int(0, 900));
+    c.rects.push_back(Rect(x, y, x + 80, y + 60));
+  }
+  const SquishConfig cfg{12};
+  const auto f = squish_features(c, cfg);
+  double on = 0;
+  const int cells = cfg.max_cuts - 1;
+  for (int i = 0; i < cells * cells; ++i) on += f[static_cast<std::size_t>(i)];
+  EXPECT_GT(on, 0.0);  // merging may only grow coverage, never erase it
+}
+
+TEST(Squish, ExtractorInterface) {
+  const auto e = make_squish_extractor({16});
+  EXPECT_EQ(e->name(), "squish");
+  EXPECT_EQ(e->dim(), 15 * 15 + 2 * 15);
+  data::Clip c;
+  c.window_nm = 1024;
+  c.rects = {Rect(0, 0, 512, 512)};
+  EXPECT_EQ(e->extract(c).size(), static_cast<std::size_t>(e->dim()));
+}
+
+TEST(Squish, RejectsTinyFrame) {
+  data::Clip c;
+  c.window_nm = 1024;
+  EXPECT_THROW(squish_features(c, {2}), Error);
+}
+
+}  // namespace
+}  // namespace lhd::feature

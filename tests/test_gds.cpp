@@ -1,0 +1,366 @@
+// Tests for lhd/gds: excess-64 reals, record framing, writer/reader
+// round-trips, transforms, flattening.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "lhd/gds/reader.hpp"
+#include "lhd/gds/writer.hpp"
+#include "lhd/geom/polygon.hpp"
+
+namespace lhd::gds {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+// ------------------------------------------------------------ gds real64 --
+
+class Real64RoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(Real64RoundTrip, EncodeDecodeIsExactForRepresentable) {
+  const double v = GetParam();
+  EXPECT_DOUBLE_EQ(decode_real64(encode_real64(v)), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, Real64RoundTrip,
+    ::testing::Values(0.0, 1.0, -1.0, 0.5, -0.25, 2.0, 16.0, 1e-9, 1e-3,
+                      6.25e-2, 1024.0, -4096.0, 0.001953125));
+
+TEST(Real64, ZeroEncodesToZeroBits) { EXPECT_EQ(encode_real64(0.0), 0u); }
+
+TEST(Real64, KnownEncodingOfOne) {
+  // 1.0 = 0x4110000000000000 in GDS excess-64 format.
+  EXPECT_EQ(encode_real64(1.0), 0x4110000000000000ULL);
+}
+
+TEST(Real64, SignBit) {
+  EXPECT_EQ(encode_real64(-1.0) >> 63, 1u);
+  EXPECT_EQ(encode_real64(1.0) >> 63, 0u);
+}
+
+TEST(Real64, ApproximateForIrrational) {
+  const double v = 3.14159265358979;
+  EXPECT_NEAR(decode_real64(encode_real64(v)), v, 1e-15);
+}
+
+// --------------------------------------------------------------- records --
+
+TEST(Records, ScanRejectsTruncatedHeader) {
+  EXPECT_THROW(scan_records({0x00}), ParseError);
+}
+
+TEST(Records, ScanRejectsOverrunningRecord) {
+  // Claims 8 bytes but only 6 present.
+  EXPECT_THROW(scan_records({0x00, 0x08, 0x00, 0x02, 0x00, 0x01}),
+               ParseError);
+}
+
+TEST(Records, ScanRejectsOddLength) {
+  EXPECT_THROW(scan_records({0x00, 0x05, 0x00, 0x02, 0x00}), ParseError);
+}
+
+TEST(Records, ScanRejectsTinyLength) {
+  EXPECT_THROW(scan_records({0x00, 0x02, 0x00, 0x02}), ParseError);
+}
+
+TEST(Records, ScanStopsAtEndLib) {
+  std::vector<std::uint8_t> bytes = {
+      0x00, 0x04, 0x04, 0x00,  // ENDLIB
+      0x00, 0x00, 0x00, 0x00,  // tape padding (invalid as a record)
+  };
+  const auto records = scan_records(bytes);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, RecordType::EndLib);
+}
+
+// -------------------------------------------------------- library builds --
+
+Library demo_library() {
+  Library lib;
+  lib.name = "DEMO";
+  Structure& cell = lib.add_structure("CELL");
+  Boundary b;
+  b.layer = 1;
+  b.polygon = geom::Polygon::from_rect(Rect(0, 0, 100, 50));
+  cell.elements.push_back(b);
+
+  Path p;
+  p.layer = 2;
+  p.width = 20;
+  p.points = {{0, 0}, {200, 0}, {200, 150}};
+  cell.elements.push_back(p);
+
+  Structure& top = lib.add_structure("TOP");
+  SRef ref;
+  ref.structure = "CELL";
+  ref.transform.origin = {1000, 2000};
+  top.elements.push_back(ref);
+
+  ARef arr;
+  arr.structure = "CELL";
+  arr.transform.origin = {0, 0};
+  arr.cols = 3;
+  arr.rows = 2;
+  arr.col_step = {500, 0};
+  arr.row_step = {0, 400};
+  top.elements.push_back(arr);
+  return lib;
+}
+
+TEST(Library, DuplicateStructureNameThrows) {
+  Library lib;
+  lib.add_structure("A");
+  EXPECT_THROW(lib.add_structure("A"), Error);
+}
+
+TEST(Library, FindReturnsNullForUnknown) {
+  Library lib;
+  EXPECT_EQ(lib.find("NOPE"), nullptr);
+}
+
+// ------------------------------------------------------------ round trip --
+
+TEST(RoundTrip, LibraryMetadataSurvives) {
+  const auto bytes = write_bytes(demo_library());
+  const Library back = read_bytes(bytes);
+  EXPECT_EQ(back.name, "DEMO");
+  EXPECT_DOUBLE_EQ(back.dbu_in_meters, 1e-9);
+  EXPECT_DOUBLE_EQ(back.dbu_in_user, 1e-3);
+  EXPECT_EQ(back.structures().size(), 2u);
+  EXPECT_NE(back.find("CELL"), nullptr);
+  EXPECT_NE(back.find("TOP"), nullptr);
+}
+
+TEST(RoundTrip, BoundaryGeometrySurvives) {
+  const Library back = read_bytes(write_bytes(demo_library()));
+  const auto rects = back.flatten_layer("CELL", 1);
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], Rect(0, 0, 100, 50));
+}
+
+TEST(RoundTrip, PathExpandsToRects) {
+  const Library back = read_bytes(write_bytes(demo_library()));
+  const auto rects = back.flatten_layer("CELL", 2);
+  // Two segments.
+  ASSERT_EQ(rects.size(), 2u);
+  EXPECT_EQ(geom::union_area(rects),
+            200 * 20 + 150 * 20);  // corner overlap counted once
+}
+
+TEST(RoundTrip, SRefTranslates) {
+  const Library back = read_bytes(write_bytes(demo_library()));
+  const auto rects = back.flatten_layer("TOP", 1);
+  // 1 SREF + 6 AREF placements.
+  ASSERT_EQ(rects.size(), 7u);
+  bool found = false;
+  for (const auto& r : rects) {
+    if (r == Rect(1000, 2000, 1100, 2050)) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RoundTrip, ARefGridPlacement) {
+  const Library back = read_bytes(write_bytes(demo_library()));
+  const auto rects = back.flatten_layer("TOP", 1);
+  int grid_hits = 0;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const Rect want(c * 500, r * 400, c * 500 + 100, r * 400 + 50);
+      for (const auto& got : rects) grid_hits += (got == want);
+    }
+  }
+  EXPECT_EQ(grid_hits, 6);
+}
+
+TEST(RoundTrip, FileIo) {
+  namespace fs = std::filesystem;
+  const auto path = fs::temp_directory_path() / "lhd_test_roundtrip.gds";
+  write_file(demo_library(), path.string());
+  const Library back = read_file(path.string());
+  EXPECT_EQ(back.name, "DEMO");
+  fs::remove(path);
+}
+
+TEST(RoundTrip, PathType2Survives) {
+  Library lib;
+  Structure& s = lib.add_structure("P");
+  Path p;
+  p.layer = 3;
+  p.width = 10;
+  p.pathtype = 2;
+  p.points = {{0, 0}, {100, 0}};
+  s.elements.push_back(p);
+  const Library back = read_bytes(write_bytes(lib));
+  const auto rects = back.flatten_layer("P", 3);
+  ASSERT_EQ(rects.size(), 1u);
+  // pathtype 2 extends both free ends by width/2.
+  EXPECT_EQ(rects[0], Rect(-5, -5, 105, 5));
+}
+
+// -------------------------------------------------------------- transform --
+
+class TransformAngles : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransformAngles, RoundTripPreservesOrientation) {
+  const int angle = GetParam();
+  Library lib;
+  Structure& cell = lib.add_structure("CELL");
+  Boundary b;
+  b.layer = 1;
+  b.polygon = geom::Polygon::from_rect(Rect(0, 0, 30, 10));
+  cell.elements.push_back(b);
+  Structure& top = lib.add_structure("TOP");
+  SRef ref;
+  ref.structure = "CELL";
+  ref.transform.angle_deg = angle;
+  ref.transform.origin = {100, 100};
+  top.elements.push_back(ref);
+
+  const auto direct = lib.flatten_layer("TOP", 1);
+  const Library back = read_bytes(write_bytes(lib));
+  const auto reparsed = back.flatten_layer("TOP", 1);
+  ASSERT_EQ(direct.size(), 1u);
+  ASSERT_EQ(reparsed.size(), 1u);
+  EXPECT_EQ(direct[0], reparsed[0]);
+  EXPECT_EQ(direct[0].area(), 300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, TransformAngles,
+                         ::testing::Values(0, 90, 180, 270));
+
+TEST(Transform, MirrorThenRotateMatchesGdsSemantics) {
+  Transform t;
+  t.mirror_x = true;
+  t.angle_deg = 90;
+  t.origin = {0, 0};
+  // GDS: reflect about x first (y -> -y), then rotate CCW 90.
+  // (1, 0) -> (1, 0) -> (0, 1).
+  EXPECT_EQ(t.apply(Point{1, 0}), (Point{0, 1}));
+  // (0, 1) -> (0, -1) -> (1, 0).
+  EXPECT_EQ(t.apply(Point{0, 1}), (Point{1, 0}));
+}
+
+TEST(Transform, ComposeMatchesSequentialApplication) {
+  Transform outer;
+  outer.mirror_x = true;
+  outer.angle_deg = 90;
+  outer.origin = {10, 20};
+  Transform inner;
+  inner.angle_deg = 180;
+  inner.origin = {5, -3};
+  const Transform composed = outer.compose(inner);
+  for (const Point p : {Point{0, 0}, Point{7, 3}, Point{-4, 11}}) {
+    EXPECT_EQ(composed.apply(p), outer.apply(inner.apply(p)));
+  }
+}
+
+TEST(Transform, MirrorRoundTripThroughBytes) {
+  Library lib;
+  Structure& cell = lib.add_structure("CELL");
+  Boundary b;
+  b.layer = 1;
+  b.polygon = geom::Polygon::from_rect(Rect(0, 0, 30, 10));
+  cell.elements.push_back(b);
+  Structure& top = lib.add_structure("TOP");
+  SRef ref;
+  ref.structure = "CELL";
+  ref.transform.mirror_x = true;
+  ref.transform.origin = {0, 0};
+  top.elements.push_back(ref);
+
+  const auto direct = lib.flatten_layer("TOP", 1);
+  const auto reparsed = read_bytes(write_bytes(lib)).flatten_layer("TOP", 1);
+  ASSERT_EQ(direct.size(), 1u);
+  EXPECT_EQ(direct[0], Rect(0, -10, 30, 0));
+  ASSERT_EQ(reparsed.size(), 1u);
+  EXPECT_EQ(reparsed[0], direct[0]);
+}
+
+// --------------------------------------------------------------- flatten --
+
+TEST(Flatten, UnknownTopThrows) {
+  const Library lib = demo_library();
+  EXPECT_THROW(lib.flatten_layer("MISSING", 1), Error);
+}
+
+TEST(Flatten, UnknownSRefTargetThrows) {
+  Library lib;
+  Structure& top = lib.add_structure("TOP");
+  SRef ref;
+  ref.structure = "GHOST";
+  top.elements.push_back(ref);
+  EXPECT_THROW(lib.flatten_layer("TOP", 1), Error);
+}
+
+TEST(Flatten, CycleDetected) {
+  Library lib;
+  Structure& a = lib.add_structure("A");
+  Structure& b = lib.add_structure("B");
+  SRef ab;
+  ab.structure = "B";
+  a.elements.push_back(ab);
+  SRef ba;
+  ba.structure = "A";
+  b.elements.push_back(ba);
+  EXPECT_THROW(lib.flatten_layer("A", 1), Error);
+}
+
+TEST(Flatten, LayerFiltering) {
+  const Library lib = demo_library();
+  EXPECT_EQ(lib.flatten_layer("CELL", 1).size(), 1u);
+  EXPECT_EQ(lib.flatten_layer("CELL", 2).size(), 2u);
+  EXPECT_TRUE(lib.flatten_layer("CELL", 99).empty());
+}
+
+TEST(Flatten, LayerBbox) {
+  const Library lib = demo_library();
+  EXPECT_EQ(lib.layer_bbox("CELL", 1), Rect(0, 0, 100, 50));
+  EXPECT_TRUE(lib.layer_bbox("CELL", 99).empty());
+}
+
+// ----------------------------------------------------------- parse errors --
+
+TEST(ParseErrors, GarbageBytes) {
+  EXPECT_THROW(read_bytes({1, 2, 3, 4, 5, 6}), ParseError);
+}
+
+TEST(ParseErrors, MissingHeader) {
+  std::vector<std::uint8_t> bytes = {0x00, 0x04, 0x04, 0x00};  // just ENDLIB
+  EXPECT_THROW(read_bytes(bytes), ParseError);
+}
+
+TEST(ParseErrors, TruncatedAfterStructure) {
+  auto bytes = write_bytes(demo_library());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(read_bytes(bytes), Error);
+}
+
+TEST(Path, ToRectsRejectsBadWidth) {
+  Path p;
+  p.width = 0;
+  p.points = {{0, 0}, {10, 0}};
+  EXPECT_THROW(p.to_rects(), Error);
+}
+
+TEST(Path, ToRectsRejectsDiagonal) {
+  Path p;
+  p.width = 10;
+  p.points = {{0, 0}, {10, 10}};
+  EXPECT_THROW(p.to_rects(), Error);
+}
+
+TEST(Path, VerticalSegment) {
+  Path p;
+  p.width = 10;
+  p.points = {{0, 0}, {0, 100}};
+  const auto rects = p.to_rects();
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], Rect(-5, 0, 5, 100));
+}
+
+}  // namespace
+}  // namespace lhd::gds

@@ -1,0 +1,603 @@
+// Tests for lhd/nn: tensors, layers (with numerical gradient checks), loss,
+// optimizers, network training, biased learning, serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "lhd/nn/network.hpp"
+#include "lhd/nn/serialize.hpp"
+#include "lhd/nn/trainer.hpp"
+
+namespace lhd::nn {
+namespace {
+
+// ---------------------------------------------------------------- tensor --
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.rank(), 3u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t[7] = 3.5f;
+  t.reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_FLOAT_EQ(t[7], 3.5f);
+}
+
+TEST(Tensor, ReshapeSizeMismatchThrows) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshape({4, 2}), Error);
+}
+
+TEST(Tensor, RejectsNonPositiveDims) {
+  EXPECT_THROW(Tensor({2, 0}), Error);
+}
+
+// ------------------------------------------------------- layer behaviours --
+
+TEST(Relu, ZeroesNegativesForwardAndBackward) {
+  Relu relu;
+  Tensor in({1, 4});
+  in[0] = -1.0f;
+  in[1] = 2.0f;
+  in[2] = 0.0f;
+  in[3] = -0.5f;
+  const Tensor out = relu.forward(in, true);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f);
+  EXPECT_FLOAT_EQ(out[2], 0.0f);
+  Tensor grad({1, 4}, 1.0f);
+  const Tensor gin = relu.backward(grad);
+  EXPECT_FLOAT_EQ(gin[0], 0.0f);
+  EXPECT_FLOAT_EQ(gin[1], 1.0f);
+  EXPECT_FLOAT_EQ(gin[3], 0.0f);
+}
+
+TEST(MaxPool2, PicksMaximaAndRoutesGradient) {
+  MaxPool2 pool;
+  Tensor in({1, 1, 2, 2});
+  in[0] = 1.0f;
+  in[1] = 5.0f;
+  in[2] = 2.0f;
+  in[3] = 3.0f;
+  const Tensor out = pool.forward(in, true);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+  Tensor grad({1, 1, 1, 1});
+  grad[0] = 7.0f;
+  const Tensor gin = pool.backward(grad);
+  EXPECT_FLOAT_EQ(gin[1], 7.0f);
+  EXPECT_FLOAT_EQ(gin[0], 0.0f);
+}
+
+TEST(MaxPool2, RejectsOddDims) {
+  MaxPool2 pool;
+  Tensor in({1, 1, 3, 4});
+  EXPECT_THROW(pool.forward(in, true), Error);
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Dropout drop(0.5);
+  Tensor in({1, 100}, 1.0f);
+  EXPECT_EQ(drop.forward(in, false), in);
+}
+
+TEST(Dropout, TrainModeDropsAboutP) {
+  Dropout drop(0.5, /*seed=*/3);
+  Tensor in({1, 2000}, 1.0f);
+  const Tensor out = drop.forward(in, true);
+  int zeros = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) zeros += (out[i] == 0.0f);
+  EXPECT_NEAR(zeros / 2000.0, 0.5, 0.06);
+  // Survivors are scaled by 1/(1-p).
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] != 0.0f) EXPECT_FLOAT_EQ(out[i], 2.0f);
+  }
+}
+
+TEST(Linear, ComputesAffineMap) {
+  Linear lin(2, 1);
+  // Set weights manually: w = [3, -2], b = 1.
+  auto params = lin.params();
+  (*params[0].value)[0] = 3.0f;
+  (*params[0].value)[1] = -2.0f;
+  (*params[1].value)[0] = 1.0f;
+  Tensor in({1, 2});
+  in[0] = 4.0f;
+  in[1] = 5.0f;
+  const Tensor out = lin.forward(in, true);
+  EXPECT_FLOAT_EQ(out[0], 3.0f * 4 - 2 * 5 + 1);
+}
+
+TEST(Conv2d, MatchesNaiveReference) {
+  // 1 input channel, 1 output channel, 3x3 kernel on a 4x4 image, pad 1.
+  Conv2d conv(1, 1, 3, 1);
+  Rng rng(5);
+  auto params = conv.params();
+  for (auto& w : *params[0].value) {
+    w = static_cast<float>(rng.next_gaussian());
+  }
+  (*params[1].value)[0] = 0.3f;
+
+  Tensor in({1, 1, 4, 4});
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<float>(rng.next_double());
+  }
+  const Tensor out = conv.forward(in, true);
+  ASSERT_EQ(out.shape(), (std::vector<int>{1, 1, 4, 4}));
+
+  const auto& w = *params[0].value;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      double expect = 0.3;  // bias
+      for (int ky = 0; ky < 3; ++ky) {
+        for (int kx = 0; kx < 3; ++kx) {
+          const int sy = y + ky - 1;
+          const int sx = x + kx - 1;
+          if (sy < 0 || sy >= 4 || sx < 0 || sx >= 4) continue;
+          expect += w[static_cast<std::size_t>(ky * 3 + kx)] *
+                    in[static_cast<std::size_t>(sy * 4 + sx)];
+        }
+      }
+      EXPECT_NEAR(out[static_cast<std::size_t>(y * 4 + x)], expect, 1e-4);
+    }
+  }
+}
+
+TEST(Conv2d, ChannelMismatchThrows) {
+  Conv2d conv(3, 4, 3, 1);
+  Tensor in({1, 2, 4, 4});
+  EXPECT_THROW(conv.forward(in, true), Error);
+}
+
+// ------------------------------------------------------- gradient checks --
+
+/// Numerical gradient check of a whole (tiny) network through the loss.
+/// `training` selects the forward mode for both passes (must be true for
+/// nets with batch statistics; nets with dropout need false).
+void check_network_gradients(Network& net, const Tensor& input,
+                             const Tensor& targets, double tol,
+                             bool training = false) {
+  // Analytic gradients.
+  const Tensor logits = net.forward(input, training);
+  const LossResult base = softmax_cross_entropy(logits, targets);
+  net.backward(base.grad);
+
+  auto loss_at = [&]() {
+    const Tensor l = net.forward(input, training);
+    return softmax_cross_entropy(l, targets).loss;
+  };
+
+  const double eps = 1e-3;
+  for (auto& param : net.params()) {
+    auto& w = *param.value;
+    auto& g = *param.grad;
+    // Spot-check a handful of coordinates per parameter.
+    for (std::size_t i = 0; i < w.size(); i += std::max<std::size_t>(1, w.size() / 5)) {
+      const float saved = w[i];
+      w[i] = static_cast<float>(saved + eps);
+      const double up = loss_at();
+      w[i] = static_cast<float>(saved - eps);
+      const double down = loss_at();
+      w[i] = saved;
+      const double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(g[i], numeric, tol)
+          << "param coordinate " << i << " of size " << w.size();
+    }
+    std::fill(g.begin(), g.end(), 0.0f);  // reset accumulators
+  }
+}
+
+TEST(GradientCheck, LinearSoftmaxNetwork) {
+  Network net;
+  net.add(std::make_unique<Linear>(6, 4));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<Linear>(4, 2));
+  Rng rng(11);
+  net.init(rng);
+  Tensor in({3, 6});
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<float>(rng.next_gaussian());
+  }
+  Tensor targets({3, 2});
+  targets[0] = 1;  // sample 0: class 0
+  targets[3] = 1;  // sample 1: class 1
+  targets[4] = 0.7f;  // sample 2: soft target
+  targets[5] = 0.3f;
+  check_network_gradients(net, in, targets, 2e-3);
+}
+
+TEST(GradientCheck, ConvPoolNetwork) {
+  Network net;
+  net.add(std::make_unique<Conv2d>(2, 3, 3, 1));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<MaxPool2>());
+  net.add(std::make_unique<Linear>(3 * 2 * 2, 2));
+  Rng rng(13);
+  net.init(rng);
+  Tensor in({2, 2, 4, 4});
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<float>(rng.next_gaussian());
+  }
+  Tensor targets({2, 2});
+  targets[0] = 1;
+  targets[3] = 1;
+  check_network_gradients(net, in, targets, 5e-3);
+}
+
+// ------------------------------------------------------------------ loss --
+
+TEST(Loss, SoftmaxRowsSumToOne) {
+  Tensor logits({3, 2});
+  logits[0] = 10;
+  logits[1] = -3;
+  logits[2] = 0;
+  logits[3] = 0;
+  logits[4] = -50;
+  logits[5] = 50;
+  const Tensor p = softmax(logits);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_NEAR(p[static_cast<std::size_t>(s) * 2] +
+                    p[static_cast<std::size_t>(s) * 2 + 1],
+                1.0f, 1e-6);
+  }
+  EXPECT_GT(p[0], 0.99f);
+  EXPECT_LT(p[4], 1e-6f);
+}
+
+TEST(Loss, PerfectPredictionHasNearZeroLoss) {
+  Tensor logits({1, 2});
+  logits[0] = 20;
+  logits[1] = -20;
+  Tensor targets({1, 2});
+  targets[0] = 1;
+  const auto r = softmax_cross_entropy(logits, targets);
+  EXPECT_LT(r.loss, 1e-6);
+}
+
+TEST(Loss, GradientIsProbMinusTarget) {
+  Tensor logits({1, 2});  // symmetric -> p = (0.5, 0.5)
+  Tensor targets({1, 2});
+  targets[0] = 1;
+  const auto r = softmax_cross_entropy(logits, targets);
+  EXPECT_NEAR(r.grad[0], -0.5f, 1e-5);
+  EXPECT_NEAR(r.grad[1], 0.5f, 1e-5);
+}
+
+TEST(Loss, ShapeMismatchThrows) {
+  Tensor logits({1, 2});
+  Tensor targets({2, 2});
+  EXPECT_THROW(softmax_cross_entropy(logits, targets), Error);
+}
+
+// ------------------------------------------------------------- optimizers --
+
+TEST(Optimizers, SgdAndAdamMinimizeQuadratic) {
+  // Minimize f(w) = sum (w - 3)^2 via its gradient 2(w - 3).
+  for (const bool use_adam : {false, true}) {
+    std::vector<float> w = {0.0f, 10.0f};
+    std::vector<float> g(2, 0.0f);
+    std::unique_ptr<Optimizer> opt;
+    if (use_adam) {
+      opt = make_adam({0.2, 0.9, 0.999, 1e-8, 0.0});
+    } else {
+      opt = make_sgd({0.05, 0.9, 0.0});
+    }
+    opt->attach({{&w, &g}});
+    for (int it = 0; it < 200; ++it) {
+      for (std::size_t i = 0; i < w.size(); ++i) g[i] = 2 * (w[i] - 3.0f);
+      opt->step();
+    }
+    EXPECT_NEAR(w[0], 3.0f, 0.1f) << (use_adam ? "adam" : "sgd");
+    EXPECT_NEAR(w[1], 3.0f, 0.1f);
+  }
+}
+
+TEST(Optimizers, StepZeroesGradients) {
+  std::vector<float> w = {1.0f};
+  std::vector<float> g = {5.0f};
+  auto opt = make_sgd({0.1, 0.0, 0.0});
+  opt->attach({{&w, &g}});
+  opt->step();
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+}
+
+TEST(Optimizers, LearningRateAccessors) {
+  auto opt = make_adam({});
+  opt->set_learning_rate(0.5);
+  EXPECT_DOUBLE_EQ(opt->learning_rate(), 0.5);
+}
+
+// --------------------------------------------------------------- trainer --
+
+Rows make_xor_rows(int n, std::vector<float>* labels, std::uint64_t seed) {
+  Rng rng(seed);
+  Rows rows;
+  for (int i = 0; i < n; ++i) {
+    const bool a = rng.next_bool();
+    const bool b = rng.next_bool();
+    std::vector<float> row(4, 0.0f);
+    row[0] = a ? 1.0f : -1.0f;
+    row[1] = b ? 1.0f : -1.0f;
+    row[2] = static_cast<float>(rng.next_gaussian(0, 0.1));
+    row[3] = static_cast<float>(rng.next_gaussian(0, 0.1));
+    rows.push_back(row);
+    labels->push_back((a != b) ? 1.0f : -1.0f);
+  }
+  return rows;
+}
+
+Network make_mlp() {
+  Network net;
+  net.add(std::make_unique<Linear>(4, 16));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<Linear>(16, 2));
+  return net;
+}
+
+TEST(Trainer, LearnsXor) {
+  Network net = make_mlp();
+  Trainer trainer(&net, {1, 1, 4});
+  std::vector<float> y;
+  const Rows x = make_xor_rows(200, &y, 31);
+  TrainConfig cfg;
+  cfg.epochs = 40;
+  cfg.learning_rate = 5e-3;
+  const auto history = trainer.train(x, y, cfg);
+  ASSERT_EQ(history.size(), 40u);
+  EXPECT_LT(history.back().loss, history.front().loss);
+  EXPECT_GT(history.back().accuracy, 0.95);
+
+  // Fresh samples classify correctly.
+  std::vector<float> ty;
+  const Rows tx = make_xor_rows(100, &ty, 32);
+  int correct = 0;
+  for (std::size_t i = 0; i < tx.size(); ++i) {
+    const bool pred = trainer.predict_proba(tx[i]) > 0.5f;
+    correct += pred == (ty[i] > 0);
+  }
+  EXPECT_GE(correct, 90);
+}
+
+TEST(Trainer, BatchPredictionMatchesSingle) {
+  Network net = make_mlp();
+  Trainer trainer(&net, {1, 1, 4});
+  std::vector<float> y;
+  const Rows x = make_xor_rows(60, &y, 33);
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  trainer.train(x, y, cfg);
+  const auto batch = trainer.predict_proba_batch(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(batch[i], trainer.predict_proba(x[i]), 1e-5);
+  }
+}
+
+TEST(Trainer, BiasedLearningIncreasesRecallSideProbability) {
+  // After BL fine-tuning with lambda > 0, the mean predicted hotspot
+  // probability on *non-hotspot* training samples must increase.
+  std::vector<float> y;
+  const Rows x = make_xor_rows(200, &y, 34);
+
+  Network plain_net = make_mlp();
+  Trainer plain(&plain_net, {1, 1, 4});
+  TrainConfig base;
+  base.epochs = 30;
+  base.learning_rate = 5e-3;
+  plain.train(x, y, base);
+  double p_plain = 0;
+  int negatives = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (y[i] < 0) {
+      p_plain += plain.predict_proba(x[i]);
+      ++negatives;
+    }
+  }
+  p_plain /= negatives;
+
+  Network bl_net = make_mlp();
+  Trainer bl(&bl_net, {1, 1, 4});
+  BiasedTrainConfig blc;
+  blc.pretrain = base;
+  blc.lambda = 0.35;
+  blc.bias_epochs = 15;
+  const auto history = train_biased(bl, x, y, blc);
+  EXPECT_EQ(history.size(), 45u);
+  EXPECT_DOUBLE_EQ(history.back().lambda, 0.35);
+  double p_bl = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (y[i] < 0) p_bl += bl.predict_proba(x[i]);
+  }
+  p_bl /= negatives;
+  EXPECT_GT(p_bl, p_plain);
+}
+
+TEST(Trainer, BatchBiasedStopsAtFalseAlarmGuard) {
+  std::vector<float> y;
+  const Rows x = make_xor_rows(150, &y, 35);
+  Network net = make_mlp();
+  Trainer trainer(&net, {1, 1, 4});
+  BatchBiasedConfig cfg;
+  cfg.pretrain.epochs = 20;
+  cfg.pretrain.learning_rate = 5e-3;
+  cfg.lambda_schedule = {0.2, 0.4, 0.6};
+  cfg.epochs_per_stage = 5;
+  cfg.max_false_alarm = -1.0;  // trips immediately after the first stage
+  const auto history = train_batch_biased(trainer, x, y, cfg);
+  EXPECT_EQ(history.size(), 20u + 5u);  // pretrain + exactly one stage
+}
+
+TEST(Trainer, RejectsWrongRowSize) {
+  Network net = make_mlp();
+  Trainer trainer(&net, {1, 1, 4});
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  EXPECT_THROW(trainer.train({{1.0f, 2.0f}}, {1.0f}, cfg), Error);
+}
+
+// --------------------------------------------------------------- hotspot --
+
+TEST(HotspotCnn, BuildsWithExpectedParamBudget) {
+  Network net = make_hotspot_cnn(16, 16);
+  const std::size_t params = net.param_count();
+  EXPECT_GT(params, 10000u);
+  EXPECT_LT(params, 200000u);
+  Rng rng(1);
+  net.init(rng);
+  Tensor in({2, 16, 16, 16});
+  const Tensor out = net.forward(in, false);
+  EXPECT_EQ(out.shape(), (std::vector<int>{2, 2}));
+}
+
+TEST(HotspotCnn, RejectsIndivisibleGrid) {
+  EXPECT_THROW(make_hotspot_cnn(16, 6), Error);
+}
+
+// --------------------------------------------------------------- weights --
+
+TEST(Serialize, RoundTripRestoresOutputs) {
+  Network net = make_mlp();
+  Rng rng(2);
+  net.init(rng);
+  Tensor in({1, 4});
+  in[0] = 0.3f;
+  in[2] = -0.7f;
+  const Tensor before = net.forward(in, false);
+
+  std::stringstream buf;
+  save_weights(net, buf);
+
+  Network other = make_mlp();
+  Rng rng2(99);
+  other.init(rng2);  // different weights
+  load_weights(other, buf);
+  const Tensor after = other.forward(in, false);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(before[i], after[i]);
+  }
+}
+
+TEST(Serialize, ArchitectureMismatchThrows) {
+  Network net = make_mlp();
+  Rng rng(2);
+  net.init(rng);
+  std::stringstream buf;
+  save_weights(net, buf);
+  Network different;
+  different.add(std::make_unique<Linear>(3, 2));
+  EXPECT_THROW(load_weights(different, buf), Error);
+}
+
+TEST(Serialize, GarbageStreamThrows) {
+  Network net = make_mlp();
+  std::stringstream buf;
+  buf << "garbage";
+  EXPECT_THROW(load_weights(net, buf), Error);
+}
+
+
+// -------------------------------------------------------------- batchnorm --
+
+TEST(BatchNorm, NormalizesTrainingBatchPerChannel) {
+  BatchNorm2d bn(2);
+  Rng rng(3);
+  Tensor in({4, 2, 3, 3});
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<float>(rng.next_gaussian(5.0, 2.0));
+  }
+  const Tensor out = bn.forward(in, true);
+  for (int c = 0; c < 2; ++c) {
+    double sum = 0, sum2 = 0;
+    int count = 0;
+    for (int s = 0; s < 4; ++s) {
+      for (int i = 0; i < 9; ++i) {
+        const float v = out[static_cast<std::size_t>((s * 2 + c) * 9 + i)];
+        sum += v;
+        sum2 += static_cast<double>(v) * v;
+        ++count;
+      }
+    }
+    const double mean = sum / count;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sum2 / count - mean * mean, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, EvalUsesRunningStatistics) {
+  BatchNorm2d bn(1);
+  Rng rng(4);
+  Tensor in({8, 1, 4, 4});
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<float>(rng.next_gaussian(3.0, 1.5));
+  }
+  for (int it = 0; it < 50; ++it) (void)bn.forward(in, true);
+  // In eval mode the same input must come out near-normalized because the
+  // running stats converged to the batch stats.
+  const Tensor out = bn.forward(in, false);
+  double sum = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) sum += out[i];
+  EXPECT_NEAR(sum / static_cast<double>(out.size()), 0.0, 0.1);
+}
+
+TEST(BatchNorm, GradientCheckThroughLoss) {
+  Network net;
+  net.add(std::make_unique<Conv2d>(1, 2, 3, 1));
+  net.add(std::make_unique<BatchNorm2d>(2));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<Linear>(2 * 4 * 4, 2));
+  Rng rng(15);
+  net.init(rng);
+  Tensor in({3, 1, 4, 4});
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<float>(rng.next_gaussian());
+  }
+  Tensor targets({3, 2});
+  targets[0] = 1;
+  targets[3] = 1;
+  targets[5] = 1;
+  // Training mode: the numeric gradient recomputes batch statistics on
+  // every perturbed forward, exactly what the analytic backward models.
+  check_network_gradients(net, in, targets, 5e-3, /*training=*/true);
+}
+
+TEST(BatchNorm, HotspotCnnVariantTrains) {
+  Network net = make_hotspot_cnn(16, 16, /*batchnorm=*/true);
+  Rng rng(1);
+  net.init(rng);
+  Tensor in({4, 16, 16, 16});
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<float>(rng.next_double());
+  }
+  const Tensor out = net.forward(in, true);
+  EXPECT_EQ(out.shape(), (std::vector<int>{4, 2}));
+}
+
+TEST(BatchNorm, RejectsWrongChannels) {
+  BatchNorm2d bn(3);
+  Tensor in({1, 2, 4, 4});
+  EXPECT_THROW(bn.forward(in, true), Error);
+}
+
+TEST(Trainer, LrDecayShrinksStepsAndStillLearns) {
+  Network net = make_mlp();
+  Trainer trainer(&net, {1, 1, 4});
+  std::vector<float> y;
+  const Rows x = make_xor_rows(150, &y, 77);
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.learning_rate = 8e-3;
+  cfg.lr_decay = 0.93;
+  const auto history = trainer.train(x, y, cfg);
+  EXPECT_GT(history.back().accuracy, 0.9);
+}
+
+}  // namespace
+}  // namespace lhd::nn

@@ -1,0 +1,306 @@
+// Tests for lhd/synth: motifs, clip generation, suites, builder, chip gen.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "lhd/geom/polygon.hpp"
+#include "lhd/geom/raster.hpp"
+#include "lhd/litho/oracle.hpp"
+#include "lhd/synth/builder.hpp"
+#include "lhd/synth/chip_gen.hpp"
+#include "lhd/synth/clip_gen.hpp"
+#include "lhd/synth/motifs.hpp"
+#include "lhd/synth/suites.hpp"
+
+namespace lhd::synth {
+namespace {
+
+using geom::Rect;
+
+// ---------------------------------------------------------------- motifs --
+
+class MotifRender
+    : public ::testing::TestWithParam<std::tuple<MotifKind, bool>> {};
+
+TEST_P(MotifRender, ProducesGeometryInsideFrame) {
+  const auto [kind, risky] = GetParam();
+  StyleConfig style;
+  Rng rng(5);
+  const auto rects = render_motif(kind, style, risky, style.site_frame_nm, rng);
+  ASSERT_FALSE(rects.empty());
+  for (const auto& r : rects) {
+    EXPECT_FALSE(r.empty());
+    // Motifs may protrude slightly after symmetry, but must stay near the
+    // frame (within half a frame margin).
+    EXPECT_GE(r.xlo, -style.site_frame_nm / 2);
+    EXPECT_LE(r.xhi, style.site_frame_nm * 3 / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, MotifRender,
+    ::testing::Combine(
+        ::testing::Values(MotifKind::ParallelRun, MotifKind::TipToTip,
+                          MotifKind::TipToLine, MotifKind::NarrowNeck,
+                          MotifKind::CornerPair, MotifKind::ViaPair,
+                          MotifKind::SmallVia, MotifKind::CombFingers),
+        ::testing::Bool()));
+
+TEST(Motifs, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto kind :
+       {MotifKind::ParallelRun, MotifKind::TipToTip, MotifKind::TipToLine,
+        MotifKind::NarrowNeck, MotifKind::CornerPair, MotifKind::ViaPair,
+        MotifKind::SmallVia, MotifKind::CombFingers}) {
+    names.insert(motif_name(kind));
+  }
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(Motifs, EveryFamilyHasMotifs) {
+  EXPECT_FALSE(motifs_for(PatternFamily::Tracks).empty());
+  EXPECT_FALSE(motifs_for(PatternFamily::Serpentine).empty());
+  EXPECT_FALSE(motifs_for(PatternFamily::Vias).empty());
+}
+
+// The load-bearing calibration property: risky motif instances violate the
+// lithography oracle, safe ones never do. (The generator and all benchmark
+// labels rest on this.)
+class MotifCalibration : public ::testing::TestWithParam<MotifKind> {};
+
+TEST_P(MotifCalibration, RiskyViolatesSafeDoesNot) {
+  const MotifKind kind = GetParam();
+  StyleConfig style;
+  const litho::HotspotOracle oracle{litho::OracleConfig{}};
+  const geom::Coord off = (style.window_nm - style.site_frame_nm) / 2;
+  int risky_hot = 0, safe_hot = 0;
+  constexpr int kTrials = 12;
+  Rng rng(99);
+  for (int i = 0; i < kTrials; ++i) {
+    for (const bool risky : {true, false}) {
+      auto rects = render_motif(kind, style, risky, style.site_frame_nm, rng);
+      for (auto& r : rects) r = r.shifted(off, off);
+      rects = geom::clip_rects(rects,
+                               Rect(0, 0, style.window_nm, style.window_nm));
+      const auto mask = geom::rasterize(rects, style.window_nm, 8);
+      (risky ? risky_hot : safe_hot) += oracle.evaluate(mask).hotspot;
+    }
+  }
+  EXPECT_GE(risky_hot, kTrials * 3 / 4) << motif_name(kind);
+  EXPECT_EQ(safe_hot, 0) << motif_name(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, MotifCalibration,
+    ::testing::Values(MotifKind::ParallelRun, MotifKind::TipToTip,
+                      MotifKind::TipToLine, MotifKind::NarrowNeck,
+                      MotifKind::CornerPair, MotifKind::ViaPair,
+                      MotifKind::SmallVia, MotifKind::CombFingers));
+
+// -------------------------------------------------------------- clip gen --
+
+TEST(ClipGen, DeterministicGivenSeed) {
+  StyleConfig style;
+  Rng a(42), b(42);
+  EXPECT_EQ(generate_clip(style, a), generate_clip(style, b));
+}
+
+TEST(ClipGen, DifferentSeedsDiffer) {
+  StyleConfig style;
+  Rng a(1), b(2);
+  EXPECT_NE(generate_clip(style, a), generate_clip(style, b));
+}
+
+TEST(ClipGen, AllRectsInsideWindow) {
+  StyleConfig style;
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    for (const auto& r : generate_clip(style, rng)) {
+      EXPECT_GE(r.xlo, 0);
+      EXPECT_GE(r.ylo, 0);
+      EXPECT_LE(r.xhi, style.window_nm);
+      EXPECT_LE(r.yhi, style.window_nm);
+      EXPECT_FALSE(r.empty());
+    }
+  }
+}
+
+class ClipGenFamilies : public ::testing::TestWithParam<PatternFamily> {};
+
+TEST_P(ClipGenFamilies, ProducesNonTrivialDensity) {
+  StyleConfig style;
+  style.family = GetParam();
+  Rng rng(11);
+  double total_area = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto rects = generate_clip(style, rng);
+    total_area += static_cast<double>(geom::union_area(rects));
+  }
+  const double window_area =
+      static_cast<double>(style.window_nm) * style.window_nm;
+  const double mean_density = total_area / (10 * window_area);
+  EXPECT_GT(mean_density, 0.015);
+  EXPECT_LT(mean_density, 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ClipGenFamilies,
+                         ::testing::Values(PatternFamily::Tracks,
+                                           PatternFamily::Serpentine,
+                                           PatternFamily::Vias));
+
+TEST(ClipGen, RejectsBadConfig) {
+  StyleConfig style;
+  style.grid_nm = 0;
+  Rng rng(1);
+  EXPECT_THROW(generate_clip(style, rng), Error);
+  StyleConfig style2;
+  style2.site_frame_nm = style2.window_nm;
+  EXPECT_THROW(generate_clip(style2, rng), Error);
+}
+
+// ---------------------------------------------------------------- suites --
+
+TEST(Suites, FiveBenchmarksDefined) {
+  const auto& suites = benchmark_suites();
+  ASSERT_EQ(suites.size(), 5u);
+  for (std::size_t i = 0; i < suites.size(); ++i) {
+    EXPECT_EQ(suites[i].name, "B" + std::to_string(i + 1));
+    EXPECT_GT(suites[i].n_train, 0);
+    EXPECT_GT(suites[i].n_test, 0);
+    EXPECT_FALSE(suites[i].description.empty());
+  }
+}
+
+TEST(Suites, LookupByName) {
+  EXPECT_EQ(suite_by_name("B3").name, "B3");
+  EXPECT_THROW(suite_by_name("B9"), Error);
+}
+
+TEST(Suites, B5IsTheImbalancedSuite) {
+  const auto& b5 = suite_by_name("B5");
+  for (const auto& s : benchmark_suites()) {
+    EXPECT_LE(b5.style.p_risky_site, s.style.p_risky_site);
+  }
+}
+
+// --------------------------------------------------------------- builder --
+
+TEST(Builder, BuildsRequestedCounts) {
+  SuiteSpec spec = suite_by_name("B1");
+  spec.n_train = 24;
+  spec.n_test = 12;
+  const auto built = build_suite(spec, {});
+  EXPECT_EQ(built.train.size(), 24u);
+  EXPECT_EQ(built.test.size(), 12u);
+}
+
+TEST(Builder, DeterministicAcrossRuns) {
+  SuiteSpec spec = suite_by_name("B2");
+  spec.n_train = 20;
+  spec.n_test = 0;
+  const auto a = build_suite(spec, {});
+  const auto b = build_suite(spec, {});
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].rects, b.train[i].rects);
+    EXPECT_EQ(a.train[i].label, b.train[i].label);
+  }
+}
+
+TEST(Builder, GdsRoundTripDoesNotChangeLabels) {
+  SuiteSpec spec = suite_by_name("B1");
+  spec.n_train = 20;
+  spec.n_test = 0;
+  BuildOptions with;
+  with.gds_roundtrip = true;
+  BuildOptions without;
+  without.gds_roundtrip = false;
+  const auto a = build_suite(spec, with);
+  const auto b = build_suite(spec, without);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].label, b.train[i].label) << "clip " << i;
+  }
+}
+
+TEST(Builder, CacheRoundTrip) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "lhd_test_cache";
+  fs::remove_all(dir);
+  SuiteSpec spec = suite_by_name("B3");
+  spec.n_train = 15;
+  spec.n_test = 10;
+  BuildOptions opts;
+  opts.cache_dir = dir.string();
+  const auto first = build_suite(spec, opts);
+  EXPECT_TRUE(fs::exists(dir / "B3_train.lhdd"));
+  const auto second = build_suite(spec, opts);  // loads from cache
+  ASSERT_EQ(first.train.size(), second.train.size());
+  for (std::size_t i = 0; i < first.train.size(); ++i) {
+    EXPECT_EQ(first.train[i].rects, second.train[i].rects);
+    EXPECT_EQ(first.train[i].label, second.train[i].label);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Builder, HotspotRateInPlausibleBand) {
+  SuiteSpec spec = suite_by_name("B2");
+  spec.n_train = 120;
+  spec.n_test = 0;
+  const auto built = build_suite(spec, {});
+  const auto stats = built.train.stats();
+  // p_risky_site = 0.32 and nearly every risky site violates.
+  EXPECT_GT(stats.hotspot_ratio, 0.10);
+  EXPECT_LT(stats.hotspot_ratio, 0.55);
+}
+
+TEST(Builder, LabelsMatchOracleReplay) {
+  SuiteSpec spec = suite_by_name("B1");
+  spec.n_train = 15;
+  spec.n_test = 0;
+  const auto built = build_suite(spec, {});
+  const litho::HotspotOracle oracle{litho::OracleConfig{}};
+  for (std::size_t i = 0; i < built.train.size(); ++i) {
+    const auto& clip = built.train[i];
+    const bool expected = oracle.evaluate(clip.raster(8)).hotspot;
+    EXPECT_EQ(clip.is_hotspot(), expected) << "clip " << i;
+  }
+}
+
+// -------------------------------------------------------------- chip gen --
+
+TEST(ChipGen, BuildsTopAndTiles) {
+  StyleConfig style;
+  const auto lib = build_chip(style, 3, 2, 77);
+  EXPECT_NE(lib.find("TOP"), nullptr);
+  EXPECT_EQ(lib.structures().size(), 1u + 3 * 2);
+}
+
+TEST(ChipGen, FlattenedChipCoversExpectedExtent) {
+  StyleConfig style;
+  const auto lib = build_chip(style, 2, 2, 77);
+  const auto rects = lib.flatten_layer("TOP", kChipLayer);
+  ASSERT_FALSE(rects.empty());
+  geom::Rect bbox = lib.layer_bbox("TOP", kChipLayer);
+  EXPECT_GE(bbox.width(), style.window_nm);
+  EXPECT_LE(bbox.xhi, 2 * style.window_nm);
+  EXPECT_LE(bbox.yhi, 2 * style.window_nm);
+}
+
+TEST(ChipGen, DeterministicGivenSeed) {
+  StyleConfig style;
+  const auto a = build_chip(style, 2, 1, 5);
+  const auto b = build_chip(style, 2, 1, 5);
+  EXPECT_EQ(a.flatten_layer("TOP", kChipLayer),
+            b.flatten_layer("TOP", kChipLayer));
+}
+
+TEST(ChipGen, RejectsBadTileCounts) {
+  StyleConfig style;
+  EXPECT_THROW(build_chip(style, 0, 2, 1), Error);
+}
+
+}  // namespace
+}  // namespace lhd::synth
