@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_imbalance.dir/fig5_imbalance.cpp.o"
+  "CMakeFiles/fig5_imbalance.dir/fig5_imbalance.cpp.o.d"
+  "fig5_imbalance"
+  "fig5_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_scan.dir/fig8_scan.cpp.o"
+  "CMakeFiles/fig8_scan.dir/fig8_scan.cpp.o.d"
+  "fig8_scan"
+  "fig8_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_benchmarks.cpp" "bench/CMakeFiles/table1_benchmarks.dir/table1_benchmarks.cpp.o" "gcc" "bench/CMakeFiles/table1_benchmarks.dir/table1_benchmarks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lhd/core/CMakeFiles/lhd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/feature/CMakeFiles/lhd_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/ml/CMakeFiles/lhd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/nn/CMakeFiles/lhd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/synth/CMakeFiles/lhd_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/data/CMakeFiles/lhd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/litho/CMakeFiles/lhd_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/gds/CMakeFiles/lhd_gds.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/geom/CMakeFiles/lhd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/util/CMakeFiles/lhd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

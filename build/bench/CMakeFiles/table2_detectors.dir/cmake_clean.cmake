@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_detectors.dir/table2_detectors.cpp.o"
+  "CMakeFiles/table2_detectors.dir/table2_detectors.cpp.o.d"
+  "table2_detectors"
+  "table2_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gds_inspect.dir/gds_inspect.cpp.o"
+  "CMakeFiles/gds_inspect.dir/gds_inspect.cpp.o.d"
+  "gds_inspect"
+  "gds_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gds_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_custom_detector.dir/train_custom_detector.cpp.o"
+  "CMakeFiles/train_custom_detector.dir/train_custom_detector.cpp.o.d"
+  "train_custom_detector"
+  "train_custom_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_custom_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("lhd/util")
+subdirs("lhd/geom")
+subdirs("lhd/gds")
+subdirs("lhd/litho")
+subdirs("lhd/data")
+subdirs("lhd/synth")
+subdirs("lhd/feature")
+subdirs("lhd/ml")
+subdirs("lhd/nn")
+subdirs("lhd/core")

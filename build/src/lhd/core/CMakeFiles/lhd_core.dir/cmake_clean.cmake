@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhd_core.dir/cnn_detector.cpp.o"
+  "CMakeFiles/lhd_core.dir/cnn_detector.cpp.o.d"
+  "CMakeFiles/lhd_core.dir/ensemble.cpp.o"
+  "CMakeFiles/lhd_core.dir/ensemble.cpp.o.d"
+  "CMakeFiles/lhd_core.dir/factory.cpp.o"
+  "CMakeFiles/lhd_core.dir/factory.cpp.o.d"
+  "CMakeFiles/lhd_core.dir/metrics.cpp.o"
+  "CMakeFiles/lhd_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/lhd_core.dir/pipeline.cpp.o"
+  "CMakeFiles/lhd_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/lhd_core.dir/scan.cpp.o"
+  "CMakeFiles/lhd_core.dir/scan.cpp.o.d"
+  "CMakeFiles/lhd_core.dir/shallow_detector.cpp.o"
+  "CMakeFiles/lhd_core.dir/shallow_detector.cpp.o.d"
+  "liblhd_core.a"
+  "liblhd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

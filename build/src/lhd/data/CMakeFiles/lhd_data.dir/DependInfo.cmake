@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lhd/data/augment.cpp" "src/lhd/data/CMakeFiles/lhd_data.dir/augment.cpp.o" "gcc" "src/lhd/data/CMakeFiles/lhd_data.dir/augment.cpp.o.d"
+  "/root/repo/src/lhd/data/dataset.cpp" "src/lhd/data/CMakeFiles/lhd_data.dir/dataset.cpp.o" "gcc" "src/lhd/data/CMakeFiles/lhd_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/lhd/data/io.cpp" "src/lhd/data/CMakeFiles/lhd_data.dir/io.cpp.o" "gcc" "src/lhd/data/CMakeFiles/lhd_data.dir/io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lhd/geom/CMakeFiles/lhd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/util/CMakeFiles/lhd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

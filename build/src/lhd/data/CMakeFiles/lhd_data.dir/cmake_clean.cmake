@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhd_data.dir/augment.cpp.o"
+  "CMakeFiles/lhd_data.dir/augment.cpp.o.d"
+  "CMakeFiles/lhd_data.dir/dataset.cpp.o"
+  "CMakeFiles/lhd_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/lhd_data.dir/io.cpp.o"
+  "CMakeFiles/lhd_data.dir/io.cpp.o.d"
+  "liblhd_data.a"
+  "liblhd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lhd/feature/ccas.cpp" "src/lhd/feature/CMakeFiles/lhd_feature.dir/ccas.cpp.o" "gcc" "src/lhd/feature/CMakeFiles/lhd_feature.dir/ccas.cpp.o.d"
+  "/root/repo/src/lhd/feature/dct.cpp" "src/lhd/feature/CMakeFiles/lhd_feature.dir/dct.cpp.o" "gcc" "src/lhd/feature/CMakeFiles/lhd_feature.dir/dct.cpp.o.d"
+  "/root/repo/src/lhd/feature/density.cpp" "src/lhd/feature/CMakeFiles/lhd_feature.dir/density.cpp.o" "gcc" "src/lhd/feature/CMakeFiles/lhd_feature.dir/density.cpp.o.d"
+  "/root/repo/src/lhd/feature/extractor.cpp" "src/lhd/feature/CMakeFiles/lhd_feature.dir/extractor.cpp.o" "gcc" "src/lhd/feature/CMakeFiles/lhd_feature.dir/extractor.cpp.o.d"
+  "/root/repo/src/lhd/feature/pca.cpp" "src/lhd/feature/CMakeFiles/lhd_feature.dir/pca.cpp.o" "gcc" "src/lhd/feature/CMakeFiles/lhd_feature.dir/pca.cpp.o.d"
+  "/root/repo/src/lhd/feature/scaler.cpp" "src/lhd/feature/CMakeFiles/lhd_feature.dir/scaler.cpp.o" "gcc" "src/lhd/feature/CMakeFiles/lhd_feature.dir/scaler.cpp.o.d"
+  "/root/repo/src/lhd/feature/squish.cpp" "src/lhd/feature/CMakeFiles/lhd_feature.dir/squish.cpp.o" "gcc" "src/lhd/feature/CMakeFiles/lhd_feature.dir/squish.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lhd/data/CMakeFiles/lhd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/geom/CMakeFiles/lhd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/util/CMakeFiles/lhd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

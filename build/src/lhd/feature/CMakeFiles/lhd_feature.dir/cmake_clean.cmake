@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhd_feature.dir/ccas.cpp.o"
+  "CMakeFiles/lhd_feature.dir/ccas.cpp.o.d"
+  "CMakeFiles/lhd_feature.dir/dct.cpp.o"
+  "CMakeFiles/lhd_feature.dir/dct.cpp.o.d"
+  "CMakeFiles/lhd_feature.dir/density.cpp.o"
+  "CMakeFiles/lhd_feature.dir/density.cpp.o.d"
+  "CMakeFiles/lhd_feature.dir/extractor.cpp.o"
+  "CMakeFiles/lhd_feature.dir/extractor.cpp.o.d"
+  "CMakeFiles/lhd_feature.dir/pca.cpp.o"
+  "CMakeFiles/lhd_feature.dir/pca.cpp.o.d"
+  "CMakeFiles/lhd_feature.dir/scaler.cpp.o"
+  "CMakeFiles/lhd_feature.dir/scaler.cpp.o.d"
+  "CMakeFiles/lhd_feature.dir/squish.cpp.o"
+  "CMakeFiles/lhd_feature.dir/squish.cpp.o.d"
+  "liblhd_feature.a"
+  "liblhd_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhd_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lhd/gds/model.cpp" "src/lhd/gds/CMakeFiles/lhd_gds.dir/model.cpp.o" "gcc" "src/lhd/gds/CMakeFiles/lhd_gds.dir/model.cpp.o.d"
+  "/root/repo/src/lhd/gds/reader.cpp" "src/lhd/gds/CMakeFiles/lhd_gds.dir/reader.cpp.o" "gcc" "src/lhd/gds/CMakeFiles/lhd_gds.dir/reader.cpp.o.d"
+  "/root/repo/src/lhd/gds/records.cpp" "src/lhd/gds/CMakeFiles/lhd_gds.dir/records.cpp.o" "gcc" "src/lhd/gds/CMakeFiles/lhd_gds.dir/records.cpp.o.d"
+  "/root/repo/src/lhd/gds/writer.cpp" "src/lhd/gds/CMakeFiles/lhd_gds.dir/writer.cpp.o" "gcc" "src/lhd/gds/CMakeFiles/lhd_gds.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lhd/geom/CMakeFiles/lhd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/util/CMakeFiles/lhd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhd_gds.dir/model.cpp.o"
+  "CMakeFiles/lhd_gds.dir/model.cpp.o.d"
+  "CMakeFiles/lhd_gds.dir/reader.cpp.o"
+  "CMakeFiles/lhd_gds.dir/reader.cpp.o.d"
+  "CMakeFiles/lhd_gds.dir/records.cpp.o"
+  "CMakeFiles/lhd_gds.dir/records.cpp.o.d"
+  "CMakeFiles/lhd_gds.dir/writer.cpp.o"
+  "CMakeFiles/lhd_gds.dir/writer.cpp.o.d"
+  "liblhd_gds.a"
+  "liblhd_gds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhd_gds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

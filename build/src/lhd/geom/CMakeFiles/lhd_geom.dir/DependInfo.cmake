@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lhd/geom/boolean.cpp" "src/lhd/geom/CMakeFiles/lhd_geom.dir/boolean.cpp.o" "gcc" "src/lhd/geom/CMakeFiles/lhd_geom.dir/boolean.cpp.o.d"
+  "/root/repo/src/lhd/geom/polygon.cpp" "src/lhd/geom/CMakeFiles/lhd_geom.dir/polygon.cpp.o" "gcc" "src/lhd/geom/CMakeFiles/lhd_geom.dir/polygon.cpp.o.d"
+  "/root/repo/src/lhd/geom/raster.cpp" "src/lhd/geom/CMakeFiles/lhd_geom.dir/raster.cpp.o" "gcc" "src/lhd/geom/CMakeFiles/lhd_geom.dir/raster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lhd/util/CMakeFiles/lhd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhd_geom.dir/boolean.cpp.o"
+  "CMakeFiles/lhd_geom.dir/boolean.cpp.o.d"
+  "CMakeFiles/lhd_geom.dir/polygon.cpp.o"
+  "CMakeFiles/lhd_geom.dir/polygon.cpp.o.d"
+  "CMakeFiles/lhd_geom.dir/raster.cpp.o"
+  "CMakeFiles/lhd_geom.dir/raster.cpp.o.d"
+  "liblhd_geom.a"
+  "liblhd_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhd_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

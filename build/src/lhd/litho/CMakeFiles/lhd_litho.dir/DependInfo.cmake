@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lhd/litho/metrology.cpp" "src/lhd/litho/CMakeFiles/lhd_litho.dir/metrology.cpp.o" "gcc" "src/lhd/litho/CMakeFiles/lhd_litho.dir/metrology.cpp.o.d"
+  "/root/repo/src/lhd/litho/optics.cpp" "src/lhd/litho/CMakeFiles/lhd_litho.dir/optics.cpp.o" "gcc" "src/lhd/litho/CMakeFiles/lhd_litho.dir/optics.cpp.o.d"
+  "/root/repo/src/lhd/litho/oracle.cpp" "src/lhd/litho/CMakeFiles/lhd_litho.dir/oracle.cpp.o" "gcc" "src/lhd/litho/CMakeFiles/lhd_litho.dir/oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lhd/geom/CMakeFiles/lhd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/util/CMakeFiles/lhd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhd_litho.dir/metrology.cpp.o"
+  "CMakeFiles/lhd_litho.dir/metrology.cpp.o.d"
+  "CMakeFiles/lhd_litho.dir/optics.cpp.o"
+  "CMakeFiles/lhd_litho.dir/optics.cpp.o.d"
+  "CMakeFiles/lhd_litho.dir/oracle.cpp.o"
+  "CMakeFiles/lhd_litho.dir/oracle.cpp.o.d"
+  "liblhd_litho.a"
+  "liblhd_litho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhd_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lhd/ml/adaboost.cpp" "src/lhd/ml/CMakeFiles/lhd_ml.dir/adaboost.cpp.o" "gcc" "src/lhd/ml/CMakeFiles/lhd_ml.dir/adaboost.cpp.o.d"
+  "/root/repo/src/lhd/ml/decision_tree.cpp" "src/lhd/ml/CMakeFiles/lhd_ml.dir/decision_tree.cpp.o" "gcc" "src/lhd/ml/CMakeFiles/lhd_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/lhd/ml/kernel_svm.cpp" "src/lhd/ml/CMakeFiles/lhd_ml.dir/kernel_svm.cpp.o" "gcc" "src/lhd/ml/CMakeFiles/lhd_ml.dir/kernel_svm.cpp.o.d"
+  "/root/repo/src/lhd/ml/knn.cpp" "src/lhd/ml/CMakeFiles/lhd_ml.dir/knn.cpp.o" "gcc" "src/lhd/ml/CMakeFiles/lhd_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/lhd/ml/linear_svm.cpp" "src/lhd/ml/CMakeFiles/lhd_ml.dir/linear_svm.cpp.o" "gcc" "src/lhd/ml/CMakeFiles/lhd_ml.dir/linear_svm.cpp.o.d"
+  "/root/repo/src/lhd/ml/logistic_regression.cpp" "src/lhd/ml/CMakeFiles/lhd_ml.dir/logistic_regression.cpp.o" "gcc" "src/lhd/ml/CMakeFiles/lhd_ml.dir/logistic_regression.cpp.o.d"
+  "/root/repo/src/lhd/ml/naive_bayes.cpp" "src/lhd/ml/CMakeFiles/lhd_ml.dir/naive_bayes.cpp.o" "gcc" "src/lhd/ml/CMakeFiles/lhd_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/lhd/ml/pattern_match.cpp" "src/lhd/ml/CMakeFiles/lhd_ml.dir/pattern_match.cpp.o" "gcc" "src/lhd/ml/CMakeFiles/lhd_ml.dir/pattern_match.cpp.o.d"
+  "/root/repo/src/lhd/ml/random_forest.cpp" "src/lhd/ml/CMakeFiles/lhd_ml.dir/random_forest.cpp.o" "gcc" "src/lhd/ml/CMakeFiles/lhd_ml.dir/random_forest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lhd/util/CMakeFiles/lhd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

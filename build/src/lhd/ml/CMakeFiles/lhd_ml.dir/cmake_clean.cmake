@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhd_ml.dir/adaboost.cpp.o"
+  "CMakeFiles/lhd_ml.dir/adaboost.cpp.o.d"
+  "CMakeFiles/lhd_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/lhd_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/lhd_ml.dir/kernel_svm.cpp.o"
+  "CMakeFiles/lhd_ml.dir/kernel_svm.cpp.o.d"
+  "CMakeFiles/lhd_ml.dir/knn.cpp.o"
+  "CMakeFiles/lhd_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/lhd_ml.dir/linear_svm.cpp.o"
+  "CMakeFiles/lhd_ml.dir/linear_svm.cpp.o.d"
+  "CMakeFiles/lhd_ml.dir/logistic_regression.cpp.o"
+  "CMakeFiles/lhd_ml.dir/logistic_regression.cpp.o.d"
+  "CMakeFiles/lhd_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/lhd_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/lhd_ml.dir/pattern_match.cpp.o"
+  "CMakeFiles/lhd_ml.dir/pattern_match.cpp.o.d"
+  "CMakeFiles/lhd_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/lhd_ml.dir/random_forest.cpp.o.d"
+  "liblhd_ml.a"
+  "liblhd_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhd_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lhd_ml.
+# This may be replaced when dependencies are built.

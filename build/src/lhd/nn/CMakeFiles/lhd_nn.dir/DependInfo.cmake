@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lhd/nn/layers.cpp" "src/lhd/nn/CMakeFiles/lhd_nn.dir/layers.cpp.o" "gcc" "src/lhd/nn/CMakeFiles/lhd_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/lhd/nn/loss.cpp" "src/lhd/nn/CMakeFiles/lhd_nn.dir/loss.cpp.o" "gcc" "src/lhd/nn/CMakeFiles/lhd_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/lhd/nn/network.cpp" "src/lhd/nn/CMakeFiles/lhd_nn.dir/network.cpp.o" "gcc" "src/lhd/nn/CMakeFiles/lhd_nn.dir/network.cpp.o.d"
+  "/root/repo/src/lhd/nn/optimizer.cpp" "src/lhd/nn/CMakeFiles/lhd_nn.dir/optimizer.cpp.o" "gcc" "src/lhd/nn/CMakeFiles/lhd_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/lhd/nn/serialize.cpp" "src/lhd/nn/CMakeFiles/lhd_nn.dir/serialize.cpp.o" "gcc" "src/lhd/nn/CMakeFiles/lhd_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/lhd/nn/tensor.cpp" "src/lhd/nn/CMakeFiles/lhd_nn.dir/tensor.cpp.o" "gcc" "src/lhd/nn/CMakeFiles/lhd_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/lhd/nn/trainer.cpp" "src/lhd/nn/CMakeFiles/lhd_nn.dir/trainer.cpp.o" "gcc" "src/lhd/nn/CMakeFiles/lhd_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lhd/util/CMakeFiles/lhd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhd_nn.dir/layers.cpp.o"
+  "CMakeFiles/lhd_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/lhd_nn.dir/loss.cpp.o"
+  "CMakeFiles/lhd_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/lhd_nn.dir/network.cpp.o"
+  "CMakeFiles/lhd_nn.dir/network.cpp.o.d"
+  "CMakeFiles/lhd_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/lhd_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/lhd_nn.dir/serialize.cpp.o"
+  "CMakeFiles/lhd_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/lhd_nn.dir/tensor.cpp.o"
+  "CMakeFiles/lhd_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/lhd_nn.dir/trainer.cpp.o"
+  "CMakeFiles/lhd_nn.dir/trainer.cpp.o.d"
+  "liblhd_nn.a"
+  "liblhd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

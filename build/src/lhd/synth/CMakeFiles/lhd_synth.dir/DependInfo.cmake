@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lhd/synth/builder.cpp" "src/lhd/synth/CMakeFiles/lhd_synth.dir/builder.cpp.o" "gcc" "src/lhd/synth/CMakeFiles/lhd_synth.dir/builder.cpp.o.d"
+  "/root/repo/src/lhd/synth/chip_gen.cpp" "src/lhd/synth/CMakeFiles/lhd_synth.dir/chip_gen.cpp.o" "gcc" "src/lhd/synth/CMakeFiles/lhd_synth.dir/chip_gen.cpp.o.d"
+  "/root/repo/src/lhd/synth/clip_gen.cpp" "src/lhd/synth/CMakeFiles/lhd_synth.dir/clip_gen.cpp.o" "gcc" "src/lhd/synth/CMakeFiles/lhd_synth.dir/clip_gen.cpp.o.d"
+  "/root/repo/src/lhd/synth/motifs.cpp" "src/lhd/synth/CMakeFiles/lhd_synth.dir/motifs.cpp.o" "gcc" "src/lhd/synth/CMakeFiles/lhd_synth.dir/motifs.cpp.o.d"
+  "/root/repo/src/lhd/synth/suites.cpp" "src/lhd/synth/CMakeFiles/lhd_synth.dir/suites.cpp.o" "gcc" "src/lhd/synth/CMakeFiles/lhd_synth.dir/suites.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lhd/gds/CMakeFiles/lhd_gds.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/litho/CMakeFiles/lhd_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/data/CMakeFiles/lhd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/geom/CMakeFiles/lhd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhd/util/CMakeFiles/lhd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

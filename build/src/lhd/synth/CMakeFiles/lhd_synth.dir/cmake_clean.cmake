@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhd_synth.dir/builder.cpp.o"
+  "CMakeFiles/lhd_synth.dir/builder.cpp.o.d"
+  "CMakeFiles/lhd_synth.dir/chip_gen.cpp.o"
+  "CMakeFiles/lhd_synth.dir/chip_gen.cpp.o.d"
+  "CMakeFiles/lhd_synth.dir/clip_gen.cpp.o"
+  "CMakeFiles/lhd_synth.dir/clip_gen.cpp.o.d"
+  "CMakeFiles/lhd_synth.dir/motifs.cpp.o"
+  "CMakeFiles/lhd_synth.dir/motifs.cpp.o.d"
+  "CMakeFiles/lhd_synth.dir/suites.cpp.o"
+  "CMakeFiles/lhd_synth.dir/suites.cpp.o.d"
+  "liblhd_synth.a"
+  "liblhd_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhd_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblhd_synth.a"
+)

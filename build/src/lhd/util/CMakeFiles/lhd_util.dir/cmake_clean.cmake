@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhd_util.dir/cli.cpp.o"
+  "CMakeFiles/lhd_util.dir/cli.cpp.o.d"
+  "CMakeFiles/lhd_util.dir/log.cpp.o"
+  "CMakeFiles/lhd_util.dir/log.cpp.o.d"
+  "CMakeFiles/lhd_util.dir/table.cpp.o"
+  "CMakeFiles/lhd_util.dir/table.cpp.o.d"
+  "CMakeFiles/lhd_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/lhd_util.dir/thread_pool.cpp.o.d"
+  "liblhd_util.a"
+  "liblhd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feature.dir/test_feature.cpp.o"
+  "CMakeFiles/test_feature.dir/test_feature.cpp.o.d"
+  "test_feature"
+  "test_feature.pdb"
+  "test_feature[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
