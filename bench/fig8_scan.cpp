@@ -2,8 +2,12 @@
 // flagged count and wall time for growing chip areas, comparing the
 // CNN-only sliding-window flow against the two-stage flow (pattern-match
 // prefilter proposing candidates, CNN refining) the survey highlights.
+// Each flow also runs serial vs parallel (ScanConfig::threads) to measure
+// the scan's thread scaling; hit lists are bit-identical across counts.
 //
-// Flags: --suite=B2 --max-tiles=16 --stride=512
+// Flags: --suite=B2 --max-tiles=16 --stride=512 --threads=0 (0 = all cores)
+
+#include <thread>
 
 #include "common.hpp"
 #include "lhd/core/factory.hpp"
@@ -28,13 +32,22 @@ int main(int argc, char** argv) {
   scan_cfg.window_nm = spec.style.window_nm;
   scan_cfg.stride_nm = static_cast<geom::Coord>(cli.get_int("stride", 512));
 
+  // Non-positive --threads means "auto": one shard per hardware thread.
+  const long long threads_arg = cli.get_int("threads", 0);
+  const std::size_t parallel_threads =
+      threads_arg > 0 ? static_cast<std::size_t>(threads_arg)
+                      : std::max<std::size_t>(
+                            1, std::thread::hardware_concurrency());
+  std::vector<std::size_t> thread_counts = {1};
+  if (parallel_threads > 1) thread_counts.push_back(parallel_threads);
+
   Table table("Fig. 8 — full-chip scan scaling (window " +
               Table::cell(static_cast<long long>(scan_cfg.window_nm)) +
               " nm, stride " +
               Table::cell(static_cast<long long>(scan_cfg.stride_nm)) +
               " nm)");
-  table.set_header({"chip tiles", "area mm^2 (scaled)", "flow", "windows",
-                    "classified", "flagged", "seconds",
+  table.set_header({"chip tiles", "area mm^2 (scaled)", "flow", "threads",
+                    "windows", "classified", "flagged", "seconds",
                     "us / window"});
 
   const long long max_tiles = cli.get_int("max-tiles", 16);
@@ -49,25 +62,38 @@ int main(int argc, char** argv) {
                             chip_style.window_nm * chip_style.window_nm /
                             1e12;  // mm^2 of (scaled) layout
 
-    const auto single = core::scan_chip(index, *cnn, scan_cfg);
-    const auto two =
-        core::scan_chip_two_stage(index, *prefilter, *cnn, scan_cfg);
-    for (const auto& [flow, r] :
-         {std::pair{"cnn-only", &single}, {"pm->cnn two-stage", &two}}) {
-      table.add_row(
-          {Table::cell(static_cast<long long>(tiles)) + "x" +
-               Table::cell(static_cast<long long>(tiles)),
-           Table::cell(area_mm2, 3), flow,
-           Table::cell(static_cast<long long>(r->windows_total)),
-           Table::cell(static_cast<long long>(r->windows_classified)),
-           Table::cell(static_cast<long long>(r->flagged)),
-           Table::cell(r->seconds, 2),
-           Table::cell(1e6 * r->seconds /
-                           static_cast<double>(r->windows_total),
-                       1)});
+    double serial_cnn = 0.0, parallel_cnn = 0.0;
+    for (const std::size_t threads : thread_counts) {
+      scan_cfg.threads = threads;
+      const auto single = core::scan_chip(index, *cnn, scan_cfg);
+      const auto two =
+          core::scan_chip_two_stage(index, *prefilter, *cnn, scan_cfg);
+      if (threads == 1) serial_cnn = single.seconds;
+      if (threads == thread_counts.back()) parallel_cnn = single.seconds;
+      for (const auto& [flow, r] :
+           {std::pair{"cnn-only", &single}, {"pm->cnn two-stage", &two}}) {
+        table.add_row(
+            {Table::cell(static_cast<long long>(tiles)) + "x" +
+                 Table::cell(static_cast<long long>(tiles)),
+             Table::cell(area_mm2, 3), flow,
+             Table::cell(static_cast<long long>(threads)),
+             Table::cell(static_cast<long long>(r->windows_total)),
+             Table::cell(static_cast<long long>(r->windows_classified)),
+             Table::cell(static_cast<long long>(r->flagged)),
+             Table::cell(r->seconds, 2),
+             Table::cell(1e6 * r->seconds /
+                             static_cast<double>(r->windows_total),
+                         1)});
+      }
+      LHD_LOG(Info) << tiles << "x" << tiles << " @" << threads
+                    << " threads: cnn " << single.seconds
+                    << "s vs two-stage " << two.seconds << "s";
     }
-    LHD_LOG(Info) << tiles << "x" << tiles << ": cnn " << single.seconds
-                  << "s vs two-stage " << two.seconds << "s";
+    if (thread_counts.size() > 1 && parallel_cnn > 0.0) {
+      LHD_LOG(Info) << tiles << "x" << tiles << ": cnn-only scan speedup "
+                    << serial_cnn / parallel_cnn << "x with "
+                    << thread_counts.back() << " threads";
+    }
   }
   bench::print_table(table);
   return 0;

@@ -1,13 +1,16 @@
 // Table III — feature-extraction and inference throughput (google-benchmark
-// micro measurements): μs per clip for each feature, and per-clip inference
-// cost for a trained detector of each generation.
+// micro measurements): μs per clip for each feature, per-clip inference
+// cost for a trained detector of each generation, plus the full-chip scan
+// primitives (spatial-index window query, sharded scan at 1/2/4 threads).
 
 #include <benchmark/benchmark.h>
 
 #include "lhd/core/cnn_detector.hpp"
 #include "lhd/core/factory.hpp"
+#include "lhd/core/scan.hpp"
 #include "lhd/feature/extractor.hpp"
 #include "lhd/synth/builder.hpp"
+#include "lhd/synth/chip_gen.hpp"
 #include "lhd/util/log.hpp"
 
 namespace {
@@ -112,6 +115,63 @@ void BM_InferenceCnn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InferenceCnn);
+
+// ------------------------------------------------------- full-chip scan --
+
+const core::ChipIndex& sample_chip() {
+  static const core::ChipIndex index = [] {
+    set_log_level(LogLevel::Warn);
+    synth::StyleConfig style = synth::suite_by_name("B2").style;
+    style.p_risky_site = 0.25;
+    return core::ChipIndex::from_library(synth::build_chip(style, 4, 4, 77),
+                                         "TOP", synth::kChipLayer);
+  }();
+  return index;
+}
+
+/// Window extraction cost with a reused per-thread scratch — the fixed
+/// overhead every scan pays per window before any classification.
+void BM_ChipIndexQuery(benchmark::State& state) {
+  const auto& index = sample_chip();
+  const geom::Rect extent = index.extent();
+  core::ChipIndex::QueryScratch scratch;
+  geom::Coord x = extent.xlo, y = extent.ylo;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.query(geom::Rect(x, y, x + 1024, y + 1024), scratch));
+    x += 512;
+    if (x >= extent.xhi) {
+      x = extent.xlo;
+      y += 512;
+      if (y >= extent.yhi) y = extent.ylo;
+    }
+  }
+}
+BENCHMARK(BM_ChipIndexQuery);
+
+/// Whole-scan throughput vs ScanConfig::threads (pattern-match detector so
+/// the scan scaffolding, not CNN inference, dominates). Shards run on the
+/// process-wide pool; on a single-core host all counts coincide.
+void BM_ScanChipPatternMatch(benchmark::State& state) {
+  set_log_level(LogLevel::Warn);
+  static const auto det = [] {
+    auto d = core::make_detector("pm");
+    synth::SuiteSpec spec = synth::suite_by_name("B2");
+    spec.n_train = 64;
+    spec.n_test = 0;
+    d->train(synth::build_suite(spec, {}).train);
+    return d;
+  }();
+  const auto& index = sample_chip();
+  core::ScanConfig cfg;
+  cfg.window_nm = synth::suite_by_name("B2").style.window_nm;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::scan_chip(index, *det, cfg));
+  }
+}
+BENCHMARK(BM_ScanChipPatternMatch)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

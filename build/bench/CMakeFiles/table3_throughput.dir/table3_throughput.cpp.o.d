@@ -254,6 +254,11 @@ bench/CMakeFiles/table3_throughput.dir/table3_throughput.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/lhd/nn/loss.hpp /root/repo/src/lhd/nn/trainer.hpp \
  /root/repo/src/lhd/nn/optimizer.hpp /root/repo/src/lhd/core/factory.hpp \
- /root/repo/src/lhd/synth/builder.hpp /root/repo/src/lhd/litho/oracle.hpp \
- /root/repo/src/lhd/litho/optics.hpp /root/repo/src/lhd/synth/suites.hpp \
- /root/repo/src/lhd/synth/style.hpp /root/repo/src/lhd/util/log.hpp
+ /root/repo/src/lhd/core/scan.hpp /root/repo/src/lhd/gds/model.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/lhd/geom/polygon.hpp /root/repo/src/lhd/synth/builder.hpp \
+ /root/repo/src/lhd/litho/oracle.hpp /root/repo/src/lhd/litho/optics.hpp \
+ /root/repo/src/lhd/synth/suites.hpp /root/repo/src/lhd/synth/style.hpp \
+ /root/repo/src/lhd/synth/chip_gen.hpp /root/repo/src/lhd/util/log.hpp

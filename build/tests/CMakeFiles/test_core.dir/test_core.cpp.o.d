@@ -297,6 +297,13 @@ tests/CMakeFiles/test_core.dir/test_core.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/lhd/core/cnn_detector.hpp \
  /root/repo/src/lhd/core/detector.hpp /root/repo/src/lhd/data/dataset.hpp \
  /root/repo/src/lhd/data/clip.hpp /root/repo/src/lhd/geom/raster.hpp \
@@ -347,4 +354,9 @@ tests/CMakeFiles/test_core.dir/test_core.cpp.o: \
  /root/repo/src/lhd/feature/pca.hpp /root/repo/src/lhd/feature/scaler.hpp \
  /root/repo/src/lhd/ml/classifier.hpp \
  /root/repo/src/lhd/ml/naive_bayes.hpp \
- /root/repo/src/lhd/synth/chip_gen.hpp
+ /root/repo/src/lhd/synth/chip_gen.hpp \
+ /root/repo/src/lhd/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/future \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h

@@ -1,11 +1,14 @@
 // Full-chip hotspot scanning — the deployment scenario: train once, then
 // sweep a trained detector across an entire (synthetic) chip using the
 // two-stage flow (cheap pattern-match prefilter, CNN refinement) and
-// compare it against the naive CNN-only sliding window.
+// compare it against the naive CNN-only sliding window, serial and
+// parallel (the hit lists are bit-identical across thread counts).
 //
 // Run:  ./full_chip_scan [--tiles=8] [--stride=512] [--train=300]
+//                        [--threads=0]   (0 = one shard per hardware thread)
 
 #include <iostream>
+#include <thread>
 
 #include "lhd/core/factory.hpp"
 #include "lhd/core/scan.hpp"
@@ -46,14 +49,33 @@ int main(int argc, char** argv) {
   core::ScanConfig scan_cfg;
   scan_cfg.window_nm = chip_style.window_nm;
   scan_cfg.stride_nm = static_cast<geom::Coord>(cli.get_int("stride", 512));
+  // Non-positive --threads means "auto": one shard per hardware thread.
+  const long long threads_arg = cli.get_int("threads", 0);
+  std::size_t threads = threads_arg > 0
+                            ? static_cast<std::size_t>(threads_arg)
+                            : std::max<std::size_t>(
+                                  1, std::thread::hardware_concurrency());
 
-  std::cout << "\nscanning (CNN only)...\n";
+  std::cout << "\nscanning (CNN only, serial)...\n";
+  scan_cfg.threads = 1;
   const auto single = core::scan_chip(index, *refiner, scan_cfg);
   std::cout << "  " << single.windows_total << " windows, "
             << single.windows_classified << " classified, " << single.flagged
             << " flagged, " << single.seconds << " s\n";
 
-  std::cout << "scanning (pattern-match prefilter -> CNN)...\n";
+  scan_cfg.threads = threads;
+  if (threads > 1) {
+    std::cout << "scanning (CNN only, " << threads << " threads)...\n";
+    const auto par = core::scan_chip(index, *refiner, scan_cfg);
+    std::cout << "  " << par.windows_total << " windows, "
+              << par.windows_classified << " classified, " << par.flagged
+              << " flagged, " << par.seconds << " s ("
+              << single.seconds / par.seconds << "x speedup, hits "
+              << (par.hits == single.hits ? "identical" : "DIFFER!") << ")\n";
+  }
+
+  std::cout << "scanning (pattern-match prefilter -> CNN, " << threads
+            << (threads == 1 ? " thread" : " threads") << ")...\n";
   const auto two =
       core::scan_chip_two_stage(index, *prefilter, *refiner, scan_cfg);
   std::cout << "  " << two.windows_total << " windows, "

@@ -1,6 +1,7 @@
 #include "lhd/core/pipeline.hpp"
 
 #include "lhd/util/stopwatch.hpp"
+#include "lhd/util/thread_pool.hpp"
 
 namespace lhd::core {
 
@@ -34,11 +35,14 @@ std::vector<SweepPoint> threshold_sweep(
   std::vector<SweepPoint> points;
   points.reserve(thresholds.size());
   // Score once; thresholds are applied to the cached scores so the sweep
-  // costs one inference pass regardless of its resolution.
+  // costs one inference pass regardless of its resolution. Scoring is
+  // side-effect-free for every in-tree detector, so clips fan out across
+  // the shared pool; each slot is written exactly once, keeping the sweep
+  // deterministic.
   std::vector<float> scores(test.size());
-  for (std::size_t i = 0; i < test.size(); ++i) {
+  ThreadPool::global().parallel_for(0, test.size(), [&](std::size_t i) {
     scores[i] = detector.score(test[i]);
-  }
+  });
   for (const float t : thresholds) {
     std::vector<bool> preds(test.size());
     for (std::size_t i = 0; i < test.size(); ++i) preds[i] = scores[i] > t;

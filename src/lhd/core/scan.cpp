@@ -1,15 +1,21 @@
 #include "lhd/core/scan.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "lhd/util/check.hpp"
 #include "lhd/util/stopwatch.hpp"
+#include "lhd/util/thread_pool.hpp"
 
 namespace lhd::core {
 
 ChipIndex::ChipIndex(std::vector<geom::Rect> rects, geom::Coord bucket_nm)
     : rects_(std::move(rects)), bucket_nm_(bucket_nm) {
   LHD_CHECK(bucket_nm_ > 0, "bucket size must be positive");
+  // Degenerate rects would mis-index: (xhi - 1) lands left of xlo, so they
+  // never reach a bucket yet would still count in rect_count() and size the
+  // stamp array. They cannot affect any query — drop them up front.
+  std::erase_if(rects_, [](const geom::Rect& r) { return r.empty(); });
   extent_ = geom::Rect{};
   for (const auto& r : rects_) extent_ = extent_.unite(r);
   if (rects_.empty()) {
@@ -34,13 +40,22 @@ ChipIndex::ChipIndex(std::vector<geom::Rect> rects, geom::Coord bucket_nm)
       }
     }
   }
-  stamp_.assign(rects_.size(), 0);
 }
 
-std::vector<geom::Rect> ChipIndex::query(const geom::Rect& window) const {
+std::vector<geom::Rect> ChipIndex::query(const geom::Rect& window,
+                                         QueryScratch& scratch) const {
   std::vector<geom::Rect> out;
   if (rects_.empty()) return out;
-  ++stamp_value_;
+  if (scratch.stamp_.size() != rects_.size()) {
+    scratch.stamp_.assign(rects_.size(), 0);
+    scratch.stamp_value_ = 0;
+  }
+  if (++scratch.stamp_value_ == 0) {
+    // Wrapped after 2^32 queries: stamps from the previous epoch would
+    // collide with reused values and silently drop rects. Reset.
+    std::fill(scratch.stamp_.begin(), scratch.stamp_.end(), 0);
+    scratch.stamp_value_ = 1;
+  }
   const int x0 = std::max(
       0, static_cast<int>((window.xlo - extent_.xlo) / bucket_nm_));
   const int y0 = std::max(
@@ -53,14 +68,19 @@ std::vector<geom::Rect> ChipIndex::query(const geom::Rect& window) const {
     for (int bx = x0; bx <= x1; ++bx) {
       for (const std::uint32_t i :
            buckets_[static_cast<std::size_t>(by) * bx_ + bx]) {
-        if (stamp_[i] == stamp_value_) continue;
-        stamp_[i] = stamp_value_;
+        if (scratch.stamp_[i] == scratch.stamp_value_) continue;
+        scratch.stamp_[i] = scratch.stamp_value_;
         const geom::Rect c = rects_[i].intersect(window);
         if (!c.empty()) out.push_back(c.shifted(-window.xlo, -window.ylo));
       }
     }
   }
   return out;
+}
+
+std::vector<geom::Rect> ChipIndex::query(const geom::Rect& window) const {
+  QueryScratch scratch;
+  return query(window, scratch);
 }
 
 ChipIndex ChipIndex::from_library(const gds::Library& lib,
@@ -71,25 +91,17 @@ ChipIndex ChipIndex::from_library(const gds::Library& lib,
 
 namespace {
 
-/// Iterate scan windows over the chip extent, invoking fn(window, rects).
-template <typename Fn>
-std::size_t for_each_window(const ChipIndex& chip, const ScanConfig& config,
-                            Fn&& fn) {
-  LHD_CHECK(config.window_nm > 0 && config.stride_nm > 0, "bad scan config");
-  const geom::Rect extent = chip.extent();
-  std::size_t visited = 0;
-  for (geom::Coord y = extent.ylo; y < extent.yhi; y += config.stride_nm) {
-    for (geom::Coord x = extent.xlo; x < extent.xhi;
-         x += config.stride_nm) {
-      const geom::Rect window(x, y, x + config.window_nm,
-                              y + config.window_nm);
-      ++visited;
-      auto rects = chip.query(window);
-      if (config.skip_empty && rects.empty()) continue;
-      fn(window, std::move(rects));
-    }
-  }
-  return visited;
+/// Counters and hits gathered by one shard of the window grid.
+struct ShardAccum {
+  std::size_t windows_total = 0;
+  std::size_t windows_classified = 0;
+  std::size_t flagged = 0;
+  std::vector<ScanHit> hits;
+};
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
 data::Clip make_clip(std::vector<geom::Rect> rects, geom::Coord window_nm) {
@@ -99,47 +111,110 @@ data::Clip make_clip(std::vector<geom::Rect> rects, geom::Coord window_nm) {
   return clip;
 }
 
+/// Shared scan skeleton: enumerate the window grid, shard it row-wise,
+/// run `classify(window, rects, accum)` per non-skipped window, and merge
+/// shards in row-major order so results match the serial scan bit for bit.
+template <typename Classify>
+ScanResult scan_impl(const ChipIndex& chip, const ScanConfig& config,
+                     ThreadPool& pool, const Classify& classify) {
+  LHD_CHECK(config.window_nm > 0 && config.stride_nm > 0, "bad scan config");
+  ScanResult result;
+  Stopwatch sw;
+  const geom::Rect extent = chip.extent();
+  std::vector<geom::Coord> row_ys;
+  for (geom::Coord y = extent.ylo; y < extent.yhi; y += config.stride_nm) {
+    row_ys.push_back(y);
+  }
+
+  const auto scan_rows = [&](std::size_t lo, std::size_t hi,
+                             ShardAccum& acc) {
+    ChipIndex::QueryScratch scratch;
+    for (std::size_t r = lo; r < hi; ++r) {
+      const geom::Coord y = row_ys[r];
+      for (geom::Coord x = extent.xlo; x < extent.xhi;
+           x += config.stride_nm) {
+        const geom::Rect window(x, y, x + config.window_nm,
+                                y + config.window_nm);
+        ++acc.windows_total;
+        auto rects = chip.query(window, scratch);
+        if (config.skip_empty && rects.empty()) continue;
+        classify(window, std::move(rects), acc);
+      }
+    }
+  };
+
+  const std::size_t shards =
+      std::min(resolve_threads(config.threads),
+               std::max<std::size_t>(row_ys.size(), 1));
+  std::vector<ShardAccum> accums(shards);
+  if (shards <= 1) {
+    scan_rows(0, row_ys.size(), accums[0]);
+  } else {
+    const std::size_t rows_per = (row_ys.size() + shards - 1) / shards;
+    pool.parallel_for(0, shards, [&](std::size_t s) {
+      const std::size_t lo = s * rows_per;
+      const std::size_t hi = std::min(row_ys.size(), lo + rows_per);
+      if (lo < hi) scan_rows(lo, hi, accums[s]);
+    });
+  }
+  for (const auto& acc : accums) {
+    result.windows_total += acc.windows_total;
+    result.windows_classified += acc.windows_classified;
+    result.flagged += acc.flagged;
+    result.hits.insert(result.hits.end(), acc.hits.begin(), acc.hits.end());
+  }
+  result.seconds = sw.seconds();
+  return result;
+}
+
 }  // namespace
 
 ScanResult scan_chip(const ChipIndex& chip, const Detector& detector,
                      const ScanConfig& config) {
-  ScanResult result;
-  Stopwatch sw;
-  result.windows_total =
-      for_each_window(chip, config, [&](const geom::Rect& window,
-                                        std::vector<geom::Rect> rects) {
-        ++result.windows_classified;
+  return scan_chip(chip, detector, config, ThreadPool::global());
+}
+
+ScanResult scan_chip(const ChipIndex& chip, const Detector& detector,
+                     const ScanConfig& config, ThreadPool& pool) {
+  return scan_impl(
+      chip, config, pool,
+      [&](const geom::Rect& window, std::vector<geom::Rect> rects,
+          ShardAccum& acc) {
+        ++acc.windows_classified;
         const data::Clip clip = make_clip(std::move(rects), config.window_nm);
         const float s = detector.score(clip);
         if (s > detector.threshold()) {
-          ++result.flagged;
-          result.hits.push_back({window, s});
+          ++acc.flagged;
+          acc.hits.push_back({window, s});
         }
       });
-  result.seconds = sw.seconds();
-  return result;
 }
 
 ScanResult scan_chip_two_stage(const ChipIndex& chip,
                                const Detector& prefilter,
                                const Detector& refiner,
                                const ScanConfig& config) {
-  ScanResult result;
-  Stopwatch sw;
-  result.windows_total =
-      for_each_window(chip, config, [&](const geom::Rect& window,
-                                        std::vector<geom::Rect> rects) {
+  return scan_chip_two_stage(chip, prefilter, refiner, config,
+                             ThreadPool::global());
+}
+
+ScanResult scan_chip_two_stage(const ChipIndex& chip,
+                               const Detector& prefilter,
+                               const Detector& refiner,
+                               const ScanConfig& config, ThreadPool& pool) {
+  return scan_impl(
+      chip, config, pool,
+      [&](const geom::Rect& window, std::vector<geom::Rect> rects,
+          ShardAccum& acc) {
         const data::Clip clip = make_clip(std::move(rects), config.window_nm);
         if (!prefilter.predict(clip)) return;  // stage 1 rejects
-        ++result.windows_classified;           // stage 2 work
+        ++acc.windows_classified;              // stage 2 work
         const float s = refiner.score(clip);
         if (s > refiner.threshold()) {
-          ++result.flagged;
-          result.hits.push_back({window, s});
+          ++acc.flagged;
+          acc.hits.push_back({window, s});
         }
       });
-  result.seconds = sw.seconds();
-  return result;
 }
 
 }  // namespace lhd::core

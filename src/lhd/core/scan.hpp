@@ -3,24 +3,59 @@
 // and classify each window. Includes the two-stage flow the survey
 // highlights (cheap pattern-match prefilter proposing candidates, CNN
 // refining them) and a spatial index so window extraction is O(local).
+//
+// The scan shards the window grid row-wise across a ThreadPool; shard
+// results are merged in row-major window order, so the hit list is
+// bit-identical for every thread count (ScanConfig::threads).
 
+#include <cstdint>
 #include <vector>
 
 #include "lhd/core/detector.hpp"
 #include "lhd/gds/model.hpp"
 
+namespace lhd {
+class ThreadPool;
+}
+
 namespace lhd::core {
 
-/// Bucketed spatial index over a flattened rectangle soup.
+/// Bucketed spatial index over a flattened rectangle soup. Degenerate
+/// (empty) input rects are dropped on construction — they cannot be
+/// bucketed and contribute nothing to any window. All methods are const
+/// and safe to call concurrently; per-query dedupe state lives in an
+/// explicit QueryScratch owned by the caller (one per thread).
 class ChipIndex {
  public:
+  /// Per-caller dedupe state for query(): a stamp per rect plus the current
+  /// stamp value. Reusable across queries (that is the point — it avoids a
+  /// per-query O(#rects) clear); create one per thread.
+  class QueryScratch {
+   public:
+    QueryScratch() = default;
+
+    /// Fast-forward the stamp counter, so wrap-around behaviour is testable
+    /// without issuing 2^32 queries.
+    void fast_forward(std::uint32_t value) { stamp_value_ = value; }
+
+   private:
+    friend class ChipIndex;
+    std::vector<std::uint32_t> stamp_;  ///< dedupe marker per rect
+    std::uint32_t stamp_value_ = 0;
+  };
+
   ChipIndex(std::vector<geom::Rect> rects, geom::Coord bucket_nm = 2048);
 
   const geom::Rect& extent() const { return extent_; }
   std::size_t rect_count() const { return rects_.size(); }
 
   /// All rects overlapping `window`, clipped and translated to window-local
-  /// coordinates.
+  /// coordinates. Race-free: concurrent queries are fine as long as each
+  /// thread passes its own scratch.
+  std::vector<geom::Rect> query(const geom::Rect& window,
+                                QueryScratch& scratch) const;
+
+  /// Convenience overload that allocates a scratch per call.
   std::vector<geom::Rect> query(const geom::Rect& window) const;
 
   /// Build directly from a GDS library's flattened layer.
@@ -33,19 +68,23 @@ class ChipIndex {
   geom::Coord bucket_nm_;
   int bx_ = 0, by_ = 0;
   std::vector<std::vector<std::uint32_t>> buckets_;
-  mutable std::vector<std::uint32_t> stamp_;   ///< dedupe marker per rect
-  mutable std::uint32_t stamp_value_ = 0;
 };
 
 struct ScanConfig {
   geom::Coord window_nm = 1024;
   geom::Coord stride_nm = 512;
   bool skip_empty = true;  ///< windows with no geometry are never hotspots
+  /// Scan parallelism: 1 = serial (the degenerate case), 0 = one shard per
+  /// hardware thread, N = shard the window grid N ways. Results are
+  /// bit-identical across thread counts.
+  std::size_t threads = 1;
 };
 
 struct ScanHit {
   geom::Rect window;
   float score = 0.0f;
+
+  friend bool operator==(const ScanHit&, const ScanHit&) = default;
 };
 
 struct ScanResult {
@@ -56,9 +95,15 @@ struct ScanResult {
   std::vector<ScanHit> hits;
 };
 
-/// Single-stage scan: classify every (non-empty) window.
+/// Single-stage scan: classify every (non-empty) window. Runs on
+/// ThreadPool::global() when config.threads != 1; the detector's score()
+/// must be thread-safe (true for every in-tree detector).
 ScanResult scan_chip(const ChipIndex& chip, const Detector& detector,
                      const ScanConfig& config);
+
+/// As above but on a caller-supplied pool (e.g. a dedicated scan pool).
+ScanResult scan_chip(const ChipIndex& chip, const Detector& detector,
+                     const ScanConfig& config, ThreadPool& pool);
 
 /// Two-stage scan: `prefilter` proposes candidate windows (its alarms),
 /// `refiner` classifies only those.
@@ -66,5 +111,10 @@ ScanResult scan_chip_two_stage(const ChipIndex& chip,
                                const Detector& prefilter,
                                const Detector& refiner,
                                const ScanConfig& config);
+
+ScanResult scan_chip_two_stage(const ChipIndex& chip,
+                               const Detector& prefilter,
+                               const Detector& refiner,
+                               const ScanConfig& config, ThreadPool& pool);
 
 }  // namespace lhd::core

@@ -76,6 +76,13 @@ void Conv2d::col2im(const float* col, int h, int w, float* dst) const {
 }
 
 Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  input_ = input;
+  return apply(input);
+}
+
+Tensor Conv2d::infer(const Tensor& input) const { return apply(input); }
+
+Tensor Conv2d::apply(const Tensor& input) const {
   LHD_CHECK(input.rank() == 4, "conv expects NCHW");
   const int n = input.dim(0);
   LHD_CHECK_MSG(input.dim(1) == in_c_, "conv channel mismatch: got "
@@ -86,7 +93,6 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
   const int oh = h + 2 * pad_ - k_ + 1;
   const int ow = w + 2 * pad_ - k_ + 1;
   LHD_CHECK(oh > 0 && ow > 0, "conv output collapsed to zero");
-  input_ = input;
 
   Tensor out({n, out_c_, oh, ow});
   const int krows = in_c_ * k_ * k_;
@@ -244,6 +250,14 @@ Tensor Relu::forward(const Tensor& input, bool /*training*/) {
   return out;
 }
 
+Tensor Relu::infer(const Tensor& input) const {
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!(out[i] > 0)) out[i] = 0.0f;
+  }
+  return out;
+}
+
 Tensor Relu::backward(const Tensor& grad_output) {
   LHD_CHECK(grad_output.size() == mask_.size(), "relu backward shape mismatch");
   Tensor grad = grad_output;
@@ -256,14 +270,22 @@ Tensor Relu::backward(const Tensor& grad_output) {
 // -------------------------------------------------------------- MaxPool2 --
 
 Tensor MaxPool2::forward(const Tensor& input, bool /*training*/) {
+  in_shape_ = input.shape();
+  return apply(input, &argmax_);
+}
+
+Tensor MaxPool2::infer(const Tensor& input) const {
+  return apply(input, nullptr);
+}
+
+Tensor MaxPool2::apply(const Tensor& input, std::vector<int>* argmax) const {
   LHD_CHECK(input.rank() == 4, "pool expects NCHW");
   const int n = input.dim(0), c = input.dim(1);
   const int h = input.dim(2), w = input.dim(3);
   LHD_CHECK(h % 2 == 0 && w % 2 == 0, "pool input dims must be even");
-  in_shape_ = input.shape();
   const int oh = h / 2, ow = w / 2;
   Tensor out({n, c, oh, ow});
-  argmax_.assign(out.size(), 0);
+  if (argmax) argmax->assign(out.size(), 0);
 
   std::size_t oi = 0;
   for (int s = 0; s < n; ++s) {
@@ -284,9 +306,11 @@ Tensor MaxPool2::forward(const Tensor& input, bool /*training*/) {
             }
           }
           out[oi] = best;
-          argmax_[oi] =
-              static_cast<int>((static_cast<std::size_t>(s) * c + ch) * h * w) +
-              best_idx;
+          if (argmax) {
+            (*argmax)[oi] = static_cast<int>(
+                                (static_cast<std::size_t>(s) * c + ch) * h * w) +
+                            best_idx;
+          }
         }
       }
     }
@@ -322,17 +346,24 @@ void Linear::init(Rng& rng) {
 }
 
 Tensor Linear::forward(const Tensor& input, bool /*training*/) {
+  Tensor out = apply(input);  // shape-checks before the caches are written
+  in_shape_ = input.shape();
+  input_ = input;
+  input_.reshape({input.dim(0), in_f_});
+  return out;
+}
+
+Tensor Linear::infer(const Tensor& input) const { return apply(input); }
+
+Tensor Linear::apply(const Tensor& input) const {
   const int n = input.dim(0);
   LHD_CHECK_MSG(input.size() == static_cast<std::size_t>(n) * in_f_,
                 "linear expects " << in_f_ << " features, got "
                                   << input.size() / static_cast<std::size_t>(n));
-  in_shape_ = input.shape();
-  input_ = input;
-  input_.reshape({n, in_f_});
 
   Tensor out({n, out_f_});
   for (int s = 0; s < n; ++s) {
-    const float* x = input_.data() + static_cast<std::size_t>(s) * in_f_;
+    const float* x = input.data() + static_cast<std::size_t>(s) * in_f_;
     float* o = out.data() + static_cast<std::size_t>(s) * out_f_;
     for (int j = 0; j < out_f_; ++j) {
       const float* wrow = weight_.data() + static_cast<std::size_t>(j) * in_f_;
@@ -446,6 +477,33 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
   return out;
 }
 
+Tensor BatchNorm2d::infer(const Tensor& input) const {
+  LHD_CHECK(input.rank() == 4 && input.dim(1) == c_,
+            "batchnorm expects NCHW with matching channels");
+  const int n = input.dim(0);
+  const int h = input.dim(2);
+  const int w = input.dim(3);
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+
+  Tensor out(input.shape());
+  for (int c = 0; c < c_; ++c) {
+    const double mean = running_mean_[static_cast<std::size_t>(c)];
+    const double var = running_var_[static_cast<std::size_t>(c)];
+    const auto istd = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    const float g = gamma_[static_cast<std::size_t>(c)];
+    const float b = beta_[static_cast<std::size_t>(c)];
+    const auto m = static_cast<float>(mean);
+    for (int s = 0; s < n; ++s) {
+      const std::size_t off = (static_cast<std::size_t>(s) * c_ + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        const float xh = (input.data()[off + i] - m) * istd;
+        out.data()[off + i] = g * xh + b;
+      }
+    }
+  }
+  return out;
+}
+
 Tensor BatchNorm2d::backward(const Tensor& grad_output) {
   const int n = in_shape_[0];
   const int h = in_shape_[2];
@@ -512,6 +570,8 @@ Tensor Dropout::forward(const Tensor& input, bool training) {
   }
   return out;
 }
+
+Tensor Dropout::infer(const Tensor& input) const { return input; }
 
 Tensor Dropout::backward(const Tensor& grad_output) {
   Tensor grad = grad_output;

@@ -27,6 +27,11 @@ class Layer {
   /// caches whatever it needs for backward().
   virtual Tensor forward(const Tensor& input, bool training) = 0;
 
+  /// Evaluation-mode forward pass with no side effects: no backward caches
+  /// are written, so concurrent infer() calls on the same layer are safe.
+  /// Output is bit-identical to forward(input, /*training=*/false).
+  virtual Tensor infer(const Tensor& input) const = 0;
+
   /// Backward pass: takes dL/d(output), accumulates parameter gradients,
   /// returns dL/d(input).
   virtual Tensor backward(const Tensor& grad_output) = 0;
@@ -45,6 +50,7 @@ class Conv2d final : public Layer {
 
   std::string name() const override { return "conv2d"; }
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param> params() override;
   void init(Rng& rng) override;
@@ -53,6 +59,7 @@ class Conv2d final : public Layer {
   int out_channels() const { return out_c_; }
 
  private:
+  Tensor apply(const Tensor& input) const;
   void im2col(const float* src, int h, int w, float* col) const;
   void col2im(const float* col, int h, int w, float* dst) const;
 
@@ -66,6 +73,7 @@ class Relu final : public Layer {
  public:
   std::string name() const override { return "relu"; }
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
 
  private:
@@ -77,9 +85,12 @@ class MaxPool2 final : public Layer {
  public:
   std::string name() const override { return "maxpool2"; }
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
 
  private:
+  Tensor apply(const Tensor& input, std::vector<int>* argmax) const;
+
   std::vector<int> argmax_;
   std::vector<int> in_shape_;
 };
@@ -91,11 +102,14 @@ class Linear final : public Layer {
 
   std::string name() const override { return "linear"; }
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param> params() override;
   void init(Rng& rng) override;
 
  private:
+  Tensor apply(const Tensor& input) const;
+
   int in_f_, out_f_;
   std::vector<float> weight_, weight_grad_;  // [out_f][in_f]
   std::vector<float> bias_, bias_grad_;
@@ -113,6 +127,7 @@ class BatchNorm2d final : public Layer {
 
   std::string name() const override { return "batchnorm2d"; }
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param> params() override;
   void init(Rng& rng) override;
@@ -137,6 +152,7 @@ class Dropout final : public Layer {
 
   std::string name() const override { return "dropout"; }
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
 
  private:

@@ -15,6 +15,13 @@ Tensor Network::forward(const Tensor& input, bool training) {
   return t;
 }
 
+Tensor Network::infer(const Tensor& input) const {
+  LHD_CHECK(!layers_.empty(), "empty network");
+  Tensor t = input;
+  for (const auto& l : layers_) t = l->infer(t);
+  return t;
+}
+
 void Network::backward(const Tensor& grad_output) {
   Tensor g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

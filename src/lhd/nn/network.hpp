@@ -29,6 +29,11 @@ class Network {
 
   Tensor forward(const Tensor& input, bool training);
 
+  /// Evaluation-mode forward with no side effects (no backward caches):
+  /// safe to call concurrently from many threads on the same network, and
+  /// bit-identical to forward(input, /*training=*/false).
+  Tensor infer(const Tensor& input) const;
+
   /// Backprop from dL/d(output); accumulates parameter gradients.
   void backward(const Tensor& grad_output);
 

@@ -156,7 +156,9 @@ float Trainer::predict_proba(const std::vector<float>& row) const {
   Tensor in({1, shape_[0], shape_[1], shape_[2]});
   LHD_CHECK(row.size() == in.size(), "row size != input shape");
   std::copy(row.begin(), row.end(), in.data());
-  const Tensor logits = net_->forward(in, /*training=*/false);
+  // infer() is the side-effect-free path: prediction never perturbs
+  // backward caches and is safe from concurrent threads.
+  const Tensor logits = net_->infer(in);
   const Tensor probs = softmax(logits);
   return probs[1];
 }
@@ -177,7 +179,7 @@ std::vector<float> Trainer::predict_proba_batch(const Rows& rows) const {
       std::copy(rows[s].begin(), rows[s].end(),
                 in.data() + (s - start) * sample);
     }
-    const Tensor probs = softmax(net_->forward(in, /*training=*/false));
+    const Tensor probs = softmax(net_->infer(in));
     for (std::size_t s = 0; s < end - start; ++s) {
       out.push_back(probs[s * 2 + 1]);
     }

@@ -100,9 +100,18 @@ BuiltSuite build_suite(const SuiteSpec& spec, const BuildOptions& options) {
     train_path = options.cache_dir + "/" + spec.name + "_train.lhdd";
     test_path = options.cache_dir + "/" + spec.name + "_test.lhdd";
     if (fs::exists(train_path) && fs::exists(test_path)) {
-      LHD_LOG(Debug) << "suite " << spec.name << " loaded from cache";
-      return {data::load_dataset_file(train_path),
-              data::load_dataset_file(test_path)};
+      // A cache written by an older serialization format (or truncated by a
+      // killed run) must not take the whole harness down — rebuild instead
+      // and overwrite the bad files below.
+      try {
+        BuiltSuite cached{data::load_dataset_file(train_path),
+                          data::load_dataset_file(test_path)};
+        LHD_LOG(Debug) << "suite " << spec.name << " loaded from cache";
+        return cached;
+      } catch (const std::exception& e) {
+        LHD_LOG(Warn) << "suite cache for " << spec.name
+                      << " is unreadable (" << e.what() << "); rebuilding";
+      }
     }
   }
 

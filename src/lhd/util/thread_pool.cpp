@@ -58,7 +58,18 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futures) f.get();  // propagates exceptions
+  // Await every chunk before surfacing any failure: the queued tasks hold
+  // references to `fn` and this frame's locals, so unwinding while chunks
+  // are still pending would leave workers running over freed storage.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& ThreadPool::global() {

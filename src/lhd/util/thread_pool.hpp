@@ -31,7 +31,9 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
   /// Run fn(i) for every i in [begin, end), blocking until all complete.
-  /// Work is split into roughly 4x#workers contiguous chunks.
+  /// Work is split into roughly 4x#workers contiguous chunks. If any
+  /// invocation throws, every chunk is still awaited before the first
+  /// exception is rethrown (so no chunk outlives the call).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <limits>
+#include <thread>
 
 #include "lhd/core/cnn_detector.hpp"
 #include "lhd/core/ensemble.hpp"
@@ -13,6 +15,7 @@
 #include "lhd/core/shallow_detector.hpp"
 #include "lhd/ml/naive_bayes.hpp"
 #include "lhd/synth/chip_gen.hpp"
+#include "lhd/util/thread_pool.hpp"
 
 namespace lhd::core {
 namespace {
@@ -262,6 +265,97 @@ TEST(ChipIndex, FromLibraryFlattens) {
   EXPECT_FALSE(index.extent().empty());
 }
 
+TEST(ChipIndex, DegenerateRectsAreFilteredOut) {
+  // Zero-width, inverted and zero-height rects would mis-index: bucketing
+  // runs over [xlo, xhi - 1], which lands left of xlo when xhi <= xlo.
+  const std::vector<Rect> rects = {
+      Rect(500, 500, 500, 900),  // zero width
+      Rect(700, 200, 600, 300),  // inverted x
+      Rect(40, 40, 80, 40),      // zero height
+      Rect(0, 0, 100, 100),      // the only real rect
+  };
+  const ChipIndex index(rects);
+  EXPECT_EQ(index.rect_count(), 1u);
+  EXPECT_EQ(index.extent(), Rect(0, 0, 100, 100));
+  const auto got = index.query(Rect(0, 0, 1000, 1000));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], Rect(0, 0, 100, 100));
+}
+
+TEST(ChipIndex, AllDegenerateBehavesAsEmpty) {
+  const ChipIndex index({Rect(10, 10, 10, 10), Rect(5, 9, 1, 20)});
+  EXPECT_EQ(index.rect_count(), 0u);
+  EXPECT_TRUE(index.extent().empty());
+  EXPECT_TRUE(index.query(Rect(0, 0, 100, 100)).empty());
+}
+
+TEST(ChipIndex, QueryStampWrapAroundKeepsResults) {
+  // Two rects in different buckets, so a query over one never refreshes the
+  // other's stamp.
+  const std::vector<Rect> rects = {Rect(0, 0, 100, 100),
+                                   Rect(5000, 5000, 5100, 5100)};
+  const ChipIndex index(rects);
+  ChipIndex::QueryScratch scratch;
+  const Rect win_a(0, 0, 200, 200);
+  const auto before = index.query(win_a, scratch);  // stamps rect 0 with 1
+  ASSERT_EQ(before.size(), 1u);
+  // Force the counter to wrap. Without the wrap reset it re-enters the
+  // previous epoch's value range: the query that lands on value 1 again
+  // sees rect 0's stale stamp from the very first query and drops it.
+  scratch.fast_forward(std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(index.query(Rect(4900, 4900, 5200, 5200), scratch).size(), 1u);
+  const auto after_wrap = index.query(win_a, scratch);
+  EXPECT_EQ(after_wrap, before);
+}
+
+TEST(ChipIndex, ConcurrentQueriesWithOwnScratchMatchSerial) {
+  Rng rng(99);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 300; ++i) {
+    const auto x = static_cast<geom::Coord>(rng.next_int(0, 6000));
+    const auto y = static_cast<geom::Coord>(rng.next_int(0, 6000));
+    const auto w = static_cast<geom::Coord>(rng.next_int(20, 300));
+    const auto h = static_cast<geom::Coord>(rng.next_int(20, 300));
+    rects.emplace_back(x, y, x + w, y + h);
+  }
+  const ChipIndex index(rects);
+  std::vector<Rect> windows;
+  for (int i = 0; i < 64; ++i) {
+    const auto x = static_cast<geom::Coord>(rng.next_int(0, 6000));
+    const auto y = static_cast<geom::Coord>(rng.next_int(0, 6000));
+    windows.emplace_back(x, y, x + 1024, y + 1024);
+  }
+  std::vector<std::vector<Rect>> serial;
+  serial.reserve(windows.size());
+  for (const auto& w : windows) serial.push_back(index.query(w));
+
+  // Hammer the same const index from several threads, each with its own
+  // scratch. Pre-fix, the shared mutable stamp state makes this race
+  // (caught by TSan) and corrupt dedupe results.
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ChipIndex::QueryScratch scratch;
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t i = 0; i < windows.size(); ++i) {
+          if (index.query(windows[i], scratch) != serial[i]) ++mismatches[t];
+        }
+        // The convenience overload must be just as safe (it owns a
+        // per-call scratch); pre-fix it shared mutable stamp state.
+        const std::size_t i = static_cast<std::size_t>(round) % windows.size();
+        if (index.query(windows[i]) != serial[i]) ++mismatches[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+}
+
 // ------------------------------------------------------------------- scan --
 
 class ThresholdedDensityDetector final : public Detector {
@@ -332,6 +426,70 @@ TEST(Scan, RejectsBadConfig) {
   ScanConfig cfg;
   cfg.stride_nm = 0;
   EXPECT_THROW(scan_chip(index, det, cfg), Error);
+}
+
+TEST(Scan, ParallelScanMatchesSerialBitExact) {
+  synth::StyleConfig style;
+  const auto lib = synth::build_chip(style, 4, 4, 31);
+  const auto index = ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
+  const ThresholdedDensityDetector det(0.05f);
+  ScanConfig cfg;
+  cfg.window_nm = 1024;
+  cfg.stride_nm = 512;
+
+  cfg.threads = 1;
+  const auto serial = scan_chip(index, det, cfg);
+  ASSERT_GT(serial.flagged, 0u);
+
+  // An explicit 4-worker pool gives genuine concurrency even when the
+  // host (and thus the global pool) is single-core.
+  ThreadPool pool(4);
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    cfg.threads = threads;
+    const auto par = scan_chip(index, det, cfg, pool);
+    EXPECT_EQ(par.windows_total, serial.windows_total) << threads;
+    EXPECT_EQ(par.windows_classified, serial.windows_classified) << threads;
+    EXPECT_EQ(par.flagged, serial.flagged) << threads;
+    EXPECT_EQ(par.hits, serial.hits) << threads;
+  }
+}
+
+TEST(Scan, ParallelTwoStageMatchesSerialBitExact) {
+  synth::StyleConfig style;
+  const auto lib = synth::build_chip(style, 4, 4, 32);
+  const auto index = ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
+  const ThresholdedDensityDetector prefilter(0.10f);
+  const ThresholdedDensityDetector refiner(0.05f);
+  ScanConfig cfg;
+  cfg.window_nm = 1024;
+  cfg.stride_nm = 512;
+
+  cfg.threads = 1;
+  const auto serial = scan_chip_two_stage(index, prefilter, refiner, cfg);
+
+  ThreadPool pool(4);
+  for (const std::size_t threads : {2u, 5u}) {
+    cfg.threads = threads;
+    const auto par = scan_chip_two_stage(index, prefilter, refiner, cfg, pool);
+    EXPECT_EQ(par.windows_total, serial.windows_total) << threads;
+    EXPECT_EQ(par.windows_classified, serial.windows_classified) << threads;
+    EXPECT_EQ(par.flagged, serial.flagged) << threads;
+    EXPECT_EQ(par.hits, serial.hits) << threads;
+  }
+}
+
+TEST(Scan, ThreadsZeroUsesHardwareConcurrency) {
+  synth::StyleConfig style;
+  const auto lib = synth::build_chip(style, 2, 2, 33);
+  const auto index = ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
+  const ThresholdedDensityDetector det(0.05f);
+  ScanConfig cfg;
+  cfg.threads = 1;
+  const auto serial = scan_chip(index, det, cfg);
+  cfg.threads = 0;  // auto: one shard per hardware thread
+  const auto auto_sharded = scan_chip(index, det, cfg);
+  EXPECT_EQ(auto_sharded.hits, serial.hits);
+  EXPECT_EQ(auto_sharded.windows_total, serial.windows_total);
 }
 
 

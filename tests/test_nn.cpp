@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "lhd/nn/network.hpp"
 #include "lhd/nn/serialize.hpp"
@@ -458,6 +459,27 @@ TEST(HotspotCnn, BuildsWithExpectedParamBudget) {
 
 TEST(HotspotCnn, RejectsIndivisibleGrid) {
   EXPECT_THROW(make_hotspot_cnn(16, 6), Error);
+}
+
+TEST(HotspotCnn, InferMatchesEvalForwardBitExact) {
+  // infer() is the concurrency-safe inference path used by the full-chip
+  // scanner; it must reproduce forward(training=false) exactly, including
+  // through batchnorm (running statistics) and dropout (identity).
+  for (const bool batchnorm : {false, true}) {
+    Network net = make_hotspot_cnn(4, 8, batchnorm);
+    Rng rng(17);
+    net.init(rng);
+    Tensor in({3, 4, 8, 8});
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = static_cast<float>(rng.next_gaussian());
+    }
+    const Tensor via_forward = net.forward(in, false);
+    const Tensor via_infer = std::as_const(net).infer(in);
+    ASSERT_EQ(via_infer.shape(), via_forward.shape());
+    for (std::size_t i = 0; i < via_forward.size(); ++i) {
+      EXPECT_EQ(via_infer[i], via_forward[i]) << "element " << i;
+    }
+  }
 }
 
 // --------------------------------------------------------------- weights --

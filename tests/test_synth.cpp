@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <set>
 
 #include "lhd/geom/polygon.hpp"
@@ -241,6 +242,35 @@ TEST(Builder, CacheRoundTrip) {
   for (std::size_t i = 0; i < first.train.size(); ++i) {
     EXPECT_EQ(first.train[i].rects, second.train[i].rects);
     EXPECT_EQ(first.train[i].label, second.train[i].label);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Builder, CorruptCacheIsRebuiltNotFatal) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "lhd_test_cache_corrupt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  // Garbage where the cache files should be — e.g. a stale cache written by
+  // an older serialization format. build_suite must rebuild, not throw.
+  for (const char* name : {"B3_train.lhdd", "B3_test.lhdd"}) {
+    std::ofstream out(dir / name, std::ios::binary);
+    out << "not a dataset";
+  }
+  SuiteSpec spec = suite_by_name("B3");
+  spec.n_train = 15;
+  spec.n_test = 10;
+  BuildOptions opts;
+  opts.cache_dir = dir.string();
+  const auto built = build_suite(spec, opts);
+  EXPECT_EQ(built.train.size(), 15u);
+  EXPECT_EQ(built.test.size(), 10u);
+  // The bad files were overwritten with a loadable cache.
+  const auto reloaded = build_suite(spec, opts);
+  ASSERT_EQ(reloaded.train.size(), built.train.size());
+  for (std::size_t i = 0; i < built.train.size(); ++i) {
+    EXPECT_EQ(reloaded.train[i].rects, built.train[i].rects);
+    EXPECT_EQ(reloaded.train[i].label, built.train[i].label);
   }
   fs::remove_all(dir);
 }

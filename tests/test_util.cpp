@@ -293,6 +293,34 @@ TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
   EXPECT_THROW(future.get(), std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForAwaitsAllChunksWhenOneThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  bool threw = false;
+  try {
+    pool.parallel_for(0, 8, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("boom");
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      completed.fetch_add(1);
+    });
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  // Every non-throwing iteration must have finished before parallel_for
+  // returned; the pre-fix code unwound on the first failed future while
+  // later chunks still referenced the callback in the dead frame.
+  EXPECT_EQ(completed.load(), 7);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstOfManyExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 8,
+                        [](std::size_t) { throw std::runtime_error("each"); }),
+      std::runtime_error);
+}
+
 TEST(ThreadPool, SingleWorkerParallelForRunsInline) {
   ThreadPool pool(1);
   std::vector<int> order;
