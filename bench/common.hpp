@@ -1,13 +1,16 @@
 #pragma once
 // Shared plumbing for the benchmark harnesses: suite caching (so the five
 // benchmarks are generated and litho-labeled once per machine, not once per
-// binary) and uniform table printing.
+// binary), uniform table printing, and machine-readable run reports
+// (BENCH_<tool>.json via lhd::obs::RunReport; --report=<path> overrides,
+// --report= disables).
 
 #include <iostream>
 #include <string>
 
 #include "lhd/core/pipeline.hpp"
 #include "lhd/litho/oracle.hpp"
+#include "lhd/obs/obs.hpp"
 #include "lhd/synth/builder.hpp"
 #include "lhd/util/cli.hpp"
 #include "lhd/util/log.hpp"
@@ -42,6 +45,22 @@ inline void print_table(const Table& table) {
 inline void bench_init(const Cli& cli) {
   set_log_level(cli.get_bool("verbose", false) ? LogLevel::Debug
                                                : LogLevel::Info);
+}
+
+/// Where a bench's JSON run report goes: BENCH_<tool>.json in the working
+/// directory unless --report=<path> overrides (empty disables).
+inline std::string report_path(const Cli& cli, const std::string& tool) {
+  return cli.get_string("report", "BENCH_" + tool + ".json");
+}
+
+/// Snapshot the global registry into `report` and write it to the
+/// conventional path (no-op with --report=).
+inline void write_report(obs::RunReport& report, const Cli& cli,
+                         const std::string& tool) {
+  const std::string path = report_path(cli, tool);
+  if (path.empty()) return;
+  report.capture_registry();
+  report.write(path);
 }
 
 }  // namespace lhd::bench

@@ -5,7 +5,13 @@
 // Each flow also runs serial vs parallel (ScanConfig::threads) to measure
 // the scan's thread scaling; hit lists are bit-identical across counts.
 //
-// Flags: --suite=B2 --max-tiles=16 --stride=512 --threads=0 (0 = all cores)
+// Besides the text table, the run serializes to BENCH_fig8_scan.json via
+// obs::RunReport: one phase per (tiles, flow, threads) cell with its
+// window/flag tallies plus per-shard wall times, and the global registry
+// totals. Structure and tallies are deterministic; only timing varies.
+//
+// Flags: --suite=B2 --max-tiles=16 --stride=512 --threads=0 (0 = all
+// cores) --report=<path> (default BENCH_fig8_scan.json, empty disables)
 
 #include <thread>
 
@@ -13,6 +19,37 @@
 #include "lhd/core/factory.hpp"
 #include "lhd/core/scan.hpp"
 #include "lhd/synth/chip_gen.hpp"
+
+namespace {
+
+/// One scan cell -> one RunReport phase, shard stats included.
+void report_scan(lhd::obs::RunReport& report, const std::string& name,
+                 const lhd::core::ScanResult& r, int tiles,
+                 std::size_t threads) {
+  using lhd::obs::Json;
+  Json extra = Json::object();
+  extra["tiles"] = tiles;
+  extra["threads"] = static_cast<long long>(threads);
+  extra["windows_total"] = static_cast<long long>(r.windows_total);
+  extra["windows_classified"] = static_cast<long long>(r.windows_classified);
+  extra["flagged"] = static_cast<long long>(r.flagged);
+  if (r.windows_total > 0) {
+    extra["us_per_window"] =
+        1e6 * r.seconds / static_cast<double>(r.windows_total);
+  }
+  Json shards = Json::array();
+  for (const auto& shard : r.shards) {
+    Json s = Json::object();
+    s["windows"] = static_cast<long long>(shard.windows);
+    s["seconds"] = shard.seconds;
+    s["query_seconds"] = shard.query_seconds;
+    shards.push_back(std::move(s));
+  }
+  extra["shards"] = std::move(shards);
+  report.add_phase(name, r.seconds, std::move(extra));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace lhd;
@@ -41,6 +78,13 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> thread_counts = {1};
   if (parallel_threads > 1) thread_counts.push_back(parallel_threads);
 
+  obs::RunReport report("fig8_scan", suite_name);
+  report.set_config("window_nm", static_cast<long long>(scan_cfg.window_nm));
+  report.set_config("stride_nm", static_cast<long long>(scan_cfg.stride_nm));
+  report.set_config("parallel_threads",
+                    static_cast<long long>(parallel_threads));
+  report.set_config("obs_enabled", obs::enabled());
+
   Table table("Fig. 8 — full-chip scan scaling (window " +
               Table::cell(static_cast<long long>(scan_cfg.window_nm)) +
               " nm, stride " +
@@ -51,6 +95,7 @@ int main(int argc, char** argv) {
                     "us / window"});
 
   const long long max_tiles = cli.get_int("max-tiles", 16);
+  report.set_config("max_tiles", max_tiles);
   for (int tiles = 4; tiles <= max_tiles; tiles *= 2) {
     synth::StyleConfig chip_style = spec.style;
     chip_style.p_risky_site = 0.25;
@@ -70,12 +115,15 @@ int main(int argc, char** argv) {
           core::scan_chip_two_stage(index, *prefilter, *cnn, scan_cfg);
       if (threads == 1) serial_cnn = single.seconds;
       if (threads == thread_counts.back()) parallel_cnn = single.seconds;
+      const std::string cell = Table::cell(static_cast<long long>(tiles)) +
+                               "x" +
+                               Table::cell(static_cast<long long>(tiles));
+      report_scan(report, "cnn-only " + cell, single, tiles, threads);
+      report_scan(report, "two-stage " + cell, two, tiles, threads);
       for (const auto& [flow, r] :
            {std::pair{"cnn-only", &single}, {"pm->cnn two-stage", &two}}) {
         table.add_row(
-            {Table::cell(static_cast<long long>(tiles)) + "x" +
-                 Table::cell(static_cast<long long>(tiles)),
-             Table::cell(area_mm2, 3), flow,
+            {cell, Table::cell(area_mm2, 3), flow,
              Table::cell(static_cast<long long>(threads)),
              Table::cell(static_cast<long long>(r->windows_total)),
              Table::cell(static_cast<long long>(r->windows_classified)),
@@ -96,5 +144,6 @@ int main(int argc, char** argv) {
     }
   }
   bench::print_table(table);
+  bench::write_report(report, cli, "fig8_scan");
   return 0;
 }

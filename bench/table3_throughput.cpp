@@ -2,9 +2,16 @@
 // micro measurements): μs per clip for each feature, per-clip inference
 // cost for a trained detector of each generation, plus the full-chip scan
 // primitives (spatial-index window query, sharded scan at 1/2/4 threads).
+//
+// Alongside the console output, every benchmark lands as one phase in
+// BENCH_table3_throughput.json (obs::RunReport): name, total/per-iteration
+// real and CPU time, iteration count, plus the global obs registry totals
+// accumulated by the instrumented library code under test. Pass
+// --report=<path> to redirect, --report= to disable.
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
 #include "lhd/core/cnn_detector.hpp"
 #include "lhd/core/factory.hpp"
 #include "lhd/core/scan.hpp"
@@ -173,6 +180,43 @@ void BM_ScanChipPatternMatch(benchmark::State& state) {
 BENCHMARK(BM_ScanChipPatternMatch)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+/// Console reporter that also captures each finished run into a RunReport
+/// phase, so the bench emits the same machine-readable BENCH_*.json shape
+/// as the table/figure harnesses.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(obs::RunReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      obs::Json extra = obs::Json::object();
+      extra["iterations"] = static_cast<long long>(run.iterations);
+      extra["ns_per_iter"] = 1e9 * run.real_accumulated_time / iters;
+      extra["cpu_ns_per_iter"] = 1e9 * run.cpu_accumulated_time / iters;
+      report_->add_phase(run.benchmark_name(), run.real_accumulated_time,
+                         std::move(extra));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  obs::RunReport* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Cli ignores google-benchmark's --benchmark_* flags and vice versa, so
+  // both flag styles coexist on one command line.
+  const lhd::Cli cli(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  lhd::obs::RunReport report("table3_throughput", "B2");
+  report.set_config("obs_enabled", lhd::obs::enabled());
+  CaptureReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  lhd::bench::write_report(report, cli, "table3_throughput");
+  return 0;
+}

@@ -6,17 +6,40 @@
 //
 // Run:  ./full_chip_scan [--tiles=8] [--stride=512] [--train=300]
 //                        [--threads=0]   (0 = one shard per hardware thread)
+//                        [--report=BENCH_full_chip_scan.json]  (empty = off)
+//
+// Besides the console narrative, the run serializes its phases (train,
+// each scan flow) and the global obs registry totals to a deterministic
+// JSON run report — the same schema the bench harnesses emit.
 
 #include <iostream>
 #include <thread>
 
 #include "lhd/core/factory.hpp"
 #include "lhd/core/scan.hpp"
+#include "lhd/obs/obs.hpp"
 #include "lhd/synth/builder.hpp"
 #include "lhd/synth/chip_gen.hpp"
 #include "lhd/util/cli.hpp"
 #include "lhd/util/log.hpp"
 #include "lhd/util/stopwatch.hpp"
+
+namespace {
+
+/// One scan flow -> one report phase with its deterministic tallies.
+void report_scan(lhd::obs::RunReport& report, const std::string& name,
+                 const lhd::core::ScanResult& r, std::size_t threads) {
+  using lhd::obs::Json;
+  Json extra = Json::object();
+  extra["threads"] = static_cast<long long>(threads);
+  extra["windows_total"] = static_cast<long long>(r.windows_total);
+  extra["windows_classified"] = static_cast<long long>(r.windows_classified);
+  extra["flagged"] = static_cast<long long>(r.flagged);
+  extra["shard_count"] = static_cast<long long>(r.shards.size());
+  report.add_phase(name, r.seconds, std::move(extra));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace lhd;
@@ -28,11 +51,14 @@ int main(int argc, char** argv) {
   spec.n_train = static_cast<int>(cli.get_int("train", 300));
   spec.n_test = 0;
   std::cout << "building training data + training both stages...\n";
+  obs::RunReport report("full_chip_scan", "B2");
+  Stopwatch train_sw;
   const auto suite = synth::build_suite(spec, {});
   auto prefilter = core::make_detector("pm");
   prefilter->train(suite.train);
   auto refiner = core::make_detector("cnn");
   refiner->train(suite.train);
+  report.add_phase("build+train", train_sw.seconds());
 
   // Build a chip and index it for window queries.
   const int tiles = static_cast<int>(cli.get_int("tiles", 8));
@@ -56,12 +82,21 @@ int main(int argc, char** argv) {
                             : std::max<std::size_t>(
                                   1, std::thread::hardware_concurrency());
 
+  report.set_config("tiles", static_cast<long long>(tiles));
+  report.set_config("stride_nm",
+                    static_cast<long long>(scan_cfg.stride_nm));
+  report.set_config("window_nm",
+                    static_cast<long long>(scan_cfg.window_nm));
+  report.set_config("threads", static_cast<long long>(threads));
+  report.set_config("obs_enabled", obs::enabled());
+
   std::cout << "\nscanning (CNN only, serial)...\n";
   scan_cfg.threads = 1;
   const auto single = core::scan_chip(index, *refiner, scan_cfg);
   std::cout << "  " << single.windows_total << " windows, "
             << single.windows_classified << " classified, " << single.flagged
             << " flagged, " << single.seconds << " s\n";
+  report_scan(report, "cnn-only serial", single, 1);
 
   scan_cfg.threads = threads;
   if (threads > 1) {
@@ -72,6 +107,7 @@ int main(int argc, char** argv) {
               << " flagged, " << par.seconds << " s ("
               << single.seconds / par.seconds << "x speedup, hits "
               << (par.hits == single.hits ? "identical" : "DIFFER!") << ")\n";
+    report_scan(report, "cnn-only parallel", par, threads);
   }
 
   std::cout << "scanning (pattern-match prefilter -> CNN, " << threads
@@ -81,6 +117,7 @@ int main(int argc, char** argv) {
   std::cout << "  " << two.windows_total << " windows, "
             << two.windows_classified << " refined, " << two.flagged
             << " flagged, " << two.seconds << " s\n";
+  report_scan(report, "pm->cnn two-stage", two, threads);
 
   std::cout << "\ntop flagged windows (score-sorted):\n";
   auto hits = two.hits;
@@ -89,6 +126,13 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < hits.size() && i < 10; ++i) {
     std::cout << "  (" << hits[i].window.xlo << ", " << hits[i].window.ylo
               << ") score " << hits[i].score << "\n";
+  }
+
+  const std::string report_path =
+      cli.get_string("report", "BENCH_full_chip_scan.json");
+  if (!report_path.empty()) {
+    report.capture_registry();
+    report.write(report_path);
   }
   return 0;
 }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Docs lint, run as a ctest (see tests/CMakeLists.txt). Fails when:
+#   1. a src/lhd/<module>/ directory is missing from README.md's
+#      "Architecture — module map" section, or
+#   2. a public header in src/lhd/core/ or src/lhd/obs/ lacks a Doxygen
+#      @file file-header comment (the place thread-safety guarantees live).
+# Run from anywhere: paths resolve relative to this script's repo root.
+
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+readme="$root/README.md"
+failures=0
+
+fail() {
+  echo "check_docs: $1" >&2
+  failures=$((failures + 1))
+}
+
+[ -f "$readme" ] || { echo "check_docs: README.md not found" >&2; exit 1; }
+
+# --- 1. every module directory appears in the README module map ------------
+for dir in "$root"/src/lhd/*/; do
+  module="$(basename "$dir")"
+  # A module counts as documented when the map links to its directory,
+  # e.g. **[`core/`](src/lhd/core)**.
+  if ! grep -q "(src/lhd/$module)" "$readme"; then
+    fail "module 'src/lhd/$module' is not in README.md's module map"
+  fi
+done
+
+# --- 2. public core/obs headers carry a @file doc comment ------------------
+for header in "$root"/src/lhd/core/*.hpp "$root"/src/lhd/obs/*.hpp; do
+  # The @file marker must sit in the first few lines, i.e. be a real
+  # file-header comment rather than buried documentation.
+  if ! head -5 "$header" | grep -q "@file"; then
+    fail "header '${header#"$root"/}' lacks a @file file-header comment"
+  fi
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "check_docs: $failures problem(s) — update README.md's module map" \
+       "or add the missing @file header comments" >&2
+  exit 1
+fi
+echo "check_docs: OK"

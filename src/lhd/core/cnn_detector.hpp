@@ -1,8 +1,14 @@
 #pragma once
-// The deep-learning detector: DCT feature tensor -> hotspot CNN, with the
-// survey's imbalance-aware preparation (minority upsampling + mirror
-// augmentation) and three training modes (plain / biased learning /
-// batch biased learning).
+/// @file cnn_detector.hpp
+/// @brief The deep-learning detector: DCT feature tensor -> hotspot CNN,
+/// with the survey's imbalance-aware preparation (minority upsampling +
+/// mirror augmentation) and three training modes (plain / biased learning
+/// / batch biased learning).
+///
+/// Thread-safety: follows the Detector contract — train() is exclusive;
+/// score()/predict() route through Network::infer(), the side-effect-free
+/// forward path, so concurrent inference on a trained instance never
+/// touches training caches.
 
 #include <memory>
 

@@ -1,9 +1,16 @@
 #pragma once
-// The public face of the library: a hotspot Detector is trained on a
-// labeled clip dataset and classifies clips. Every generation the survey
-// covers — pattern matching, shallow ML, deep learning — implements this
-// interface, so the benchmark harnesses and the full-chip scanner treat
-// them uniformly.
+/// @file detector.hpp
+/// @brief The public face of the library: a hotspot Detector is trained on
+/// a labeled clip dataset and classifies clips. Every generation the
+/// survey covers — pattern matching, shallow ML, deep learning — implements
+/// this interface, so the benchmark harnesses and the full-chip scanner
+/// treat them uniformly.
+///
+/// Thread-safety contract for implementations: train() and set_threshold()
+/// are exclusive (one thread, no concurrent readers); score(), predict()
+/// and predict_all() on a trained detector must be safe to call from many
+/// threads at once — the sharded scanner and the parallel threshold sweep
+/// rely on it, and every in-tree detector honors it.
 
 #include <memory>
 #include <string>

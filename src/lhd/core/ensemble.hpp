@@ -1,8 +1,14 @@
 #pragma once
-// Detector ensembling — the survey's closing direction (and the TCAD'21
-// BNN-ensemble follow-up): combine several trained detectors by majority
-// vote. Members may be heterogeneous (e.g. three CNN seeds, or CNN + SVM +
-// AdaBoost); scores are vote fractions, so thresholds stay meaningful.
+/// @file ensemble.hpp
+/// @brief Detector ensembling — the survey's closing direction (and the
+/// TCAD'21 BNN-ensemble follow-up): combine several trained detectors by
+/// majority vote. Members may be heterogeneous (e.g. three CNN seeds, or
+/// CNN + SVM + AdaBoost); scores are vote fractions, so thresholds stay
+/// meaningful.
+///
+/// Thread-safety: follows the Detector contract — train() (which trains
+/// every member) is exclusive; concurrent score()/predict() are safe
+/// because they only fan out to the members' own thread-safe inference.
 
 #include <memory>
 #include <vector>

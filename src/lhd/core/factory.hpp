@@ -1,18 +1,24 @@
 #pragma once
-// Named detector construction — the configurations the benchmark tables
-// compare. Kinds, in the survey's generational order:
-//
-//   "pm"        pattern matching on quantized density signatures
-//   "nb"        Gaussian naive Bayes on density features
-//   "logreg"    logistic regression on density features
-//   "svm"       linear SVM (Pegasos) on density+CCAS features
-//   "svm-rbf"   RBF-kernel SVM (SMO) on CCAS features
-//   "adaboost"  boosted stumps on density+CCAS features
-//   "dtree"     CART decision tree on density features
-//   "forest"    random forest on density+CCAS features
-//   "cnn"       DCT feature tensor + CNN (plain training)
-//   "cnn-bl"    ... + biased learning
-//   "cnn-bbl"   ... + batch biased learning
+/// @file factory.hpp
+/// @brief Named detector construction — the configurations the benchmark
+/// tables compare. Kinds, in the survey's generational order:
+///
+///   "pm"        pattern matching on quantized density signatures
+///   "nb"        Gaussian naive Bayes on density features
+///   "logreg"    logistic regression on density features
+///   "svm"       linear SVM (Pegasos) on density+CCAS features
+///   "svm-rbf"   RBF-kernel SVM (SMO) on CCAS features
+///   "adaboost"  boosted stumps on density+CCAS features
+///   "dtree"     CART decision tree on density features
+///   "forest"    random forest on density+CCAS features
+///   "cnn"       DCT feature tensor + CNN (plain training)
+///   "cnn-bl"    ... + biased learning
+///   "cnn-bbl"   ... + batch biased learning
+///
+/// Thread-safety: make_detector and the kind-list accessors are safe to
+/// call concurrently (the lists are immutable statics); each returned
+/// detector instance follows the Detector contract (exclusive train,
+/// concurrent inference).
 
 #include <memory>
 #include <string>

@@ -1,11 +1,16 @@
 #pragma once
-// ICCAD-2012-contest-style evaluation metrics.
-//
-//   accuracy     = hotspot detection rate (recall on the hotspot class)
-//   false alarms = count of non-hotspots flagged
-//   ODST         = "overall detection simulation time": detector runtime
-//                  plus the lithography-simulation time needed to verify
-//                  every alarm it raises (tp + fp clips).
+/// @file metrics.hpp
+/// @brief ICCAD-2012-contest-style evaluation metrics.
+///
+///   accuracy     = hotspot detection rate (recall on the hotspot class)
+///   false alarms = count of non-hotspots flagged
+///   ODST         = "overall detection simulation time": detector runtime
+///                  plus the lithography-simulation time needed to verify
+///                  every alarm it raises (tp + fp clips).
+///
+/// Thread-safety: everything here is a pure function over its arguments
+/// (Confusion is a plain value type); all of it is safe to call
+/// concurrently with no shared state.
 
 #include <cstddef>
 #include <vector>

@@ -1,7 +1,15 @@
 #pragma once
-// End-to-end experiment pipeline: train a detector on a suite, evaluate it
-// on the held-out split, time both phases, and compute contest metrics —
-// one call per (detector, suite) cell of the comparison tables.
+/// @file pipeline.hpp
+/// @brief End-to-end experiment pipeline: train a detector on a suite,
+/// evaluate it on the held-out split, time both phases, and compute
+/// contest metrics — one call per (detector, suite) cell of the
+/// comparison tables.
+///
+/// Thread-safety: run_experiment and threshold_sweep mutate the detector
+/// they are given (training, threshold restore), so a detector instance
+/// must not be shared across concurrent calls; internally both fan
+/// side-effect-free scoring out across the global ThreadPool. Phase wall
+/// times land in obs::Registry::global() ("pipeline.*") when obs is on.
 
 #include <string>
 #include <vector>

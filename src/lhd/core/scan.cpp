@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "lhd/obs/registry.hpp"
+#include "lhd/obs/timer.hpp"
 #include "lhd/util/check.hpp"
 #include "lhd/util/stopwatch.hpp"
 #include "lhd/util/thread_pool.hpp"
@@ -91,12 +93,17 @@ ChipIndex ChipIndex::from_library(const gds::Library& lib,
 
 namespace {
 
-/// Counters and hits gathered by one shard of the window grid.
+/// Counters and hits gathered by one shard of the window grid. Timing
+/// accumulates into plain doubles (obs::ScopedTimer accumulator mode), so
+/// instrumenting the hot loop adds no cross-shard contention; totals are
+/// flushed to the global registry once, after the shards join.
 struct ShardAccum {
   std::size_t windows_total = 0;
   std::size_t windows_classified = 0;
   std::size_t flagged = 0;
   std::vector<ScanHit> hits;
+  double seconds = 0.0;        ///< shard wall time
+  double query_seconds = 0.0;  ///< time inside ChipIndex::query
 };
 
 std::size_t resolve_threads(std::size_t requested) {
@@ -128,6 +135,7 @@ ScanResult scan_impl(const ChipIndex& chip, const ScanConfig& config,
 
   const auto scan_rows = [&](std::size_t lo, std::size_t hi,
                              ShardAccum& acc) {
+    obs::ScopedTimer shard_timer(acc.seconds);
     ChipIndex::QueryScratch scratch;
     for (std::size_t r = lo; r < hi; ++r) {
       const geom::Coord y = row_ys[r];
@@ -136,7 +144,11 @@ ScanResult scan_impl(const ChipIndex& chip, const ScanConfig& config,
         const geom::Rect window(x, y, x + config.window_nm,
                                 y + config.window_nm);
         ++acc.windows_total;
-        auto rects = chip.query(window, scratch);
+        std::vector<geom::Rect> rects;
+        {
+          obs::ScopedTimer query_timer(acc.query_seconds);
+          rects = chip.query(window, scratch);
+        }
         if (config.skip_empty && rects.empty()) continue;
         classify(window, std::move(rects), acc);
       }
@@ -162,8 +174,26 @@ ScanResult scan_impl(const ChipIndex& chip, const ScanConfig& config,
     result.windows_classified += acc.windows_classified;
     result.flagged += acc.flagged;
     result.hits.insert(result.hits.end(), acc.hits.begin(), acc.hits.end());
+    result.shards.push_back(
+        {acc.windows_total, acc.seconds, acc.query_seconds});
   }
   result.seconds = sw.seconds();
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.add("scan.runs");
+    reg.add("scan.windows_total", result.windows_total);
+    reg.add("scan.windows_classified", result.windows_classified);
+    reg.add("scan.flagged", result.flagged);
+    reg.observe("scan.seconds", result.seconds);
+    if (result.seconds > 0.0) {
+      reg.observe("scan.windows_per_sec",
+                  static_cast<double>(result.windows_total) / result.seconds);
+    }
+    for (const auto& shard : result.shards) {
+      reg.observe("scan.shard_seconds", shard.seconds);
+      reg.observe("scan.shard_query_seconds", shard.query_seconds);
+    }
+  }
   return result;
 }
 

@@ -1,12 +1,22 @@
 #pragma once
-// Full-chip hotspot scanning: slide a clip window over a flattened layout
-// and classify each window. Includes the two-stage flow the survey
-// highlights (cheap pattern-match prefilter proposing candidates, CNN
-// refining them) and a spatial index so window extraction is O(local).
-//
-// The scan shards the window grid row-wise across a ThreadPool; shard
-// results are merged in row-major window order, so the hit list is
-// bit-identical for every thread count (ScanConfig::threads).
+/// @file scan.hpp
+/// @brief Full-chip hotspot scanning: slide a clip window over a flattened
+/// layout and classify each window. Includes the two-stage flow the survey
+/// highlights (cheap pattern-match prefilter proposing candidates, CNN
+/// refining them) and a spatial index so window extraction is O(local).
+///
+/// The scan shards the window grid row-wise across a ThreadPool; shard
+/// results are merged in row-major window order, so the hit list is
+/// bit-identical for every thread count (ScanConfig::threads).
+///
+/// Thread-safety: ChipIndex is immutable after construction and all its
+/// methods are const; concurrent query() calls are race-free as long as
+/// each thread passes its own QueryScratch. scan_chip* may run on a shared
+/// pool; the detector's score()/predict() must be thread-safe (true for
+/// every in-tree detector). Scans record per-shard timings and window
+/// tallies into obs::Registry::global() when observability is enabled —
+/// instrumentation never changes scan results (asserted by
+/// Scan.InstrumentedScanMatchesUninstrumented).
 
 #include <cstdint>
 #include <vector>
@@ -87,12 +97,27 @@ struct ScanHit {
   friend bool operator==(const ScanHit&, const ScanHit&) = default;
 };
 
+/// Per-shard accounting the scan reports alongside its results: how much
+/// of the grid each shard covered and how long it spent. Shard wall times
+/// are the load-balance view the aggregate `seconds` hides.
+struct ShardStat {
+  std::size_t windows = 0;   ///< windows this shard visited
+  double seconds = 0.0;      ///< shard wall time (query + classify)
+  double query_seconds = 0.0;  ///< portion spent in ChipIndex::query
+
+  friend bool operator==(const ShardStat&, const ShardStat&) = default;
+};
+
 struct ScanResult {
   std::size_t windows_total = 0;    ///< windows visited
   std::size_t windows_classified = 0;  ///< windows the (final) detector saw
   std::size_t flagged = 0;
   double seconds = 0.0;
   std::vector<ScanHit> hits;
+  /// One entry per shard, in shard (row-major) order; size() is the shard
+  /// count actually used. Timing fields vary run to run; window counts are
+  /// deterministic.
+  std::vector<ShardStat> shards;
 };
 
 /// Single-stage scan: classify every (non-empty) window. Runs on

@@ -1,7 +1,12 @@
 #pragma once
-// Adapter wiring {feature extractor -> scaler -> optional PCA -> shallow
-// classifier} into the Detector interface, with optional imbalance-aware
-// upsampling of the training set.
+/// @file shallow_detector.hpp
+/// @brief Adapter wiring {feature extractor -> scaler -> optional PCA ->
+/// shallow classifier} into the Detector interface, with optional
+/// imbalance-aware upsampling of the training set.
+///
+/// Thread-safety: follows the Detector contract — train() fits the whole
+/// chain exclusively; score()/predict() only read the fitted extractor,
+/// scaler, PCA and classifier, so concurrent inference is safe.
 
 #include <memory>
 

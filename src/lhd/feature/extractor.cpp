@@ -1,5 +1,7 @@
 #include "lhd/feature/extractor.hpp"
 
+#include "lhd/obs/registry.hpp"
+#include "lhd/obs/timer.hpp"
 #include "lhd/util/check.hpp"
 #include "lhd/util/thread_pool.hpp"
 
@@ -71,10 +73,25 @@ std::unique_ptr<Extractor> make_dct_extractor(DctConfig config) {
 
 std::vector<std::vector<float>> extract_all(const Extractor& extractor,
                                             const data::Dataset& ds) {
+  // Per-feature-kind cost profile: one wall-clock observation per batch
+  // keyed by the extractor's name, plus a clip tally. Kept outside the
+  // per-clip loop so the parallel hot path stays untouched.
+  double batch_seconds = 0.0;
   std::vector<std::vector<float>> rows(ds.size());
-  ThreadPool::global().parallel_for(0, ds.size(), [&](std::size_t i) {
-    rows[i] = extractor.extract(ds[i]);
-  });
+  {
+    obs::ScopedTimer timer(batch_seconds);
+    ThreadPool::global().parallel_for(0, ds.size(), [&](std::size_t i) {
+      rows[i] = extractor.extract(ds[i]);
+    });
+  }
+  if (obs::enabled() && !ds.empty()) {
+    auto& reg = obs::Registry::global();
+    const std::string kind = "feature." + extractor.name();
+    reg.add(kind + ".clips", ds.size());
+    reg.observe(kind + ".seconds", batch_seconds);
+    reg.observe(kind + ".us_per_clip",
+                1e6 * batch_seconds / static_cast<double>(ds.size()));
+  }
   return rows;
 }
 

@@ -3,10 +3,24 @@
 #include <algorithm>
 #include <numeric>
 
+#include "lhd/obs/registry.hpp"
+#include "lhd/obs/timer.hpp"
 #include "lhd/util/check.hpp"
 #include "lhd/util/log.hpp"
 
 namespace lhd::nn {
+
+namespace {
+
+/// Flush one finished epoch's cost profile to the global registry.
+void record_epoch(const EpochStats& stats) {
+  auto& reg = obs::Registry::global();
+  reg.add("nn.epochs");
+  reg.observe("nn.epoch_seconds", stats.seconds);
+  reg.observe("nn.epoch_loss", stats.loss);
+}
+
+}  // namespace
 
 Trainer::Trainer(Network* net, std::array<int, 3> input_shape)
     : net_(net), shape_(input_shape) {
@@ -59,6 +73,7 @@ std::vector<EpochStats> Trainer::train(const Rows& x,
     stats.lambda = config.bias_lambda;
     run_epoch(x, y, config, *opt, order, stats);
     opt->set_learning_rate(opt->learning_rate() * config.lr_decay);
+    record_epoch(stats);
     history.push_back(stats);
     LHD_LOG(Debug) << "epoch " << epoch << ": loss " << stats.loss << " acc "
                    << stats.accuracy << " recall " << stats.recall << " fa "
@@ -71,6 +86,7 @@ void Trainer::run_epoch(const Rows& x, const std::vector<float>& y,
                         const TrainConfig& config, Optimizer& opt,
                         const std::vector<std::size_t>& order,
                         EpochStats& stats) {
+  obs::ScopedTimer epoch_timer(stats.seconds);
   const std::size_t n = x.size();
   double loss_sum = 0.0;
   std::size_t batches = 0;
@@ -117,6 +133,7 @@ void Trainer::run_epoch(const Rows& x, const std::vector<float>& y,
     }
   }
 
+  obs::Registry::global().add("nn.batches", batches);
   stats.loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;
   stats.accuracy = static_cast<double>(correct) / static_cast<double>(n);
   stats.recall = (tp + fn) ? static_cast<double>(tp) / (tp + fn) : 0.0;
@@ -147,6 +164,7 @@ std::vector<EpochStats> Trainer::continue_training(
     stats.lambda = config.bias_lambda;
     run_epoch(x, y, config, *opt, order, stats);
     opt->set_learning_rate(opt->learning_rate() * config.lr_decay);
+    record_epoch(stats);
     history.push_back(stats);
   }
   return history;

@@ -42,6 +42,7 @@ struct EpochStats {
   double recall = 0.0;       ///< hotspot recall on the training set
   double false_alarm = 0.0;  ///< non-hotspots flagged / non-hotspots
   double lambda = 0.0;       ///< bias in effect this epoch
+  double seconds = 0.0;      ///< epoch wall time (also in obs "nn.epoch_seconds")
 };
 
 class Trainer {

@@ -1,0 +1,362 @@
+#include "lhd/obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace lhd::obs {
+
+namespace {
+
+const Json& shared_null() {
+  static const Json null;
+  return null;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  // Shortest round-trip representation: deterministic for equal doubles
+  // and stable across runs, unlike locale-dependent printf formatting.
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+  // Keep floats visually distinct from integers ("1" -> "1e0" is what
+  // to_chars gives only sometimes; add ".0" when the text parses as int).
+  const std::string_view text(buf, static_cast<std::size_t>(res.ptr - buf));
+  if (text.find_first_of(".eE") == std::string_view::npos) out += ".0";
+}
+
+}  // namespace
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::Null) type_ = Type::Object;
+  if (type_ != Type::Object) {
+    throw std::runtime_error("Json::operator[]: not an object");
+  }
+  return object_[key];
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (type_ != Type::Object) return shared_null();
+  const auto it = object_.find(key);
+  return it == object_.end() ? shared_null() : it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  return type_ == Type::Object && object_.count(key) > 0;
+}
+
+void Json::push_back(Json value) {
+  if (type_ == Type::Null) type_ = Type::Array;
+  if (type_ != Type::Array) {
+    throw std::runtime_error("Json::push_back: not an array");
+  }
+  array_.push_back(std::move(value));
+}
+
+std::size_t Json::size() const {
+  switch (type_) {
+    case Type::Array: return array_.size();
+    case Type::Object: return object_.size();
+    case Type::String: return string_.size();
+    default: return 0;
+  }
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.type_ != b.type_) {
+    // Int and Double compare numerically so a parsed "2.0" still matches.
+    const bool numeric_a =
+        a.type_ == Json::Type::Int || a.type_ == Json::Type::Double;
+    const bool numeric_b =
+        b.type_ == Json::Type::Int || b.type_ == Json::Type::Double;
+    return numeric_a && numeric_b && a.as_double() == b.as_double();
+  }
+  switch (a.type_) {
+    case Json::Type::Null: return true;
+    case Json::Type::Bool: return a.bool_ == b.bool_;
+    case Json::Type::Int: return a.int_ == b.int_;
+    case Json::Type::Double: return a.double_ == b.double_;
+    case Json::Type::String: return a.string_ == b.string_;
+    case Json::Type::Array: return a.array_ == b.array_;
+    case Json::Type::Object: return a.object_ == b.object_;
+  }
+  return false;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * d, ' ');
+  };
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Int: {
+      char buf[24];
+      const auto res = std::to_chars(buf, buf + sizeof(buf), int_);
+      out.append(buf, res.ptr);
+      break;
+    }
+    case Type::Double: append_double(out, double_); break;
+    case Type::String: append_escaped(out, string_); break;
+    case Type::Array: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& item : array_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        item.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        append_escaped(out, key);
+        out += indent > 0 ? ": " : ":";
+        value.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json run() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("Json::parse: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Json(string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json();
+        fail("bad literal");
+      default: return number();
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Encode the code point as UTF-8 (BMP only; the serializer never
+          // emits escapes above U+001F, so this covers round-trips).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string_view text(text_.data() + start, pos_ - start);
+    if (text.empty()) fail("expected value");
+    if (text.find_first_of(".eE") == std::string_view::npos) {
+      std::int64_t v = 0;
+      const auto res = std::from_chars(text.begin(), text.end(), v);
+      if (res.ec == std::errc() && res.ptr == text.end()) return Json(v);
+    }
+    double v = 0.0;
+    const auto res = std::from_chars(text.begin(), text.end(), v);
+    if (res.ec != std::errc() || res.ptr != text.end()) fail("bad number");
+    return Json(v);
+  }
+
+  Json array() {
+    expect('[');
+    Json out = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return out;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  Json object() {
+    expect('{');
+    Json out = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      out[key] = value();
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return out;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace lhd::obs

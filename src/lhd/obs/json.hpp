@@ -1,0 +1,98 @@
+#pragma once
+/// @file json.hpp
+/// @brief Minimal JSON value type with a deterministic serializer (sorted
+/// object keys, shortest-round-trip number formatting) and a strict
+/// recursive-descent parser — just enough for `RunReport` files.
+///
+/// Thread-safety: `Json` is a plain value type with no global state; a
+/// given instance may be read concurrently but not mutated concurrently.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lhd::obs {
+
+/// One JSON value: null, bool, number (int64 or double), string, array or
+/// object. Objects keep their keys in a `std::map`, so serialization order
+/// is alphabetical and therefore deterministic across runs.
+class Json {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(int v) : type_(Type::Int), int_(v) {}
+  Json(long v) : type_(Type::Int), int_(v) {}
+  Json(long long v) : type_(Type::Int), int_(v) {}
+  Json(unsigned v) : type_(Type::Int), int_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned long v)
+      : type_(Type::Int), int_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned long long v)
+      : type_(Type::Int), int_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : type_(Type::Double), double_(v) {}
+  Json(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  Json(const char* s) : type_(Type::String), string_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_object() const { return type_ == Type::Object; }
+  bool is_array() const { return type_ == Type::Array; }
+
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const { return int_; }
+  /// Numeric value as double regardless of integer/float representation.
+  double as_double() const {
+    return type_ == Type::Int ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const { return string_; }
+  const std::vector<Json>& items() const { return array_; }
+  const std::map<std::string, Json>& members() const { return object_; }
+
+  /// Object access; creates the key (and coerces a null to an object).
+  Json& operator[](const std::string& key);
+  /// Read-only object lookup; returns a shared null for missing keys.
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Array append (coerces a null to an array).
+  void push_back(Json value);
+
+  std::size_t size() const;
+
+  friend bool operator==(const Json&, const Json&);
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces per
+  /// level; 0 emits compact one-line JSON. Output is byte-deterministic
+  /// for equal values.
+  std::string dump(int indent = 2) const;
+
+  /// Strict parser (no comments, no trailing commas). Throws
+  /// `std::runtime_error` with an offset on malformed input.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace lhd::obs

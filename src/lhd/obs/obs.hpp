@@ -1,0 +1,19 @@
+#pragma once
+/// @file obs.hpp
+/// @brief Umbrella header for the lhd::obs observability layer: named
+/// counters/histograms (`Registry`), RAII scoped timers (`ScopedTimer`),
+/// deterministic JSON (`Json`) and whole-run reports (`RunReport`).
+///
+/// Switches: build with -DLHD_OBS=OFF to compile recording out entirely,
+/// or set the LHD_OBS=off environment variable to disable it at runtime
+/// (obs::enabled() / obs::set_enabled()). Either way the instrumented and
+/// uninstrumented pipelines produce bit-identical results — instruments
+/// only ever observe, never steer.
+///
+/// Thread-safety: everything here is safe for concurrent use; see the
+/// individual headers for the precise guarantees.
+
+#include "lhd/obs/json.hpp"
+#include "lhd/obs/registry.hpp"
+#include "lhd/obs/report.hpp"
+#include "lhd/obs/timer.hpp"

@@ -1,0 +1,88 @@
+#include "lhd/obs/registry.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace lhd::obs {
+
+namespace {
+
+#ifndef LHD_OBS_DISABLED
+bool env_default() {
+  const char* v = std::getenv("LHD_OBS");
+  if (v == nullptr) return true;
+  const std::string_view s(v);
+  return !(s == "off" || s == "OFF" || s == "0" || s == "false" ||
+           s == "FALSE");
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_default()};
+  return flag;
+}
+#endif
+
+}  // namespace
+
+bool enabled() {
+#ifdef LHD_OBS_DISABLED
+  return false;
+#else
+  return enabled_flag().load(std::memory_order_relaxed);
+#endif
+}
+
+void set_enabled(bool on) {
+#ifdef LHD_OBS_DISABLED
+  (void)on;
+#else
+  enabled_flag().store(on, std::memory_order_relaxed);
+#endif
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_[name];
+}
+
+void Registry::add(const std::string& name, std::uint64_t delta) {
+  if (!enabled()) return;
+  counter(name).add(delta);
+}
+
+void Registry::observe(const std::string& name, double value) {
+  if (!enabled()) return;
+  histogram(name).observe(value);
+}
+
+std::map<std::string, std::uint64_t> Registry::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter.value();
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> Registry::histograms() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, hist] : histograms_) out[name] = hist.snapshot();
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter.reset();
+  for (auto& [name, hist] : histograms_) hist.reset();
+}
+
+}  // namespace lhd::obs

@@ -1,0 +1,72 @@
+#include "lhd/obs/report.hpp"
+
+#include <fstream>
+
+#include "lhd/util/log.hpp"
+
+namespace lhd::obs {
+
+RunReport::RunReport(std::string tool, std::string suite) {
+  root_ = Json::object();
+  root_["schema"] = "lhd.run_report/1";
+  root_["tool"] = std::move(tool);
+  root_["suite"] = std::move(suite);
+  root_["config"] = Json::object();
+  root_["phases"] = Json::array();
+  root_["counters"] = Json::object();
+  root_["histograms"] = Json::object();
+}
+
+void RunReport::set_config(const std::string& key, Json value) {
+  root_["config"][key] = std::move(value);
+}
+
+void RunReport::add_phase(const std::string& name, double seconds,
+                          Json extra) {
+  Json phase = Json::object();
+  phase["name"] = name;
+  phase["seconds"] = seconds;
+  if (extra.is_object()) {
+    for (const auto& [key, value] : extra.members()) phase[key] = value;
+  }
+  root_["phases"].push_back(std::move(phase));
+}
+
+void RunReport::capture_registry(const Registry& registry) {
+  Json counters = Json::object();
+  for (const auto& [name, value] : registry.counters()) {
+    counters[name] = static_cast<long long>(value);
+  }
+  root_["counters"] = std::move(counters);
+
+  Json hists = Json::object();
+  for (const auto& [name, snap] : registry.histograms()) {
+    Json h = Json::object();
+    h["count"] = static_cast<long long>(snap.count);
+    if (snap.count > 0) {
+      h["sum"] = snap.sum;
+      h["min"] = snap.min;
+      h["max"] = snap.max;
+      h["mean"] = snap.mean();
+    }
+    hists[name] = std::move(h);
+  }
+  root_["histograms"] = std::move(hists);
+}
+
+bool RunReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    LHD_LOG(Warn) << "RunReport: cannot open " << path << " for writing";
+    return false;
+  }
+  out << to_json() << "\n";
+  if (!out) {
+    LHD_LOG(Warn) << "RunReport: short write to " << path;
+    return false;
+  }
+  LHD_LOG(Info) << "wrote run report " << path;
+  return true;
+}
+
+}  // namespace lhd::obs

@@ -1,0 +1,65 @@
+#pragma once
+/// @file report.hpp
+/// @brief `RunReport`: a whole run (tool, suite, config, timed phases,
+/// counter/histogram totals) serialized to deterministic JSON — the
+/// machine-readable output behind the `BENCH_*.json` files.
+///
+/// Thread-safety: a RunReport is built by one thread (typically main after
+/// the measured work finishes); `capture_registry()` reads the thread-safe
+/// registry, so it may run while workers are still counting, but the
+/// snapshot is only guaranteed complete once they have joined.
+
+#include <string>
+
+#include "lhd/obs/json.hpp"
+#include "lhd/obs/registry.hpp"
+
+namespace lhd::obs {
+
+/// Accumulates one run's description and serializes it. Top-level schema
+/// (keys always present, alphabetically ordered by the serializer):
+///
+/// {
+///   "config":     { ... },            // set_config() key/values
+///   "counters":   { "name": n },      // capture_registry()
+///   "histograms": { "name": {count,max,mean,min,sum} },
+///   "phases":     [ {"name", "seconds", ...extras} ],  // insertion order
+///   "schema":     "lhd.run_report/1",
+///   "suite":      "B2",
+///   "tool":       "fig8_scan"
+/// }
+///
+/// Within the fixed shape every value except wall/CPU times is
+/// deterministic for deterministic workloads: counter totals, window
+/// counts and hit tallies reproduce bit-identically run to run; only
+/// "seconds"-like fields vary.
+class RunReport {
+ public:
+  explicit RunReport(std::string tool, std::string suite = "");
+
+  /// Record one configuration knob (stride, threads, detector, ...).
+  void set_config(const std::string& key, Json value);
+
+  /// Append a timed phase. `extra` must be an object (or null); its
+  /// members are merged into the phase entry alongside name/seconds.
+  void add_phase(const std::string& name, double seconds,
+                 Json extra = Json());
+
+  /// Snapshot a registry's counters and histograms into the report.
+  void capture_registry(const Registry& registry = Registry::global());
+
+  /// Mutable access for fields outside the helpers above.
+  Json& root() { return root_; }
+  const Json& root() const { return root_; }
+
+  std::string to_json(int indent = 2) const { return root_.dump(indent); }
+
+  /// Write to_json() + trailing newline to `path`; logs and returns false
+  /// on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  Json root_;
+};
+
+}  // namespace lhd::obs

@@ -1,0 +1,78 @@
+#pragma once
+/// @file timer.hpp
+/// @brief RAII scoped wall-clock timers feeding obs histograms, with an
+/// accumulator mode for contention-free per-thread timing.
+///
+/// Thread-safety: a `ScopedTimer` instance is used by one thread (it is a
+/// stack object). The histogram-targeting constructors record through the
+/// thread-safe `Histogram`/`Registry`; the accumulator constructor writes
+/// a caller-owned `double`, so a shard can time thousands of scopes with
+/// zero synchronization and flush the total to a histogram once.
+
+#include <chrono>
+#include <string>
+
+#include "lhd/obs/registry.hpp"
+
+namespace lhd::obs {
+
+/// Times the enclosing scope. Destinations:
+///  * `ScopedTimer(hist)` — observe elapsed seconds into a Histogram;
+///  * `ScopedTimer("name")` — into Registry::global().histogram("name");
+///  * `ScopedTimer(acc)` — add elapsed seconds to a plain double the
+///    caller owns (per-thread accumulation; flush the double yourself).
+/// When obs is disabled (LHD_OBS=off or -DLHD_OBS=OFF) construction skips
+/// the clock read and destruction records nothing.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist) : hist_(&hist) { start(); }
+
+  explicit ScopedTimer(const std::string& name) {
+    if (!enabled()) return;
+    hist_ = &Registry::global().histogram(name);
+    start();
+  }
+
+  explicit ScopedTimer(double& accumulator) : accum_(&accumulator) {
+    start();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Record now instead of at scope exit; returns elapsed seconds (0.0 if
+  /// already stopped or obs is disabled). Idempotent.
+  double stop() {
+    if (!running_) return 0.0;
+    running_ = false;
+    const double s =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    if (hist_ != nullptr) hist_->observe(s);
+    if (accum_ != nullptr) *accum_ += s;
+    return s;
+  }
+
+  /// Seconds since construction without stopping (0.0 when not running).
+  double elapsed() const {
+    if (!running_) return 0.0;
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void start() {
+    if (!enabled()) return;
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  Histogram* hist_ = nullptr;
+  double* accum_ = nullptr;
+  bool running_ = false;
+  Clock::time_point start_{};
+};
+
+}  // namespace lhd::obs
