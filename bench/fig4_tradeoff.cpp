@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     }
     std::vector<float> thresholds;
     for (int i = 0; i <= 10; ++i) {
-      thresholds.push_back(lo + (hi - lo) * i / 10.0f);
+      thresholds.push_back(lo + (hi - lo) * static_cast<float>(i) / 10.0f);
     }
     for (const auto& point :
          core::threshold_sweep(*det, suite.test, thresholds)) {

@@ -65,6 +65,6 @@ int main(int argc, char** argv) {
   std::cout << "flattened \"" << top << "\" layer 1: " << rects.size()
             << " rectangles, bbox " << bbox.width() / 1000.0 << " x "
             << bbox.height() / 1000.0 << " um, pattern area "
-            << geom::union_area(rects) / 1e6 << " um^2\n";
+            << static_cast<double>(geom::union_area(rects)) / 1e6 << " um^2\n";
   return 0;
 }

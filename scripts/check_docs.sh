@@ -1,23 +1,19 @@
 #!/usr/bin/env bash
 # Docs lint, run as a ctest (see tests/CMakeLists.txt). Fails when:
 #   1. a src/lhd/<module>/ directory is missing from README.md's
-#      "Architecture — module map" section, or
+#      "Architecture — module map" section,
 #   2. a public header in src/lhd/core/ or src/lhd/obs/ lacks a Doxygen
-#      @file file-header comment (the place thread-safety guarantees live).
+#      @file file-header comment (the place thread-safety guarantees live), or
+#   3. an LHD_* CMake knob declared in CMakeLists.txt is missing from
+#      README.md's "Build & run knobs" table.
 # Run from anywhere: paths resolve relative to this script's repo root.
 
-set -u
+check_name="check_docs"
+# shellcheck source=scripts/lib.sh
+. "$(dirname "$0")/lib.sh"
 
-root="$(cd "$(dirname "$0")/.." && pwd)"
 readme="$root/README.md"
-failures=0
-
-fail() {
-  echo "check_docs: $1" >&2
-  failures=$((failures + 1))
-}
-
-[ -f "$readme" ] || { echo "check_docs: README.md not found" >&2; exit 1; }
+[ -f "$readme" ] || { echo "$check_name: README.md not found" >&2; exit 1; }
 
 # --- 1. every module directory appears in the README module map ------------
 for dir in "$root"/src/lhd/*/; do
@@ -38,9 +34,15 @@ for header in "$root"/src/lhd/core/*.hpp "$root"/src/lhd/obs/*.hpp; do
   fi
 done
 
-if [ "$failures" -gt 0 ]; then
-  echo "check_docs: $failures problem(s) — update README.md's module map" \
-       "or add the missing @file header comments" >&2
-  exit 1
-fi
-echo "check_docs: OK"
+# --- 3. every LHD_* CMake knob is in the README knobs table ----------------
+# Knobs are declared as option(LHD_X ...) or set(LHD_X ... CACHE ...); each
+# must have a `LHD_X` row in the "Build & run knobs" table.
+knobs="$(grep -oE '^(option|set)\(LHD_[A-Z_]+' "$root/CMakeLists.txt" |
+  sed -E 's/^(option|set)\(//' | sort -u)"
+for knob in $knobs; do
+  if ! grep -q "\`$knob\`" "$readme"; then
+    fail "CMake knob '$knob' is missing from README.md's knobs table"
+  fi
+done
+
+finish "update README.md's module map / knobs table or add the missing @file header comments"

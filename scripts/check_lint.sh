@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Static-analysis gate, run as a ctest (see tests/CMakeLists.txt).
+#
+#   check_lint.sh [BUILD_DIR]
+#
+# Three layers, strictest available first:
+#   1. House concurrency rules (always run, pure grep — no toolchain):
+#      a. a public core/obs/util header that declares a mutex member must
+#         annotate at least one piece of state with LHD_GUARDED_BY — a
+#         mutex protecting nothing declared is a discipline hole;
+#      b. raw std::mutex / std::lock_guard / std::unique_lock /
+#         std::condition_variable are banned in src/ outside
+#         util/thread_annotations.hpp: locked code must use the annotated
+#         lhd::Mutex shims so Clang Thread Safety Analysis sees it.
+#   2. clang-tidy over every src/ translation unit via the build dir's
+#      compile_commands.json and the repo .clang-tidy (skipped with a note
+#      when clang-tidy is not installed).
+#   3. shellcheck over scripts/*.sh (skipped with a note when absent).
+#
+# BUILD_DIR defaults to <repo>/build. See docs/STATIC_ANALYSIS.md for the
+# triage guide.
+
+check_name="check_lint"
+# shellcheck source=scripts/lib.sh
+. "$(dirname "$0")/lib.sh"
+
+build_dir="${1:-$root/build}"
+
+# Strip // comments so prose like "guarded by a mutex" never trips the
+# type-usage patterns below.
+strip_comments() {
+  sed 's|//.*||' "$1"
+}
+
+# --- 1a. mutex members in public headers must guard annotated state --------
+for header in "$root"/src/lhd/core/*.hpp "$root"/src/lhd/obs/*.hpp \
+              "$root"/src/lhd/util/*.hpp; do
+  case "$header" in
+    */thread_annotations.hpp) continue ;;  # the shim's own internals
+  esac
+  if strip_comments "$header" |
+      grep -qE '^[[:space:]]*(mutable[[:space:]]+)?((lhd::)?Mutex|std::(recursive_|shared_|timed_)?mutex)[[:space:]]+[A-Za-z_][A-Za-z0-9_]*;' &&
+      ! grep -q 'LHD_GUARDED_BY' "$header"; then
+    fail "'${header#"$root"/}' declares a mutex member but no LHD_GUARDED_BY state — annotate what the mutex protects"
+  fi
+done
+
+# --- 1b. no raw std synchronization primitives outside the shim ------------
+for src_file in "$root"/src/lhd/*/*.hpp "$root"/src/lhd/*/*.cpp; do
+  case "$src_file" in
+    */thread_annotations.hpp) continue ;;
+  esac
+  if strip_comments "$src_file" |
+      grep -qE 'std::(mutex|lock_guard|unique_lock|scoped_lock|condition_variable)\b'; then
+    fail "'${src_file#"$root"/}' uses a raw std synchronization primitive — use lhd::Mutex/MutexLock/CondVar from util/thread_annotations.hpp"
+  fi
+done
+
+# --- 2. clang-tidy ---------------------------------------------------------
+if have clang-tidy; then
+  if [ ! -f "$build_dir/compile_commands.json" ]; then
+    fail "no compile_commands.json in '$build_dir' — configure with cmake first (CMAKE_EXPORT_COMPILE_COMMANDS is on by default)"
+  else
+    # Only first-party TUs; the database also holds tests/bench/examples.
+    tidy_out="$(find "$root/src" -name '*.cpp' -print0 |
+      xargs -0 clang-tidy -p "$build_dir" --quiet 2> /dev/null)"
+    if echo "$tidy_out" | grep -qE 'warning:|error:'; then
+      echo "$tidy_out" >&2
+      fail "clang-tidy reported findings (config: .clang-tidy)"
+    fi
+  fi
+else
+  note "SKIP clang-tidy (not installed) — house rules still enforced"
+fi
+
+# --- 3. shellcheck ---------------------------------------------------------
+if have shellcheck; then
+  if ! shellcheck "$root"/scripts/*.sh; then
+    fail "shellcheck reported findings in scripts/"
+  fi
+else
+  note "SKIP shellcheck (not installed)"
+fi
+
+finish "see docs/STATIC_ANALYSIS.md for how to triage"

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Thread Safety Analysis smoke-check, run as a ctest (see
+# tests/CMakeLists.txt). Proves the machine-checking actually bites:
+#
+#   1. (static, always) the top-level CMakeLists wires
+#      -Werror=thread-safety into every Clang build — the analysis is not
+#      an opt-in knob someone can forget;
+#   2. (compile, needs clang) tests/fixtures/thread_safety_positive.cpp —
+#      a correctly locked use of lhd::Mutex/LHD_GUARDED_BY — compiles
+#      clean under -Werror=thread-safety;
+#   3. (compile, needs clang) tests/fixtures/thread_safety_negative.cpp —
+#      the same state with one deliberate unguarded access — FAILS to
+#      compile, with a thread-safety diagnostic.
+#
+# Without a clang++ on PATH (or $LHD_CLANGXX), steps 2–3 are skipped and
+# the script exits 77, which ctest maps to SKIPPED via SKIP_RETURN_CODE.
+
+check_name="check_thread_safety"
+# shellcheck source=scripts/lib.sh
+. "$(dirname "$0")/lib.sh"
+
+# --- 1. the flag is wired, not optional ------------------------------------
+if ! grep -q -- '-Werror=thread-safety' "$root/CMakeLists.txt"; then
+  fail "CMakeLists.txt no longer passes -Werror=thread-safety to Clang builds"
+fi
+if [ "$failures" -gt 0 ]; then
+  finish
+fi
+
+# --- locate a clang++ ------------------------------------------------------
+clangxx="${LHD_CLANGXX:-}"
+if [ -z "$clangxx" ]; then
+  for candidate in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+                   clang++-17 clang++-16 clang++-15 clang++-14; do
+    if have "$candidate"; then
+      clangxx="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$clangxx" ]; then
+  note "SKIP fixture compiles: no clang++ on PATH (set LHD_CLANGXX to override)"
+  exit 77
+fi
+
+flags="-std=c++20 -fsyntax-only -I$root/src -Wthread-safety -Werror=thread-safety"
+
+# --- 2. the discipline itself is expressible (positive fixture) ------------
+# shellcheck disable=SC2086  # $flags is intentionally word-split
+if ! "$clangxx" $flags "$root/tests/fixtures/thread_safety_positive.cpp" 2> /tmp/lhd_tsa_pos.log; then
+  cat /tmp/lhd_tsa_pos.log >&2
+  fail "positive fixture failed to compile — the annotated shims are broken"
+fi
+
+# --- 3. removing the lock is a compile error (negative fixture) ------------
+# shellcheck disable=SC2086
+if "$clangxx" $flags "$root/tests/fixtures/thread_safety_negative.cpp" 2> /tmp/lhd_tsa_neg.log; then
+  fail "negative fixture compiled — unguarded access to LHD_GUARDED_BY state must be a compile error"
+elif ! grep -q 'thread-safety' /tmp/lhd_tsa_neg.log; then
+  cat /tmp/lhd_tsa_neg.log >&2
+  fail "negative fixture failed for a reason other than thread-safety analysis"
+fi
+
+finish "the thread-safety gate is compromised — do not merge until green"

@@ -1,0 +1,41 @@
+# shellcheck shell=bash
+# Shared helpers for the scripts/check_*.sh lint gates. Source, don't run:
+#
+#   . "$(dirname "$0")/lib.sh"
+#
+# Provides:
+#   $root      — absolute repo root (parent of scripts/)
+#   fail MSG   — report one finding and count it
+#   note MSG   — informational line (skipped tool, context)
+#   have TOOL  — true when TOOL is on PATH
+#   finish NAME [HINT] — exit 1 with a summary when fail() was called,
+#                        else print "NAME: OK" and exit 0
+
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+failures=0
+# Set by the sourcing script before finish(); used in messages.
+check_name="${check_name:-check}"
+
+fail() {
+  echo "$check_name: $1" >&2
+  failures=$((failures + 1))
+}
+
+note() {
+  echo "$check_name: $1"
+}
+
+have() {
+  command -v "$1" > /dev/null 2>&1
+}
+
+finish() {
+  if [ "$failures" -gt 0 ]; then
+    echo "$check_name: $failures problem(s)${1:+ — $1}" >&2
+    exit 1
+  fi
+  echo "$check_name: OK"
+  exit 0
+}

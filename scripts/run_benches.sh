@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary in a sensible order (table1 populates the
+# shared suite cache) and tees combined output to bench_output.txt.
+#
+#   scripts/run_benches.sh [BUILD_DIR]     (default: <repo>/build)
+#
+# See the README's "Build & run knobs" table for the flags each binary
+# accepts; scripts/run_benches_rest.sh holds the time-trimmed variants.
+
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$root/build}"
+
+{
+  for b in table1_benchmarks table2_detectors fig4_tradeoff fig5_imbalance \
+           fig6_features fig7_training fig8_scan table3_throughput \
+           micro_kernels; do
+    echo "===== bench/$b ====="
+    "$build_dir/bench/$b" 2>&1
+    echo
+  done
+} | tee "$root/bench_output.txt"

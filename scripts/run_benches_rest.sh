@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Remaining table/figure binaries with time-trimmed parameters (single-core
+# host); appends to bench_output.txt.
+#
+#   scripts/run_benches_rest.sh [BUILD_DIR]     (default: <repo>/build)
+
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$root/build}"
+
+{
+  echo "===== bench/fig5_imbalance ====="
+  "$build_dir/bench/fig5_imbalance" --epochs=12 2>&1
+  echo
+  echo "===== bench/fig6_features ====="
+  "$build_dir/bench/fig6_features" --skip-cnn=true 2>&1
+  echo
+  echo "===== bench/fig7_training ====="
+  "$build_dir/bench/fig7_training" --epochs=10 --bias-epochs=4 2>&1
+  echo
+  echo "===== bench/fig8_scan ====="
+  "$build_dir/bench/fig8_scan" 2>&1
+  echo
+  echo "===== bench/fig4_tradeoff ====="
+  "$build_dir/bench/fig4_tradeoff" --lambda-epochs=4 2>&1
+  echo
+  echo "===== bench/table3_throughput ====="
+  "$build_dir/bench/table3_throughput" --benchmark_min_time=0.2s 2>&1
+  echo
+  echo "===== bench/micro_kernels ====="
+  "$build_dir/bench/micro_kernels" --benchmark_min_time=0.2s 2>&1
+  echo
+} >> "$root/bench_output.txt" 2>&1
+echo REST_DONE

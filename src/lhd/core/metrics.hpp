@@ -28,14 +28,16 @@ struct Confusion {
 
   /// Hotspot detection rate — the contest's "accuracy".
   double accuracy() const {
-    return hotspots() ? static_cast<double>(tp) / hotspots() : 1.0;
+    return hotspots() ? static_cast<double>(tp) / static_cast<double>(hotspots())
+                      : 1.0;
   }
   double false_alarm_rate() const {
     const auto n = fp + tn;
-    return n ? static_cast<double>(fp) / n : 0.0;
+    return n ? static_cast<double>(fp) / static_cast<double>(n) : 0.0;
   }
   double precision() const {
-    return alarms() ? static_cast<double>(tp) / alarms() : 1.0;
+    return alarms() ? static_cast<double>(tp) / static_cast<double>(alarms())
+                    : 1.0;
   }
   double f1() const {
     const double p = precision();
@@ -44,7 +46,8 @@ struct Confusion {
   }
   /// Plain classification accuracy over both classes.
   double overall_accuracy() const {
-    return total() ? static_cast<double>(tp + tn) / total() : 0.0;
+    return total() ? static_cast<double>(tp + tn) / static_cast<double>(total())
+                   : 0.0;
   }
 };
 

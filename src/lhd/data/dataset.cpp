@@ -19,8 +19,10 @@ DatasetStats Dataset::stats() const {
       ++s.non_hotspots;
     }
   }
-  s.hotspot_ratio =
-      s.total == 0 ? 0.0 : static_cast<double>(s.hotspots) / s.total;
+  s.hotspot_ratio = s.total == 0
+                        ? 0.0
+                        : static_cast<double>(s.hotspots) /
+                              static_cast<double>(s.total);
   return s;
 }
 

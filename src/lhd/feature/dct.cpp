@@ -2,31 +2,49 @@
 
 #include <cmath>
 #include <map>
-#include <mutex>
 
 #include "lhd/util/check.hpp"
+#include "lhd/util/thread_annotations.hpp"
 
 namespace lhd::feature {
 
 namespace {
 
+/// Lazily-built per-size lookup table shared by every extraction thread.
+/// The builder runs under the cache mutex, so each size is computed once;
+/// returned references stay valid for the process lifetime (std::map
+/// nodes are stable), so callers hold them lock-free.
+template <typename V>
+class SizeCache {
+ public:
+  template <typename Build>
+  const V& get(int n, Build build) LHD_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    auto it = entries_.find(n);
+    if (it != entries_.end()) return it->second;
+    return entries_.emplace(n, build(n)).first->second;
+  }
+
+ private:
+  Mutex mu_;
+  std::map<int, V> entries_ LHD_GUARDED_BY(mu_);
+};
+
 /// Orthonormal DCT-II basis matrix C (n×n): C[k][i] = s(k) cos(pi(2i+1)k/2n).
 const std::vector<float>& dct_matrix(int n) {
-  static std::mutex mutex;
-  static std::map<int, std::vector<float>> cache;
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(n);
-  if (it != cache.end()) return it->second;
-  std::vector<float> c(static_cast<std::size_t>(n) * n);
-  const double pi = 3.14159265358979323846;
-  for (int k = 0; k < n; ++k) {
-    const double s = (k == 0) ? std::sqrt(1.0 / n) : std::sqrt(2.0 / n);
-    for (int i = 0; i < n; ++i) {
-      c[static_cast<std::size_t>(k) * n + i] =
-          static_cast<float>(s * std::cos(pi * (2 * i + 1) * k / (2.0 * n)));
+  static SizeCache<std::vector<float>> cache;
+  return cache.get(n, [](int size) {
+    std::vector<float> c(static_cast<std::size_t>(size) * size);
+    const double pi = 3.14159265358979323846;
+    for (int k = 0; k < size; ++k) {
+      const double s = (k == 0) ? std::sqrt(1.0 / size) : std::sqrt(2.0 / size);
+      for (int i = 0; i < size; ++i) {
+        c[static_cast<std::size_t>(k) * size + i] = static_cast<float>(
+            s * std::cos(pi * (2 * i + 1) * k / (2.0 * size)));
+      }
     }
-  }
-  return cache.emplace(n, std::move(c)).first->second;
+    return c;
+  });
 }
 
 // out = A * B (n×n, row-major).
@@ -85,27 +103,25 @@ void idct2d(const float* in, float* out, int n) {
 }
 
 const std::vector<int>& zigzag_order(int n) {
-  static std::mutex mutex;
-  static std::map<int, std::vector<int>> cache;
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(n);
-  if (it != cache.end()) return it->second;
-  std::vector<int> order;
-  order.reserve(static_cast<std::size_t>(n) * n);
-  // Walk anti-diagonals d = row+col, alternating direction.
-  for (int d = 0; d < 2 * n - 1; ++d) {
-    if (d % 2 == 0) {
-      // up-right: start at (min(d, n-1), d - min(d, n-1))
-      int r = std::min(d, n - 1);
-      int c = d - r;
-      while (r >= 0 && c < n) order.push_back(r-- * n + c++);
-    } else {
-      int c = std::min(d, n - 1);
-      int r = d - c;
-      while (c >= 0 && r < n) order.push_back(r++ * n + c--);
+  static SizeCache<std::vector<int>> cache;
+  return cache.get(n, [](int size) {
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(size) * size);
+    // Walk anti-diagonals d = row+col, alternating direction.
+    for (int d = 0; d < 2 * size - 1; ++d) {
+      if (d % 2 == 0) {
+        // up-right: start at (min(d, size-1), d - min(d, size-1))
+        int r = std::min(d, size - 1);
+        int c = d - r;
+        while (r >= 0 && c < size) order.push_back(r-- * size + c++);
+      } else {
+        int c = std::min(d, size - 1);
+        int r = d - c;
+        while (c >= 0 && r < size) order.push_back(r++ * size + c--);
+      }
     }
-  }
-  return cache.emplace(n, std::move(order)).first->second;
+    return order;
+  });
 }
 
 DctTensor dct_tensor_from_raster(const geom::FloatImage& raster,

@@ -1,6 +1,7 @@
 #include "lhd/gds/model.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "lhd/util/check.hpp"
 
@@ -75,21 +76,36 @@ std::vector<Rect> Path::to_rects() const {
   return out;
 }
 
-Structure& Library::add_structure(const std::string& name) {
-  LHD_CHECK_MSG(index_.find(name) == index_.end(),
-                "duplicate structure " << name);
-  index_[name] = structures_.size();
-  structures_.push_back(Structure{name, {}});
+// GCC 12's middle end flags the std::variant reallocation-move path with
+// -Wmaybe-uninitialized (it thinks the inactive union alternatives are
+// read); the storage is never read before being written. Confining the
+// growth instantiation to this function keeps the suppression to one spot.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+void Structure::add(Element element) {
+  elements.push_back(std::move(element));
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+Structure& Library::add_structure(const std::string& structure_name) {
+  LHD_CHECK_MSG(index_.find(structure_name) == index_.end(),
+                "duplicate structure " << structure_name);
+  index_[structure_name] = structures_.size();
+  structures_.push_back(Structure{structure_name, {}});
   return structures_.back();
 }
 
-const Structure* Library::find(const std::string& name) const {
-  const auto it = index_.find(name);
+const Structure* Library::find(const std::string& structure_name) const {
+  const auto it = index_.find(structure_name);
   return it == index_.end() ? nullptr : &structures_[it->second];
 }
 
-Structure* Library::find(const std::string& name) {
-  const auto it = index_.find(name);
+Structure* Library::find(const std::string& structure_name) {
+  const auto it = index_.find(structure_name);
   return it == index_.end() ? nullptr : &structures_[it->second];
 }
 

@@ -68,6 +68,13 @@ using Element = std::variant<Boundary, Path, SRef, ARef>;
 struct Structure {
   std::string name;
   std::vector<Element> elements;
+
+  /// Append an element. Use this instead of `elements.push_back` — it
+  /// keeps the vector<variant> growth path instantiated in exactly one
+  /// translation unit (model.cpp), where a GCC 12 -Wmaybe-uninitialized
+  /// false positive on std::variant reallocation is suppressed once with
+  /// a scoped pragma instead of leaking into every caller's build.
+  void add(Element element);
 };
 
 class Library {

@@ -168,10 +168,10 @@ Structure parse_structure(RecordCursor& cur) {
     const Record& r = cur.next();
     switch (r.type) {
       case RecordType::EndStr: return s;
-      case RecordType::Boundary: s.elements.push_back(parse_boundary(cur)); break;
-      case RecordType::Path: s.elements.push_back(parse_path(cur)); break;
-      case RecordType::SRef: s.elements.push_back(parse_sref(cur)); break;
-      case RecordType::ARef: s.elements.push_back(parse_aref(cur)); break;
+      case RecordType::Boundary: s.add(parse_boundary(cur)); break;
+      case RecordType::Path: s.add(parse_path(cur)); break;
+      case RecordType::SRef: s.add(parse_sref(cur)); break;
+      case RecordType::ARef: s.add(parse_aref(cur)); break;
       default: {
         std::ostringstream os;
         os << "unexpected " << record_name(r.type) << " inside structure";

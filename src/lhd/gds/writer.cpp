@@ -109,10 +109,10 @@ void write_element(RecordWriter& w, const Element& el) {
     w.string_record(RecordType::SName, ar->structure);
     w.transform_records(ar->transform);
     {
-      std::vector<std::uint8_t> p;
-      append_i16(p, static_cast<std::int16_t>(ar->cols));
-      append_i16(p, static_cast<std::int16_t>(ar->rows));
-      w.record(RecordType::ColRow, DataType::Int16, p);
+      std::vector<std::uint8_t> colrow;
+      append_i16(colrow, static_cast<std::int16_t>(ar->cols));
+      append_i16(colrow, static_cast<std::int16_t>(ar->rows));
+      w.record(RecordType::ColRow, DataType::Int16, colrow);
     }
     // AREF XY: origin, origin + cols*col_step, origin + rows*row_step.
     const geom::Point o = ar->transform.origin;

@@ -41,7 +41,8 @@ void LogisticRegression::fit(const Matrix& x, const std::vector<float>& y) {
         grad_b += g;
       }
       const auto scale =
-          static_cast<float>(config_.learning_rate / (end - start));
+          static_cast<float>(config_.learning_rate /
+                             static_cast<double>(end - start));
       const auto l2 = static_cast<float>(config_.l2);
       const auto mu = static_cast<float>(config_.momentum);
       for (std::size_t d = 0; d < dim; ++d) {

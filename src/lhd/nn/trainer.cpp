@@ -136,8 +136,10 @@ void Trainer::run_epoch(const Rows& x, const std::vector<float>& y,
   obs::Registry::global().add("nn.batches", batches);
   stats.loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;
   stats.accuracy = static_cast<double>(correct) / static_cast<double>(n);
-  stats.recall = (tp + fn) ? static_cast<double>(tp) / (tp + fn) : 0.0;
-  stats.false_alarm = (fp + tn) ? static_cast<double>(fp) / (fp + tn) : 0.0;
+  stats.recall =
+      (tp + fn) ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0;
+  stats.false_alarm =
+      (fp + tn) ? static_cast<double>(fp) / static_cast<double>(fp + tn) : 0.0;
 }
 
 std::vector<EpochStats> Trainer::continue_training(

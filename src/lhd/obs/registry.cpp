@@ -46,12 +46,12 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return counters_[name];
 }
 
 Histogram& Registry::histogram(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return histograms_[name];
 }
 
@@ -66,21 +66,21 @@ void Registry::observe(const std::string& name, double value) {
 }
 
 std::map<std::string, std::uint64_t> Registry::counters() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::map<std::string, std::uint64_t> out;
   for (const auto& [name, counter] : counters_) out[name] = counter.value();
   return out;
 }
 
 std::map<std::string, HistogramSnapshot> Registry::histograms() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::map<std::string, HistogramSnapshot> out;
   for (const auto& [name, hist] : histograms_) out[name] = hist.snapshot();
   return out;
 }
 
 void Registry::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) counter.reset();
   for (auto& [name, hist] : histograms_) hist.reset();
 }

@@ -30,7 +30,7 @@ std::vector<std::vector<geom::Rect>> gds_roundtrip(
       gds::Boundary b;
       b.layer = kLayer;
       b.polygon = geom::Polygon::from_rect(r);
-      s.elements.push_back(std::move(b));
+      s.add(std::move(b));
     }
   }
   (void)window_nm;

@@ -26,12 +26,12 @@ gds::Library build_chip(const StyleConfig& style, int tiles_x, int tiles_y,
         gds::Boundary b;
         b.layer = kChipLayer;
         b.polygon = geom::Polygon::from_rect(r);
-        s.elements.push_back(std::move(b));
+        s.add(std::move(b));
       }
       gds::SRef ref;
       ref.structure = name;
       ref.transform.origin = {tx * style.window_nm, ty * style.window_nm};
-      top->elements.push_back(std::move(ref));
+      top->add(std::move(ref));
     }
   }
   return lib;

@@ -3,13 +3,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "lhd/util/thread_annotations.hpp"
 
 namespace lhd {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Info};
-std::mutex g_mutex;
+// Serializes line writes so concurrent LHD_LOG statements never
+// interleave mid-line; the guarded resource is the stderr stream itself.
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -41,7 +44,7 @@ LogLine::~LogLine() {
   if (!enabled_) return;
   os_ << '\n';
   const std::string line = os_.str();
-  std::lock_guard<std::mutex> lock(g_mutex);
+  const MutexLock lock(g_mutex);
   std::fwrite(line.data(), 1, line.size(), stderr);
 }
 

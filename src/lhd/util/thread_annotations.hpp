@@ -1,0 +1,139 @@
+#pragma once
+/// @file thread_annotations.hpp
+/// @brief Clang Thread Safety Analysis vocabulary plus the annotated
+/// `lhd::Mutex` / `lhd::MutexLock` / `lhd::CondVar` shims every locked
+/// data structure in the tree uses instead of raw `std::mutex`.
+///
+/// With Clang, a build carries `-Wthread-safety -Werror=thread-safety`
+/// (wired unconditionally in the top-level CMakeLists), so touching an
+/// `LHD_GUARDED_BY` member without holding its mutex — or releasing a
+/// mutex a function promised to hold via `LHD_REQUIRES` — is a compile
+/// error, not a hope that a TSan run hits the interleaving. With GCC the
+/// macros expand to nothing and the shims behave exactly like the
+/// standard primitives they wrap. See docs/STATIC_ANALYSIS.md for the
+/// full vocabulary and a triage guide; scripts/check_thread_safety.sh
+/// holds the machine-checked negative fixture proving the analysis bites.
+///
+/// Thread-safety: `Mutex` and `CondVar` are themselves safe for
+/// concurrent use (they are synchronization primitives); `MutexLock` is
+/// a stack object owned by one thread.
+
+#include <condition_variable>
+#include <mutex>
+
+// Attribute plumbing: Clang exposes the analysis through GNU-style
+// attributes; every other compiler sees empty macros.
+#if defined(__clang__)
+#define LHD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LHD_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" in diagnostics).
+#define LHD_CAPABILITY(x) LHD_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define LHD_SCOPED_CAPABILITY LHD_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member may only be read/written while holding `x`.
+#define LHD_GUARDED_BY(x) LHD_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the pointee (not the pointer) is protected by `x`.
+#define LHD_PT_GUARDED_BY(x) LHD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering edges, for deadlock findings across multiple mutexes.
+#define LHD_ACQUIRED_BEFORE(...) \
+  LHD_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define LHD_ACQUIRED_AFTER(...) \
+  LHD_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the listed capabilities to be held on entry (and
+/// they stay held: the function neither acquires nor releases them).
+#define LHD_REQUIRES(...) \
+  LHD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires / releases the listed capabilities.
+#define LHD_ACQUIRE(...) \
+  LHD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define LHD_RELEASE(...) \
+  LHD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given bool, e.g.
+/// `bool try_lock() LHD_TRY_ACQUIRE(true)`.
+#define LHD_TRY_ACQUIRE(...) \
+  LHD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (non-reentrancy).
+#define LHD_EXCLUDES(...) LHD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define LHD_RETURN_CAPABILITY(x) LHD_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot follow (e.g. a predicate
+/// lambda invoked under the mutex by type-erased std machinery). Use
+/// sparingly and say why at the use site.
+#define LHD_NO_THREAD_SAFETY_ANALYSIS \
+  LHD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace lhd {
+
+/// `std::mutex` with the capability annotation the analysis needs.
+/// Drop-in: satisfies BasicLockable/Lockable, so it also works directly
+/// with `std::condition_variable_any` (see CondVar).
+class LHD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LHD_ACQUIRE() { m_.lock(); }
+  void unlock() LHD_RELEASE() { m_.unlock(); }
+  bool try_lock() LHD_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// `std::lock_guard` over an `lhd::Mutex`, visible to the analysis as a
+/// scoped capability: the guarded members are accessible for exactly the
+/// lifetime of the `MutexLock`.
+class LHD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LHD_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() LHD_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with `lhd::Mutex` (a
+/// `std::condition_variable_any` underneath — Mutex is Lockable, so it
+/// waits on the annotated mutex directly, no `native_handle` leakage).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically release `mu`, sleep until notified with `pred()` true,
+  /// and re-acquire `mu` before returning. The caller must hold `mu`
+  /// (typically via a MutexLock in the same scope). `pred` runs with
+  /// `mu` held, but the analysis cannot see that through the type-erased
+  /// std wait loop — annotate the predicate lambda itself with
+  /// LHD_NO_THREAD_SAFETY_ANALYSIS at the call site.
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) LHD_REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace lhd

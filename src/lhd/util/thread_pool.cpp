@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -29,7 +29,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> wrapped(std::move(task));
   auto future = wrapped.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     LHD_CHECK(!stop_, "submit on stopped pool");
     queue_.push(std::move(wrapped));
   }
@@ -81,8 +81,13 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      const MutexLock lock(mutex_);
+      // The predicate runs with mutex_ held (CondVar::wait re-acquires
+      // before each evaluation), but the analysis cannot follow it
+      // through the type-erased std wait loop — hence the exemption.
+      cv_.wait(mutex_, [this]() LHD_NO_THREAD_SAFETY_ANALYSIS {
+        return stop_ || !queue_.empty();
+      });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();

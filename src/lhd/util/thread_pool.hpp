@@ -4,15 +4,19 @@
 // The labeling and feature-extraction stages are embarrassingly parallel
 // over clips; on a single-core host the pool degenerates gracefully (the
 // caller thread executes chunks directly when the pool has one worker).
+//
+// Locking discipline (machine-checked under Clang, see
+// docs/STATIC_ANALYSIS.md): queue_ and stop_ are only touched with
+// mutex_ held; cv_ wakes workers when either changes.
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "lhd/util/thread_annotations.hpp"
 
 namespace lhd {
 
@@ -44,10 +48,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::packaged_task<void()>> queue_ LHD_GUARDED_BY(mutex_);
+  bool stop_ LHD_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace lhd

@@ -1,0 +1,35 @@
+// Negative Thread Safety Analysis fixture (scripts/check_thread_safety.sh).
+//
+// Identical state to the positive fixture, but `racy_bump` touches the
+// guarded counter WITHOUT holding the mutex. The build gate asserts this
+// file does NOT compile under -Werror=thread-safety: if it ever does,
+// deleting an annotation (or a lock) in real code would slip through too.
+
+#include <cstdint>
+
+#include "lhd/util/thread_annotations.hpp"
+
+namespace {
+
+class Tally {
+ public:
+  // BUG (deliberate): writes count_ with mu_ not held.
+  void racy_bump() { ++count_; }
+
+  std::uint64_t value() const {
+    const lhd::MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable lhd::Mutex mu_;
+  std::uint64_t count_ LHD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Tally tally;
+  tally.racy_bump();
+  return tally.value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Positive Thread Safety Analysis fixture (scripts/check_thread_safety.sh).
+//
+// Exercises the whole annotation vocabulary the tree relies on, written
+// the way in-tree code is supposed to: every access to LHD_GUARDED_BY
+// state happens under a MutexLock or inside an LHD_REQUIRES function.
+// This must compile clean under -Werror=thread-safety; if it stops doing
+// so, the shims in util/thread_annotations.hpp are broken, not the code.
+
+#include <cstdint>
+
+#include "lhd/util/thread_annotations.hpp"
+
+namespace {
+
+class Tally {
+ public:
+  void bump() LHD_EXCLUDES(mu_) {
+    const lhd::MutexLock lock(mu_);
+    bump_locked();
+  }
+
+  std::uint64_t value() const LHD_EXCLUDES(mu_) {
+    const lhd::MutexLock lock(mu_);
+    return count_;
+  }
+
+  void wait_nonzero() LHD_EXCLUDES(mu_) {
+    const lhd::MutexLock lock(mu_);
+    cv_.wait(mu_, [this]() LHD_NO_THREAD_SAFETY_ANALYSIS {
+      return count_ != 0;
+    });
+  }
+
+  void notify() { cv_.notify_all(); }
+
+ private:
+  void bump_locked() LHD_REQUIRES(mu_) { ++count_; }
+
+  mutable lhd::Mutex mu_;
+  lhd::CondVar cv_;
+  std::uint64_t count_ LHD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Tally tally;
+  tally.bump();
+  tally.notify();
+  return tally.value() == 1 ? 0 : 1;
+}

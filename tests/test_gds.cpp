@@ -86,19 +86,19 @@ Library demo_library() {
   Boundary b;
   b.layer = 1;
   b.polygon = geom::Polygon::from_rect(Rect(0, 0, 100, 50));
-  cell.elements.push_back(b);
+  cell.add(b);
 
   Path p;
   p.layer = 2;
   p.width = 20;
   p.points = {{0, 0}, {200, 0}, {200, 150}};
-  cell.elements.push_back(p);
+  cell.add(p);
 
   Structure& top = lib.add_structure("TOP");
   SRef ref;
   ref.structure = "CELL";
   ref.transform.origin = {1000, 2000};
-  top.elements.push_back(ref);
+  top.add(ref);
 
   ARef arr;
   arr.structure = "CELL";
@@ -107,7 +107,7 @@ Library demo_library() {
   arr.rows = 2;
   arr.col_step = {500, 0};
   arr.row_step = {0, 400};
-  top.elements.push_back(arr);
+  top.add(arr);
   return lib;
 }
 
@@ -193,7 +193,7 @@ TEST(RoundTrip, PathType2Survives) {
   p.width = 10;
   p.pathtype = 2;
   p.points = {{0, 0}, {100, 0}};
-  s.elements.push_back(p);
+  s.add(p);
   const Library back = read_bytes(write_bytes(lib));
   const auto rects = back.flatten_layer("P", 3);
   ASSERT_EQ(rects.size(), 1u);
@@ -212,13 +212,13 @@ TEST_P(TransformAngles, RoundTripPreservesOrientation) {
   Boundary b;
   b.layer = 1;
   b.polygon = geom::Polygon::from_rect(Rect(0, 0, 30, 10));
-  cell.elements.push_back(b);
+  cell.add(b);
   Structure& top = lib.add_structure("TOP");
   SRef ref;
   ref.structure = "CELL";
   ref.transform.angle_deg = angle;
   ref.transform.origin = {100, 100};
-  top.elements.push_back(ref);
+  top.add(ref);
 
   const auto direct = lib.flatten_layer("TOP", 1);
   const Library back = read_bytes(write_bytes(lib));
@@ -264,13 +264,13 @@ TEST(Transform, MirrorRoundTripThroughBytes) {
   Boundary b;
   b.layer = 1;
   b.polygon = geom::Polygon::from_rect(Rect(0, 0, 30, 10));
-  cell.elements.push_back(b);
+  cell.add(b);
   Structure& top = lib.add_structure("TOP");
   SRef ref;
   ref.structure = "CELL";
   ref.transform.mirror_x = true;
   ref.transform.origin = {0, 0};
-  top.elements.push_back(ref);
+  top.add(ref);
 
   const auto direct = lib.flatten_layer("TOP", 1);
   const auto reparsed = read_bytes(write_bytes(lib)).flatten_layer("TOP", 1);
@@ -292,7 +292,7 @@ TEST(Flatten, UnknownSRefTargetThrows) {
   Structure& top = lib.add_structure("TOP");
   SRef ref;
   ref.structure = "GHOST";
-  top.elements.push_back(ref);
+  top.add(ref);
   EXPECT_THROW(lib.flatten_layer("TOP", 1), Error);
 }
 
@@ -302,10 +302,10 @@ TEST(Flatten, CycleDetected) {
   Structure& b = lib.add_structure("B");
   SRef ab;
   ab.structure = "B";
-  a.elements.push_back(ab);
+  a.add(ab);
   SRef ba;
   ba.structure = "A";
-  b.elements.push_back(ba);
+  b.add(ba);
   EXPECT_THROW(lib.flatten_layer("A", 1), Error);
 }
 

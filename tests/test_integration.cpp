@@ -44,7 +44,7 @@ TEST_F(IntegrationTest, SuiteThroughGdsFileOnDisk) {
       gds::Boundary b;
       b.layer = 1;
       b.polygon = geom::Polygon::from_rect(r);
-      s.elements.push_back(std::move(b));
+      s.add(std::move(b));
     }
   }
   const auto path = (fs::temp_directory_path() / "lhd_it_suite.gds").string();
@@ -157,7 +157,8 @@ TEST_F(IntegrationTest, ThresholdSweepTracesTradeoffCurve) {
   }
   std::vector<float> thresholds;
   for (int i = 0; i <= 16; ++i) {
-    thresholds.push_back(lo - 0.01f + (hi - lo + 0.02f) * i / 16.0f);
+    thresholds.push_back(lo - 0.01f +
+                         (hi - lo + 0.02f) * static_cast<float>(i) / 16.0f);
   }
   const auto sweep = core::threshold_sweep(*det, suite.test, thresholds);
   // Accuracy must be non-increasing as the threshold rises, and the curve

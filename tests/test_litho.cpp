@@ -101,7 +101,9 @@ TEST(Simulator, DoseScalesThreshold) {
   // Higher dose prints a superset of pixels.
   for (int y = 0; y < 128; ++y) {
     for (int x = 0; x < 128; ++x) {
-      if (low.at(x, y)) EXPECT_TRUE(high.at(x, y));
+      if (low.at(x, y)) {
+        EXPECT_TRUE(high.at(x, y));
+      }
     }
   }
   EXPECT_GT(geom::count_nonzero(high), geom::count_nonzero(low));
@@ -288,7 +290,9 @@ TEST_P(LineWidthMonotone, WiderLinesNeverPinchWhenNarrowerDoesNot) {
   };
   const bool narrow_ok = !oracle.evaluate(make_line(w)).pinch;
   const bool wide_ok = !oracle.evaluate(make_line(w + 16)).pinch;
-  if (narrow_ok) EXPECT_TRUE(wide_ok);
+  if (narrow_ok) {
+    EXPECT_TRUE(wide_ok);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Widths, LineWidthMonotone,

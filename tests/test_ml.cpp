@@ -45,7 +45,8 @@ Problem xor_data(int n_per_quadrant, std::uint64_t seed) {
   Rng rng(seed);
   Problem p;
   for (int i = 0; i < n_per_quadrant; ++i) {
-    for (const auto [sx, sy] : {std::pair{1, 1}, {-1, -1}, {1, -1}, {-1, 1}}) {
+    for (const auto& [sx, sy] :
+         {std::pair{1, 1}, {-1, -1}, {1, -1}, {-1, 1}}) {
       const float x = static_cast<float>(sx * (1.0 + rng.next_double()));
       const float y = static_cast<float>(sy * (1.0 + rng.next_double()));
       p.x.push_back({x, y});
@@ -111,8 +112,8 @@ INSTANTIATE_TEST_SUITE_P(
         std::pair<const char*, ClassifierFactory>{
             "naive-bayes",
             [] { return std::make_unique<GaussianNaiveBayes>(); }}),
-    [](const auto& info) {
-      std::string name = info.param.first;
+    [](const auto& param_info) {
+      std::string name = param_info.param.first;
       for (auto& ch : name) {
         if (ch == '-') ch = '_';
       }

@@ -99,7 +99,9 @@ TEST(Dropout, TrainModeDropsAboutP) {
   EXPECT_NEAR(zeros / 2000.0, 0.5, 0.06);
   // Survivors are scaled by 1/(1-p).
   for (std::size_t i = 0; i < out.size(); ++i) {
-    if (out[i] != 0.0f) EXPECT_FLOAT_EQ(out[i], 2.0f);
+    if (out[i] != 0.0f) {
+      EXPECT_FLOAT_EQ(out[i], 2.0f);
+    }
   }
 }
 

@@ -105,7 +105,7 @@ TEST(ScopedTimer, NestedTimersOrderElapsedTimes) {
       ScopedTimer inner_timer(inner);
       // Do a little real work so inner is measurably positive.
       volatile double sink = 0.0;
-      for (int i = 0; i < 10000; ++i) sink += i * 0.5;
+      for (int i = 0; i < 10000; ++i) sink = sink + i * 0.5;
     }
   }
   EXPECT_GT(inner, 0.0);
@@ -120,7 +120,7 @@ TEST(ScopedTimer, AccumulatorModeSumsAcrossScopes) {
   for (int i = 0; i < 3; ++i) {
     ScopedTimer timer(total);
     volatile int sink = 0;
-    for (int j = 0; j < 1000; ++j) sink += j;
+    for (int j = 0; j < 1000; ++j) sink = sink + j;
     timer.stop();
     EXPECT_GT(total, previous);  // every scope adds, none resets
     previous = total;

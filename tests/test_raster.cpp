@@ -247,7 +247,9 @@ TEST(Morphology, OpeningIsContainedInOriginal) {
   const auto opened = dilate(erode(img, 1), 1);
   for (int y = 0; y < 16; ++y) {
     for (int x = 0; x < 16; ++x) {
-      if (opened.at(x, y)) EXPECT_TRUE(img.at(x, y));
+      if (opened.at(x, y)) {
+        EXPECT_TRUE(img.at(x, y));
+      }
     }
   }
   EXPECT_EQ(opened.at(0, 0), 0);
