@@ -1,0 +1,31 @@
+// libFuzzer harness for the network weight loader (built with
+// -DLHD_FUZZ=ON).
+//
+// Contract under fuzz: for ANY byte string, nn::load_weights either loads
+// into the target network or throws lhd::Error with offset context —
+// never crashes, never allocates unboundedly, never leaves the network
+// half-loaded (asserted separately by tests/test_nn.cpp; here we only
+// require no crash).
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "lhd/nn/network.hpp"
+#include "lhd/nn/serialize.hpp"
+#include "lhd/util/check.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // One network per process: topology is fixed, load overwrites weights.
+  static lhd::nn::Network net = lhd::nn::make_hotspot_cnn(2, 8);
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    lhd::nn::load_weights(net, in);
+  } catch (const lhd::Error&) {
+    // Rejected input: the expected outcome for most mutations.
+  }
+  return 0;
+}

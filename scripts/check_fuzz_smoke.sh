@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Fuzz smoke-check, run as a ctest (see tests/CMakeLists.txt). Proves the
+# LHD_FUZZ harnesses actually build and survive a short coverage-guided
+# session over the checked-in seed corpus:
+#
+#   1. locate a clang++ (libFuzzer ships with Clang's compiler-rt); without
+#      one, exit 77 — ctest maps that to SKIPPED via SKIP_RETURN_CODE;
+#   2. probe that this clang++ can link -fsanitize=fuzzer at all (distro
+#      packages sometimes omit compiler-rt) — skip if not;
+#   3. configure a dedicated build tree with -DLHD_FUZZ=ON and
+#      -DLHD_SANITIZE=address,undefined, build both harnesses;
+#   4. decode the hex corpus (tests/fixtures/*_corpus/) into binary seeds
+#      and run each harness for ~10 seconds on them.
+#
+# Any crash, hang, sanitizer report, or leak fails the check.
+
+check_name="check_fuzz_smoke"
+# shellcheck source=scripts/lib.sh
+. "$(dirname "$0")/lib.sh"
+
+# --- 1. locate a clang++ ---------------------------------------------------
+clangxx="${LHD_CLANGXX:-}"
+if [ -z "$clangxx" ]; then
+  for candidate in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+                   clang++-17 clang++-16 clang++-15 clang++-14; do
+    if have "$candidate"; then
+      clangxx="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$clangxx" ]; then
+  note "SKIP: no clang++ on PATH (set LHD_CLANGXX to override) — libFuzzer needs Clang"
+  exit 77
+fi
+
+# --- 2. probe libFuzzer availability ---------------------------------------
+probe_dir="$(mktemp -d)"
+trap 'rm -rf "$probe_dir"' EXIT
+cat > "$probe_dir/probe.cpp" <<'CPP'
+#include <cstddef>
+#include <cstdint>
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t*, std::size_t) {
+  return 0;
+}
+CPP
+if ! "$clangxx" -fsanitize=fuzzer "$probe_dir/probe.cpp" \
+     -o "$probe_dir/probe" 2> "$probe_dir/probe.log"; then
+  note "SKIP: $clangxx cannot link -fsanitize=fuzzer (compiler-rt missing?)"
+  exit 77
+fi
+
+# --- 3. build the harnesses under ASan+UBSan --------------------------------
+build_dir="$root/build-fuzz"
+if ! cmake -B "$build_dir" -S "$root" \
+     -DCMAKE_CXX_COMPILER="$clangxx" \
+     -DLHD_FUZZ=ON \
+     -DLHD_SANITIZE=address,undefined \
+     -DLHD_NATIVE=OFF \
+     -DBUILD_TESTING=OFF \
+     > "$build_dir.cmake.log" 2>&1; then
+  tail -30 "$build_dir.cmake.log" >&2
+  fail "cmake configure with -DLHD_FUZZ=ON failed"
+  finish
+fi
+if ! cmake --build "$build_dir" --target fuzz_gds_read fuzz_nn_load -j \
+     > "$build_dir.build.log" 2>&1; then
+  tail -30 "$build_dir.build.log" >&2
+  fail "building the fuzz harnesses failed"
+  finish
+fi
+
+# --- 4. decode the hex corpus and run each harness --------------------------
+decode_corpus() {
+  # $1: source dir of .hex files, $2: destination dir of binary seeds
+  mkdir -p "$2"
+  for hex in "$1"/*.hex; do
+    [ -e "$hex" ] || continue
+    sed -e 's/#.*$//' "$hex" | tr -d ' \t\n' \
+      | xxd -r -p > "$2/$(basename "$hex" .hex).bin"
+  done
+}
+
+run_harness() {
+  # $1: harness binary, $2: seed dir, $3: log tag
+  seconds="${LHD_FUZZ_SMOKE_SECONDS:-10}"
+  if ! "$1" -max_total_time="$seconds" -timeout=10 -rss_limit_mb=2048 \
+       "$2" > "/tmp/lhd_fuzz_$3.log" 2>&1; then
+    tail -40 "/tmp/lhd_fuzz_$3.log" >&2
+    fail "$3 crashed or found a sanitizer issue (log above)"
+  else
+    note "$3: $(grep -c '^#' "/tmp/lhd_fuzz_$3.log" || true) status lines, no crashes in ${seconds}s"
+  fi
+}
+
+decode_corpus "$root/tests/fixtures/gds_corpus" "$probe_dir/gds_seeds"
+decode_corpus "$root/tests/fixtures/nn_corpus" "$probe_dir/nn_seeds"
+
+run_harness "$build_dir/fuzz/fuzz_gds_read" "$probe_dir/gds_seeds" fuzz_gds_read
+run_harness "$build_dir/fuzz/fuzz_nn_load" "$probe_dir/nn_seeds" fuzz_nn_load
+
+finish "the fuzz smoke gate found a real crash — fix before merging"

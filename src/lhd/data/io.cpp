@@ -1,5 +1,6 @@
 #include "lhd/data/io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 
@@ -69,14 +70,20 @@ Dataset load_dataset(std::istream& in) {
   LHD_CHECK_MSG(version == kVersion, "unsupported dataset version " << version);
   Dataset ds(read_string(in));
   const auto count = read_pod<std::uint64_t>(in);
-  ds.reserve(count);
+  // Count fields drive allocations, so never trust them further than the
+  // bytes that actually arrive: reserve a bounded amount up front and let
+  // push_back grow the rest as the stream proves it holds the data.
+  ds.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(count, 1u << 16)));
   for (std::uint64_t i = 0; i < count; ++i) {
     Clip c;
     c.window_nm = read_pod<std::int32_t>(in);
-    c.label = static_cast<Label>(read_pod<std::uint8_t>(in));
+    LHD_CHECK(c.window_nm > 0, "non-positive clip window in dataset stream");
+    const auto raw_label = read_pod<std::uint8_t>(in);
+    LHD_CHECK(raw_label <= 1, "invalid clip label in dataset stream");
+    c.label = static_cast<Label>(raw_label);
     const auto n_rects = read_pod<std::uint32_t>(in);
     LHD_CHECK(n_rects < (1u << 24), "unreasonable rect count");
-    c.rects.reserve(n_rects);
+    c.rects.reserve(std::min<std::uint32_t>(n_rects, 4096));
     for (std::uint32_t r = 0; r < n_rects; ++r) {
       geom::Rect rect;
       rect.xlo = read_pod<geom::Coord>(in);

@@ -1,6 +1,8 @@
 #include "lhd/gds/model.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <utility>
 
 #include "lhd/util/check.hpp"
@@ -11,18 +13,47 @@ using geom::Coord;
 using geom::Point;
 using geom::Rect;
 
+namespace {
+
+constexpr bool fits_coord(std::int64_t v) {
+  return v >= std::numeric_limits<Coord>::min() &&
+         v <= std::numeric_limits<Coord>::max();
+}
+
+}  // namespace
+
 Point Transform::apply(const Point& p) const {
-  Point q = p;
-  if (mirror_x) q.y = -q.y;
+  // int64 intermediates: rotation is magnitude-preserving, but the origin
+  // add can leave the 32-bit range (reader-capped inputs still allow
+  // |coord| + |origin| to reach 2^31).
+  std::int64_t x = p.x, y = p.y;
+  if (mirror_x) y = -y;
   switch (angle_deg) {
     case 0: break;
-    case 90: q = {-q.y, q.x}; break;
-    case 180: q = {-q.x, -q.y}; break;
-    case 270: q = {q.y, -q.x}; break;
+    case 90: {
+      const std::int64_t t = x;
+      x = -y;
+      y = t;
+      break;
+    }
+    case 180:
+      x = -x;
+      y = -y;
+      break;
+    case 270: {
+      const std::int64_t t = x;
+      x = y;
+      y = -t;
+      break;
+    }
     default:
       LHD_CHECK_MSG(false, "unsupported SREF angle " << angle_deg);
   }
-  return {q.x + origin.x, q.y + origin.y};
+  x += origin.x;
+  y += origin.y;
+  LHD_CHECK(fits_coord(x) && fits_coord(y),
+            "transformed coordinate overflows 32-bit range");
+  return {static_cast<Coord>(x), static_cast<Coord>(y)};
 }
 
 Rect Transform::apply(const Rect& r) const {
@@ -150,8 +181,19 @@ void Library::flatten_into(const Structure& s, std::int16_t layer,
       for (int r = 0; r < ar->rows; ++r) {
         for (int c = 0; c < ar->cols; ++c) {
           Transform cell = ar->transform;
-          cell.origin.x += c * ar->col_step.x + r * ar->row_step.x;
-          cell.origin.y += c * ar->col_step.y + r * ar->row_step.y;
+          // Accumulate in int64: c*step alone can pass 2^31 for large
+          // arrays even when every individual step is reader-capped.
+          const std::int64_t ox =
+              static_cast<std::int64_t>(cell.origin.x) +
+              static_cast<std::int64_t>(c) * ar->col_step.x +
+              static_cast<std::int64_t>(r) * ar->row_step.x;
+          const std::int64_t oy =
+              static_cast<std::int64_t>(cell.origin.y) +
+              static_cast<std::int64_t>(c) * ar->col_step.y +
+              static_cast<std::int64_t>(r) * ar->row_step.y;
+          LHD_CHECK(fits_coord(ox) && fits_coord(oy),
+                    "AREF cell origin overflows 32-bit range");
+          cell.origin = {static_cast<Coord>(ox), static_cast<Coord>(oy)};
           flatten_into(*child, layer, t.compose(cell), depth + 1, out);
         }
       }

@@ -16,6 +16,15 @@ namespace {
   throw ParseError(os.str());
 }
 
+// Hostile-input bounds. Coordinates and path widths are capped well below
+// INT32_MAX so that downstream arithmetic (transform rotation + origin
+// add, path half-width extension) stays inside int64 intermediates and can
+// be range-checked before narrowing; the AREF cell cap bounds the
+// flatten-time expansion a single record can demand.
+constexpr geom::Coord kMaxAbsCoord = 1 << 30;
+constexpr geom::Coord kMaxPathWidth = 1 << 30;
+constexpr std::int64_t kMaxARefCells = 1 << 20;
+
 /// Cursor over the record sequence with one-record lookahead.
 class RecordCursor {
  public:
@@ -24,7 +33,7 @@ class RecordCursor {
 
   bool done() const { return pos_ >= records_.size(); }
   const Record& peek() const {
-    LHD_CHECK(!done(), "unexpected end of GDS record stream");
+    if (done()) throw ParseError("unexpected end of GDS record stream");
     return records_[pos_];
   }
   const Record& next() {
@@ -62,8 +71,13 @@ std::vector<geom::Point> parse_xy(const Record& r) {
   std::vector<geom::Point> pts;
   pts.reserve(r.payload.size() / 8);
   for (std::size_t i = 0; i + 8 <= r.payload.size(); i += 8) {
-    pts.push_back({read_i32(r.payload.data() + i),
-                   read_i32(r.payload.data() + i + 4)});
+    const geom::Point p{read_i32(r.payload.data() + i),
+                        read_i32(r.payload.data() + i + 4)};
+    if (p.x < -kMaxAbsCoord || p.x > kMaxAbsCoord || p.y < -kMaxAbsCoord ||
+        p.y > kMaxAbsCoord) {
+      throw ParseError("XY coordinate magnitude exceeds 2^30");
+    }
+    pts.push_back(p);
   }
   return pts;
 }
@@ -124,6 +138,9 @@ Element parse_path(RecordCursor& cur) {
   }
   p.width = cur.expect(RecordType::Width).as_i32();
   if (p.width <= 0) throw ParseError("PATH width must be positive");
+  if (p.width > kMaxPathWidth) {
+    throw ParseError("PATH width exceeds 2^30");
+  }
   p.points = parse_xy(cur.expect(RecordType::Xy));
   if (p.points.size() < 2) throw ParseError("PATH with < 2 points");
   cur.expect(RecordType::EndEl);
@@ -149,13 +166,27 @@ Element parse_aref(RecordCursor& cur) {
   a.cols = colrow.as_i16(0);
   a.rows = colrow.as_i16(1);
   if (a.cols <= 0 || a.rows <= 0) throw ParseError("AREF with non-positive COLROW");
+  if (static_cast<std::int64_t>(a.cols) * a.rows > kMaxARefCells) {
+    throw ParseError("AREF expands to more than 2^20 cells");
+  }
   const auto pts = parse_xy(cur.expect(RecordType::Xy));
   if (pts.size() != 3) throw ParseError("AREF XY must have 3 points");
   a.transform.origin = pts[0];
-  a.col_step = {(pts[1].x - pts[0].x) / a.cols,
-                (pts[1].y - pts[0].y) / a.cols};
-  a.row_step = {(pts[2].x - pts[0].x) / a.rows,
-                (pts[2].y - pts[0].y) / a.rows};
+  // Step math in int64: with |coord| <= 2^30 the corner displacement can
+  // reach 2^31, which overflows the int32 subtraction.
+  const auto step = [](geom::Coord hi, geom::Coord lo,
+                       int n) -> geom::Coord {
+    const std::int64_t d =
+        (static_cast<std::int64_t>(hi) - static_cast<std::int64_t>(lo)) / n;
+    if (d < -kMaxAbsCoord || d > kMaxAbsCoord) {
+      throw ParseError("AREF step magnitude exceeds 2^30");
+    }
+    return static_cast<geom::Coord>(d);
+  };
+  a.col_step = {step(pts[1].x, pts[0].x, a.cols),
+                step(pts[1].y, pts[0].y, a.cols)};
+  a.row_step = {step(pts[2].x, pts[0].x, a.rows),
+                step(pts[2].y, pts[0].y, a.rows)};
   cur.expect(RecordType::EndEl);
   return a;
 }
@@ -214,6 +245,11 @@ Library read_bytes(const std::vector<std::uint8_t>& bytes) {
   const Record& units = cur.expect(RecordType::Units);
   lib.dbu_in_user = units.as_real64(0);
   lib.dbu_in_meters = units.as_real64(1);
+  if (!std::isfinite(lib.dbu_in_user) || !std::isfinite(lib.dbu_in_meters)) {
+    // A hostile excess-64 exponent decodes to +/-inf; writing it back
+    // would never terminate encode_real64's normalization loop.
+    throw ParseError("non-finite UNITS");
+  }
   if (lib.dbu_in_user <= 0 || lib.dbu_in_meters <= 0) {
     throw ParseError("non-positive UNITS");
   }

@@ -97,6 +97,9 @@ std::int32_t read_i32(const std::uint8_t* p) {
 }
 
 std::uint64_t encode_real64(double value) {
+  // inf would spin the base-16 normalization loop forever; NaN would fall
+  // through both loops and feed llround undefined input.
+  LHD_CHECK(std::isfinite(value), "real64 value must be finite");
   if (value == 0.0) return 0;
   std::uint64_t sign = 0;
   if (value < 0) {

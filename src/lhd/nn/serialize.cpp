@@ -2,6 +2,8 @@
 
 #include <cstring>
 #include <fstream>
+#include <sstream>
+#include <vector>
 
 #include "lhd/util/check.hpp"
 
@@ -10,6 +12,36 @@ namespace lhd::nn {
 namespace {
 constexpr char kMagic[4] = {'L', 'H', 'D', 'N'};
 constexpr std::uint32_t kVersion = 1;
+
+[[noreturn]] void fail_at(std::uint64_t offset, const std::string& msg) {
+  std::ostringstream os;
+  os << "weight stream error at byte " << offset << ": " << msg;
+  throw Error(os.str());
+}
+
+/// Offset-tracking reader so every failure names the byte it happened at.
+class StreamReader {
+ public:
+  explicit StreamReader(std::istream& in) : in_(in) {}
+
+  void read_exact(void* dst, std::size_t n, const char* what) {
+    in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+    const auto got = static_cast<std::size_t>(in_.gcount());
+    if (got != n) {
+      std::ostringstream os;
+      os << "truncated reading " << what << " (wanted " << n
+         << " bytes, got " << got << ")";
+      fail_at(offset_ + got, os.str());
+    }
+    offset_ += n;
+  }
+
+  std::uint64_t offset() const { return offset_; }
+
+ private:
+  std::istream& in_;
+  std::uint64_t offset_ = 0;
+};
 }  // namespace
 
 void save_weights(Network& net, std::ostream& out) {
@@ -28,28 +60,51 @@ void save_weights(Network& net, std::ostream& out) {
 }
 
 void load_weights(Network& net, std::istream& in) {
+  StreamReader r(in);
   char magic[4];
-  in.read(magic, 4);
-  LHD_CHECK(in.good() && std::memcmp(magic, kMagic, 4) == 0,
-            "not a lhd weight stream");
+  r.read_exact(magic, sizeof(magic), "magic");
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    fail_at(0, "not a lhd weight stream (bad magic)");
+  }
   std::uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  LHD_CHECK_MSG(version == kVersion, "unsupported weight version " << version);
+  std::uint64_t field_at = r.offset();
+  r.read_exact(&version, sizeof(version), "version");
+  if (version != kVersion) {
+    std::ostringstream os;
+    os << "unsupported weight version " << version;
+    fail_at(field_at, os.str());
+  }
   std::uint32_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  field_at = r.offset();
+  r.read_exact(&count, sizeof(count), "parameter count");
   const auto params = net.params();
-  LHD_CHECK_MSG(count == params.size(),
-                "parameter count mismatch: stream has "
-                    << count << ", network has " << params.size());
-  for (const auto& p : params) {
+  if (count != params.size()) {
+    std::ostringstream os;
+    os << "parameter count mismatch: stream has " << count
+       << ", network has " << params.size();
+    fail_at(field_at, os.str());
+  }
+  // Stage every blob before touching the network, so a stream that fails
+  // mid-way never leaves a half-loaded model. Each size field is validated
+  // against the expected parameter size before the allocation it drives.
+  std::vector<std::vector<float>> staged(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
     std::uint64_t n = 0;
-    in.read(reinterpret_cast<char*>(&n), sizeof(n));
-    LHD_CHECK_MSG(in.good() && n == p.value->size(),
-                  "parameter size mismatch: stream has "
-                      << n << ", network wants " << p.value->size());
-    in.read(reinterpret_cast<char*>(p.value->data()),
-            static_cast<std::streamsize>(n * sizeof(float)));
-    LHD_CHECK(in.good(), "truncated weight stream");
+    field_at = r.offset();
+    r.read_exact(&n, sizeof(n), "parameter size");
+    if (n != params[i].value->size()) {
+      std::ostringstream os;
+      os << "parameter " << i << " size mismatch: stream has " << n
+         << ", network wants " << params[i].value->size();
+      fail_at(field_at, os.str());
+    }
+    staged[i].resize(static_cast<std::size_t>(n));
+    r.read_exact(staged[i].data(),
+                 static_cast<std::size_t>(n) * sizeof(float),
+                 "parameter data");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    *params[i].value = std::move(staged[i]);
   }
 }
 

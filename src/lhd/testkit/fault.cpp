@@ -1,0 +1,44 @@
+#include "lhd/testkit/fault.hpp"
+
+namespace lhd::testkit {
+
+FaultyIStream::FaultyIStream(std::vector<std::uint8_t> bytes,
+                             std::size_t fail_at)
+    : std::istream(nullptr), buf_(std::move(bytes), fail_at) {
+  rdbuf(&buf_);
+}
+
+std::streambuf::int_type FaultyIStream::Buf::underflow() {
+  if (pos_ >= fail_at_ || pos_ >= bytes_.size()) return traits_type::eof();
+  return traits_type::to_int_type(bytes_[pos_]);
+}
+
+std::streambuf::int_type FaultyIStream::Buf::uflow() {
+  if (pos_ >= fail_at_ || pos_ >= bytes_.size()) return traits_type::eof();
+  return traits_type::to_int_type(bytes_[pos_++]);
+}
+
+FaultyOStream::FaultyOStream(std::size_t fail_at)
+    : std::ostream(nullptr), buf_(fail_at) {
+  rdbuf(&buf_);
+}
+
+std::streambuf::int_type FaultyOStream::Buf::overflow(int_type ch) {
+  if (traits_type::eq_int_type(ch, traits_type::eof())) {
+    return traits_type::not_eof(ch);
+  }
+  if (bytes_.size() >= fail_at_) return traits_type::eof();
+  bytes_.push_back(static_cast<std::uint8_t>(ch));
+  return ch;
+}
+
+void for_each_fail_point(
+    const std::vector<std::uint8_t>& bytes,
+    const std::function<void(std::istream&, std::size_t)>& fn) {
+  for (std::size_t fail_at = 0; fail_at < bytes.size(); ++fail_at) {
+    FaultyIStream in(bytes, fail_at);
+    fn(in, fail_at);
+  }
+}
+
+}  // namespace lhd::testkit

@@ -1,0 +1,83 @@
+#pragma once
+// Fault-injection shims for binary decoder tests.
+//
+// FaultyIStream / FaultyOStream serve (or accept) bytes normally up to a
+// configurable byte index, then hard-fail every subsequent operation —
+// the stream-level equivalent of a disk running full or a file being
+// truncated mid-read. Decoders under test must surface lhd::Error (with
+// context) and leave their outputs untouched, never crash or commit
+// partial state.
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+namespace lhd::testkit {
+
+/// Input stream over an in-memory buffer that fails from byte `fail_at`
+/// on: reading bytes [0, fail_at) succeeds, the fail_at-th byte read
+/// reports end-of-stream/failure. `fail_at >= bytes.size()` never fails.
+class FaultyIStream : public std::istream {
+ public:
+  FaultyIStream(std::vector<std::uint8_t> bytes, std::size_t fail_at);
+
+  std::size_t bytes_served() const { return buf_.served(); }
+
+ private:
+  class Buf : public std::streambuf {
+   public:
+    Buf(std::vector<std::uint8_t> bytes, std::size_t fail_at)
+        : bytes_(std::move(bytes)), fail_at_(fail_at) {}
+    std::size_t served() const { return pos_; }
+
+   protected:
+    int_type underflow() override;
+    int_type uflow() override;
+
+   private:
+    std::vector<std::uint8_t> bytes_;
+    std::size_t fail_at_;
+    std::size_t pos_ = 0;
+  };
+
+  Buf buf_;
+};
+
+/// Output stream that accepts bytes [0, fail_at) into an in-memory buffer
+/// and fails every write from byte `fail_at` on.
+class FaultyOStream : public std::ostream {
+ public:
+  explicit FaultyOStream(std::size_t fail_at);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_.bytes(); }
+
+ private:
+  class Buf : public std::streambuf {
+   public:
+    explicit Buf(std::size_t fail_at) : fail_at_(fail_at) {}
+    const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+   protected:
+    int_type overflow(int_type ch) override;
+
+   private:
+    std::vector<std::uint8_t> bytes_;
+    std::size_t fail_at_;
+  };
+
+  Buf buf_;
+};
+
+/// Invoke `fn(stream, fail_at)` once per fail point in [0, bytes.size()):
+/// the stream fails exactly at byte `fail_at`. The decoder must throw
+/// lhd::Error for every prefix of a valid stream (assuming the full
+/// stream is longer than every proper prefix's parse needs).
+void for_each_fail_point(
+    const std::vector<std::uint8_t>& bytes,
+    const std::function<void(std::istream&, std::size_t)>& fn);
+
+}  // namespace lhd::testkit

@@ -1,0 +1,199 @@
+#include "lhd/testkit/gen.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "lhd/geom/polygon.hpp"
+#include "lhd/util/check.hpp"
+
+namespace lhd::testkit {
+
+geom::Rect random_rect(Rng& rng, geom::Coord extent, geom::Coord min_side,
+                       geom::Coord max_side) {
+  LHD_CHECK(extent > 1 && min_side > 0 && min_side <= max_side,
+            "random_rect needs extent > 1 and 0 < min_side <= max_side");
+  const geom::Coord side_cap = std::min(max_side, extent - 1);
+  const geom::Coord side_floor = std::min(min_side, side_cap);
+  const auto w = static_cast<geom::Coord>(rng.next_int(side_floor, side_cap));
+  const auto h = static_cast<geom::Coord>(rng.next_int(side_floor, side_cap));
+  const auto x = static_cast<geom::Coord>(rng.next_int(0, extent - w - 1));
+  const auto y = static_cast<geom::Coord>(rng.next_int(0, extent - h - 1));
+  return geom::Rect(x, y, x + w, y + h);
+}
+
+std::vector<geom::Rect> random_rects(Rng& rng, std::size_t count,
+                                     geom::Coord extent, geom::Coord min_side,
+                                     geom::Coord max_side) {
+  std::vector<geom::Rect> rects;
+  rects.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    rects.push_back(random_rect(rng, extent, min_side, max_side));
+  }
+  return rects;
+}
+
+std::vector<geom::Point> random_staircase_ring(Rng& rng, int steps) {
+  LHD_CHECK(steps >= 1, "staircase needs >= 1 step");
+  // Climb right-and-up, then close over the top-left corner. Strictly
+  // positive treads/risers keep every edge non-degenerate and alternating.
+  std::vector<geom::Point> ring;
+  geom::Coord x = 0, y = 0;
+  ring.push_back({x, y});
+  for (int i = 0; i < steps; ++i) {
+    x += static_cast<geom::Coord>(rng.next_int(5, 30));
+    ring.push_back({x, y});
+    y += static_cast<geom::Coord>(rng.next_int(5, 30));
+    ring.push_back({x, y});
+  }
+  ring.push_back({0, y});
+  return ring;
+}
+
+data::Clip random_clip(Rng& rng, std::size_t size, geom::Coord window_nm) {
+  data::Clip clip;
+  clip.window_nm = window_nm;
+  const geom::Coord max_side = std::max<geom::Coord>(2, window_nm / 4);
+  clip.rects = random_rects(rng, size, window_nm, 1, max_side);
+  clip.label = rng.next_bool() ? data::Label::Hotspot : data::Label::NonHotspot;
+  return clip;
+}
+
+std::vector<float> random_block(Rng& rng, int n) {
+  LHD_CHECK(n > 0, "block side must be positive");
+  std::vector<float> block(static_cast<std::size_t>(n) *
+                           static_cast<std::size_t>(n));
+  for (auto& v : block) v = static_cast<float>(rng.next_double());
+  return block;
+}
+
+gds::Library random_library(Rng& rng, std::size_t size) {
+  gds::Library lib;
+  lib.name = "FUZZ";
+  const std::size_t leaves = 1 + size / 6;
+  for (std::size_t i = 0; i < leaves; ++i) {
+    gds::Structure& s = lib.add_structure("L" + std::to_string(i));
+    const std::size_t shapes = 1 + rng.next_below(3);
+    for (std::size_t j = 0; j < shapes; ++j) {
+      if (rng.next_bool(0.7)) {
+        gds::Boundary b;
+        b.layer = static_cast<std::int16_t>(rng.next_int(0, 3));
+        if (rng.next_bool(0.3)) {
+          b.polygon = geom::Polygon(
+              random_staircase_ring(rng, 1 + static_cast<int>(rng.next_below(4))));
+        } else {
+          b.polygon = geom::Polygon::from_rect(random_rect(rng, 4000, 4, 600));
+        }
+        s.add(b);
+      } else {
+        gds::Path p;
+        p.layer = static_cast<std::int16_t>(rng.next_int(0, 3));
+        p.width = static_cast<geom::Coord>(rng.next_int(2, 60));
+        if (rng.next_bool()) p.pathtype = 2;
+        geom::Point at{static_cast<geom::Coord>(rng.next_int(0, 2000)),
+                       static_cast<geom::Coord>(rng.next_int(0, 2000))};
+        p.points.push_back(at);
+        const std::size_t segs = 1 + rng.next_below(3);
+        bool horizontal = rng.next_bool();
+        for (std::size_t k = 0; k < segs; ++k) {
+          const auto step = static_cast<geom::Coord>(rng.next_int(20, 400));
+          if (horizontal) {
+            at.x += step;
+          } else {
+            at.y += step;
+          }
+          horizontal = !horizontal;
+          p.points.push_back(at);
+        }
+        s.add(p);
+      }
+    }
+  }
+
+  gds::Structure& top = lib.add_structure("TOP");
+  const std::size_t refs = 1 + size / 2;
+  for (std::size_t i = 0; i < refs; ++i) {
+    const std::string target = "L" + std::to_string(rng.next_below(leaves));
+    gds::Transform t;
+    t.angle_deg = static_cast<int>(rng.next_below(4)) * 90;
+    t.mirror_x = rng.next_bool(0.25);
+    t.origin = {static_cast<geom::Coord>(rng.next_int(-20000, 20000)),
+                static_cast<geom::Coord>(rng.next_int(-20000, 20000))};
+    if (rng.next_bool(0.7)) {
+      gds::SRef ref;
+      ref.structure = target;
+      ref.transform = t;
+      top.add(ref);
+    } else {
+      gds::ARef arr;
+      arr.structure = target;
+      arr.transform = t;
+      arr.cols = static_cast<int>(1 + rng.next_below(4));
+      arr.rows = static_cast<int>(1 + rng.next_below(4));
+      arr.col_step = {static_cast<geom::Coord>(rng.next_int(500, 5000)), 0};
+      arr.row_step = {0, static_cast<geom::Coord>(rng.next_int(500, 5000))};
+      top.add(arr);
+    }
+  }
+  return lib;
+}
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t count) {
+  std::vector<std::uint8_t> bytes(count);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return bytes;
+}
+
+std::string to_hex(const std::vector<std::uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2 + bytes.size() / 16 + 1);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    out.push_back(digits[bytes[i] >> 4]);
+    out.push_back(digits[bytes[i] & 0x0F]);
+    out.push_back((i + 1) % 16 == 0 ? '\n' : ' ');
+  }
+  if (!out.empty() && out.back() == ' ') out.back() = '\n';
+  return out;
+}
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> bytes;
+  int nibble = -1;
+  bool in_comment = false;
+  for (const char c : hex) {
+    if (c == '\n') {
+      in_comment = false;
+      continue;
+    }
+    if (in_comment) continue;
+    if (c == '#') {
+      in_comment = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') continue;
+    int v = -1;
+    if (c >= '0' && c <= '9') v = c - '0';
+    if (c >= 'a' && c <= 'f') v = 10 + (c - 'a');
+    if (c >= 'A' && c <= 'F') v = 10 + (c - 'A');
+    LHD_CHECK_MSG(v >= 0, "invalid hex character '" << c << "'");
+    if (nibble < 0) {
+      nibble = v;
+    } else {
+      bytes.push_back(static_cast<std::uint8_t>((nibble << 4) | v));
+      nibble = -1;
+    }
+  }
+  LHD_CHECK(nibble < 0, "odd number of hex digits");
+  return bytes;
+}
+
+std::vector<std::uint8_t> load_hex_file(const std::string& path) {
+  std::ifstream in(path);
+  LHD_CHECK_MSG(in.good(), "cannot open " << path << " for reading");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return from_hex(os.str());
+}
+
+}  // namespace lhd::testkit

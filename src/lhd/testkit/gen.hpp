@@ -1,0 +1,62 @@
+#pragma once
+// Seed-threaded random input builders for tests and fuzzing.
+//
+// Every generator takes an explicit Rng so the produced value is a pure
+// function of (arguments, rng state) — the property runner threads one
+// seed through a test case and that seed alone reproduces it. The `size`
+// arguments are deliberately coarse (element counts, structure counts):
+// the property runner shrinks along that axis.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lhd/data/clip.hpp"
+#include "lhd/gds/model.hpp"
+#include "lhd/geom/point.hpp"
+#include "lhd/geom/rect.hpp"
+#include "lhd/util/rng.hpp"
+
+namespace lhd::testkit {
+
+/// Non-degenerate rect with corners in [0, extent)² and sides in
+/// [min_side, max_side] (clamped to the extent).
+geom::Rect random_rect(Rng& rng, geom::Coord extent, geom::Coord min_side = 1,
+                       geom::Coord max_side = 400);
+
+/// `count` independent random_rect draws.
+std::vector<geom::Rect> random_rects(Rng& rng, std::size_t count,
+                                     geom::Coord extent,
+                                     geom::Coord min_side = 1,
+                                     geom::Coord max_side = 400);
+
+/// Closed Manhattan staircase ring with `steps` stair treads — always a
+/// valid simple rectilinear polygon (H/V alternating, no zero edges).
+std::vector<geom::Point> random_staircase_ring(Rng& rng, int steps);
+
+/// Labeled clip with ~`size` random rects clipped to [0, window_nm)².
+data::Clip random_clip(Rng& rng, std::size_t size,
+                       geom::Coord window_nm = 1024);
+
+/// n×n row-major block of floats in [0, 1) — DCT test input.
+std::vector<float> random_block(Rng& rng, int n);
+
+/// Random but valid GDS library: ~size/6 + 1 leaf structures holding
+/// boundaries and Manhattan paths, plus a TOP structure referencing the
+/// leaves through random SREF/AREF transforms (angle ∈ {0,90,180,270},
+/// optional mirror). Always writer- and reader-clean.
+gds::Library random_library(Rng& rng, std::size_t size);
+
+/// Uniformly random byte blob (unstructured fuzz input).
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t count);
+
+// --- hex corpus helpers -----------------------------------------------------
+// Corpus files under tests/fixtures/*_corpus/ are plain hex text (pairs of
+// hex digits; whitespace and '#'-to-end-of-line comments ignored) so crash
+// reproducers are reviewable in a diff.
+
+std::string to_hex(const std::vector<std::uint8_t>& bytes);
+std::vector<std::uint8_t> from_hex(const std::string& hex);
+std::vector<std::uint8_t> load_hex_file(const std::string& path);
+
+}  // namespace lhd::testkit

@@ -1,0 +1,212 @@
+#include "lhd/testkit/mutate.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <string>
+
+#include "lhd/gds/model.hpp"
+#include "lhd/gds/records.hpp"
+#include "lhd/gds/writer.hpp"
+#include "lhd/geom/polygon.hpp"
+#include "lhd/util/check.hpp"
+
+namespace lhd::testkit {
+
+namespace {
+
+/// Pick a random element of a non-empty vector.
+template <typename T>
+const T& pick(const std::vector<T>& v, Rng& rng) {
+  return v[static_cast<std::size_t>(rng.next_below(v.size()))];
+}
+
+std::vector<std::uint8_t> flip_bits(std::vector<std::uint8_t> bytes,
+                                    Rng& rng) {
+  if (bytes.empty()) return bytes;
+  const std::size_t flips = 1 + rng.next_below(8);
+  for (std::size_t i = 0; i < flips; ++i) {
+    const std::size_t at = rng.next_below(bytes.size());
+    bytes[at] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+  }
+  return bytes;
+}
+
+/// [start, end) span of the record beginning at `offsets[i]`.
+std::pair<std::size_t, std::size_t> record_span(
+    const std::vector<std::uint8_t>& bytes,
+    const std::vector<std::size_t>& offsets, std::size_t i) {
+  const std::size_t start = offsets[i];
+  const std::size_t end = i + 1 < offsets.size()
+                              ? offsets[i + 1]
+                              : std::min(bytes.size(),
+                                         start + gds::read_u16(bytes.data() +
+                                                               start));
+  return {start, end};
+}
+
+}  // namespace
+
+std::vector<std::size_t> record_offsets(
+    const std::vector<std::uint8_t>& bytes) {
+  std::vector<std::size_t> offsets;
+  std::size_t pos = 0;
+  while (pos + 4 <= bytes.size()) {
+    const std::uint16_t total = gds::read_u16(bytes.data() + pos);
+    if (total < 4 || total % 2 != 0 || pos + total > bytes.size()) break;
+    offsets.push_back(pos);
+    pos += total;
+  }
+  return offsets;
+}
+
+std::vector<std::uint8_t> apply_mutation(std::vector<std::uint8_t> bytes,
+                                         GdsMutation mutation, Rng& rng) {
+  const auto offsets = record_offsets(bytes);
+  switch (mutation) {
+    case GdsMutation::TruncateTail: {
+      if (bytes.size() < 2) return flip_bits(std::move(bytes), rng);
+      const std::size_t keep = rng.next_below(bytes.size());
+      bytes.resize(keep);
+      return bytes;
+    }
+    case GdsMutation::TruncateRecord: {
+      if (offsets.size() < 2) return flip_bits(std::move(bytes), rng);
+      // Cut before a random record (never offset 0 — that is empty input).
+      const std::size_t cut =
+          offsets[1 + rng.next_below(offsets.size() - 1)];
+      bytes.resize(cut);
+      return bytes;
+    }
+    case GdsMutation::CorruptLength: {
+      if (offsets.empty()) return flip_bits(std::move(bytes), rng);
+      const std::size_t at = pick(offsets, rng);
+      bytes[at] = static_cast<std::uint8_t>(rng.next_below(256));
+      bytes[at + 1] = static_cast<std::uint8_t>(rng.next_below(256));
+      return bytes;
+    }
+    case GdsMutation::BitFlip:
+      return flip_bits(std::move(bytes), rng);
+    case GdsMutation::CorruptPayload: {
+      if (offsets.empty()) return flip_bits(std::move(bytes), rng);
+      const std::size_t i = rng.next_below(offsets.size());
+      const auto [start, end] = record_span(bytes, offsets, i);
+      if (end <= start + 4) return flip_bits(std::move(bytes), rng);
+      const std::size_t edits = 1 + rng.next_below(4);
+      for (std::size_t e = 0; e < edits; ++e) {
+        const std::size_t at = start + 4 + rng.next_below(end - start - 4);
+        bytes[at] = static_cast<std::uint8_t>(rng.next_below(256));
+      }
+      return bytes;
+    }
+    case GdsMutation::SwapRecords: {
+      if (offsets.size() < 2) return flip_bits(std::move(bytes), rng);
+      const std::size_t i = rng.next_below(offsets.size());
+      const std::size_t j = rng.next_below(offsets.size());
+      if (i == j) return flip_bits(std::move(bytes), rng);
+      const auto [is, ie] = record_span(bytes, offsets, std::min(i, j));
+      const auto [js, je] = record_span(bytes, offsets, std::max(i, j));
+      std::vector<std::uint8_t> out;
+      out.reserve(bytes.size());
+      out.insert(out.end(), bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(is));
+      out.insert(out.end(), bytes.begin() + static_cast<std::ptrdiff_t>(js),
+                 bytes.begin() + static_cast<std::ptrdiff_t>(je));
+      out.insert(out.end(), bytes.begin() + static_cast<std::ptrdiff_t>(ie),
+                 bytes.begin() + static_cast<std::ptrdiff_t>(js));
+      out.insert(out.end(), bytes.begin() + static_cast<std::ptrdiff_t>(is),
+                 bytes.begin() + static_cast<std::ptrdiff_t>(ie));
+      out.insert(out.end(), bytes.begin() + static_cast<std::ptrdiff_t>(je),
+                 bytes.end());
+      return out;
+    }
+    case GdsMutation::DuplicateRecord: {
+      if (offsets.empty()) return flip_bits(std::move(bytes), rng);
+      const std::size_t i = rng.next_below(offsets.size());
+      const auto [start, end] = record_span(bytes, offsets, i);
+      std::vector<std::uint8_t> rec(bytes.begin() + static_cast<std::ptrdiff_t>(start),
+                                    bytes.begin() + static_cast<std::ptrdiff_t>(end));
+      bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(end),
+                   rec.begin(), rec.end());
+      return bytes;
+    }
+    case GdsMutation::DeleteRecord: {
+      if (offsets.size() < 2) return flip_bits(std::move(bytes), rng);
+      const std::size_t i = rng.next_below(offsets.size());
+      const auto [start, end] = record_span(bytes, offsets, i);
+      bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(start),
+                  bytes.begin() + static_cast<std::ptrdiff_t>(end));
+      return bytes;
+    }
+    case GdsMutation::TypeSwap: {
+      if (offsets.empty()) return flip_bits(std::move(bytes), rng);
+      static constexpr std::uint8_t kTypes[] = {
+          0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A,
+          0x0B, 0x0D, 0x0E, 0x0F, 0x10, 0x11, 0x12, 0x13, 0x1A, 0x1B, 0x1C,
+          0x21, 0xFE /* unknown type on purpose */};
+      const std::size_t at = pick(offsets, rng);
+      bytes[at + 2] = kTypes[rng.next_below(std::size(kTypes))];
+      return bytes;
+    }
+    case GdsMutation::kCount:
+      break;
+  }
+  LHD_CHECK(false, "invalid GdsMutation");
+}
+
+std::vector<std::uint8_t> mutate_gds(std::vector<std::uint8_t> bytes,
+                                     Rng& rng) {
+  const std::size_t rounds = 1 + rng.next_below(3);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const auto m = static_cast<GdsMutation>(
+        rng.next_below(static_cast<std::uint64_t>(GdsMutation::kCount)));
+    bytes = apply_mutation(std::move(bytes), m, rng);
+    if (bytes.empty()) break;
+  }
+  return bytes;
+}
+
+std::vector<std::uint8_t> sref_depth_bomb(int depth) {
+  LHD_CHECK(depth >= 1, "depth bomb needs depth >= 1");
+  gds::Library lib;
+  lib.name = "BOMB";
+  // Build names with append, not `"S" + to_string(...)`: GCC 12's
+  // -Wrestrict false-positives on operator+(const char*, string&&) here.
+  for (int i = 0; i <= depth; ++i) {
+    std::string name = "S";
+    name += std::to_string(i);
+    gds::Structure& s = lib.add_structure(name);
+    if (i == depth) {
+      gds::Boundary b;
+      b.layer = 1;
+      b.polygon = geom::Polygon::from_rect(geom::Rect(0, 0, 10, 10));
+      s.add(b);
+    } else {
+      std::string child = "S";
+      child += std::to_string(i + 1);
+      gds::SRef ref;
+      ref.structure = child;
+      s.add(ref);
+    }
+  }
+  return gds::write_bytes(lib);
+}
+
+std::vector<std::uint8_t> aref_fanout_bomb(int cols, int rows) {
+  gds::Library lib;
+  lib.name = "BOMB";
+  gds::Structure& cell = lib.add_structure("CELL");
+  gds::Boundary b;
+  b.layer = 1;
+  b.polygon = geom::Polygon::from_rect(geom::Rect(0, 0, 10, 10));
+  cell.add(b);
+  gds::Structure& top = lib.add_structure("TOP");
+  gds::ARef arr;
+  arr.structure = "CELL";
+  arr.cols = cols;
+  arr.rows = rows;
+  arr.col_step = {100, 0};
+  arr.row_step = {0, 100};
+  top.add(arr);
+  return gds::write_bytes(lib);
+}
+
+}  // namespace lhd::testkit

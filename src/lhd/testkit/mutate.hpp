@@ -1,0 +1,56 @@
+#pragma once
+// Structure-aware GDSII byte-stream mutators.
+//
+// Unlike blind bit-flipping, these mutators understand the record framing
+// ([u16 length][u8 type][u8 dtype][payload]) of a well-formed input, so a
+// single mutation lands on a meaningful boundary: a length field, a record
+// type, a whole-record reorder, a mid-record truncation. Fed to
+// gds::read_bytes they exercise every ParseError path; the contract under
+// test is "either a Library comes back or lhd::Error is thrown — never a
+// crash, hang, or silent corruption".
+
+#include <cstdint>
+#include <vector>
+
+#include "lhd/util/rng.hpp"
+
+namespace lhd::testkit {
+
+enum class GdsMutation : std::uint8_t {
+  TruncateTail,     ///< drop 1..N trailing bytes (usually mid-record)
+  TruncateRecord,   ///< cut at a record boundary (well-framed, no ENDLIB)
+  CorruptLength,    ///< overwrite one record's u16 length field
+  BitFlip,          ///< flip 1..8 random bits anywhere in the stream
+  CorruptPayload,   ///< overwrite random payload bytes of one record
+  SwapRecords,      ///< exchange two whole records
+  DuplicateRecord,  ///< repeat one record in place
+  DeleteRecord,     ///< remove one whole record
+  TypeSwap,         ///< replace one record's type byte with another type
+  kCount            ///< sentinel — number of strategies
+};
+
+/// Byte offsets of record starts in a well-framed stream (framing scan;
+/// stops early at the first malformed header, so it is safe on any input).
+std::vector<std::size_t> record_offsets(const std::vector<std::uint8_t>& bytes);
+
+/// Apply one specific mutation. Degenerate inputs (too short for the
+/// strategy) fall back to a bit flip so the result always differs when
+/// the input is non-empty.
+std::vector<std::uint8_t> apply_mutation(std::vector<std::uint8_t> bytes,
+                                         GdsMutation mutation, Rng& rng);
+
+/// Apply 1–3 randomly chosen mutations — the default fuzz step.
+std::vector<std::uint8_t> mutate_gds(std::vector<std::uint8_t> bytes,
+                                     Rng& rng);
+
+/// Well-formed stream whose structures chain SREFs `depth` levels deep
+/// (S0 -> S1 -> ... -> S(depth) -> boundary). Parses fine; flattening must
+/// reject it once depth exceeds the reader's recursion bound instead of
+/// blowing the stack.
+std::vector<std::uint8_t> sref_depth_bomb(int depth);
+
+/// Well-formed stream with a single AREF of cols × rows placements — the
+/// quadratic-expansion bomb the reader must cap at parse time.
+std::vector<std::uint8_t> aref_fanout_bomb(int cols, int rows);
+
+}  // namespace lhd::testkit

@@ -1,0 +1,246 @@
+#include "lhd/testkit/oracle.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "lhd/data/io.hpp"
+#include "lhd/feature/dct.hpp"
+#include "lhd/gds/reader.hpp"
+#include "lhd/gds/writer.hpp"
+#include "lhd/geom/polygon.hpp"
+#include "lhd/nn/serialize.hpp"
+#include "lhd/testkit/property.hpp"
+#include "lhd/util/check.hpp"
+#include "lhd/util/thread_pool.hpp"
+
+namespace lhd::testkit {
+
+namespace {
+
+[[noreturn]] void oracle_fail(const std::string& what) {
+  throw PropertyFailure(what);
+}
+
+std::size_t idx(int n, int r, int c) {
+  return static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+         static_cast<std::size_t>(c);
+}
+
+/// Orthonormal DCT-II basis row scale: c(0) = sqrt(1/n), c(k>0) = sqrt(2/n).
+double basis_scale(int n, int k) {
+  return k == 0 ? std::sqrt(1.0 / n) : std::sqrt(2.0 / n);
+}
+
+double basis(int n, int k, int i) {
+  return basis_scale(n, k) *
+         std::cos(M_PI * (2.0 * i + 1.0) * k / (2.0 * n));
+}
+
+void compare_blocks(const double* a, const double* b, int n, double tol,
+                    const char* what) {
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const double diff = std::abs(a[idx(n, r, c)] - b[idx(n, r, c)]);
+      if (!(diff <= tol)) {
+        std::ostringstream os;
+        os << what << ": coefficient (" << r << "," << c << ") differs by "
+           << diff << " (tolerance " << tol << "): " << a[idx(n, r, c)]
+           << " vs " << b[idx(n, r, c)];
+        oracle_fail(os.str());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void naive_dct2d(const double* in, double* out, int n) {
+  LHD_CHECK(n > 0, "DCT block side must be positive");
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          acc += in[idx(n, i, j)] * basis(n, u, i) * basis(n, v, j);
+        }
+      }
+      out[idx(n, u, v)] = acc;
+    }
+  }
+}
+
+void matrix_dct2d(const double* in, double* out, int n) {
+  LHD_CHECK(n > 0, "DCT block side must be positive");
+  // tmp = B * in (rows transformed), out = tmp * B^T (columns transformed)
+  // — the same two-matmul shape as the production float kernel.
+  std::vector<double> tmp(static_cast<std::size_t>(n) *
+                          static_cast<std::size_t>(n));
+  for (int u = 0; u < n; ++u) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int i = 0; i < n; ++i) acc += basis(n, u, i) * in[idx(n, i, j)];
+      tmp[idx(n, u, j)] = acc;
+    }
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (int j = 0; j < n; ++j) acc += tmp[idx(n, u, j)] * basis(n, v, j);
+      out[idx(n, u, v)] = acc;
+    }
+  }
+}
+
+void expect_dct_parity(const std::vector<float>& block, int n,
+                       double algo_tol, double float_tol) {
+  const auto count =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  LHD_CHECK(block.size() == count, "block size must be n*n");
+
+  std::vector<double> in_d(count);
+  for (std::size_t i = 0; i < count; ++i) in_d[i] = block[i];
+
+  std::vector<double> ref(count), fast_d(count);
+  naive_dct2d(in_d.data(), ref.data(), n);
+  matrix_dct2d(in_d.data(), fast_d.data(), n);
+  compare_blocks(fast_d.data(), ref.data(), n, algo_tol,
+                 "matrix DCT vs naive DCT (double)");
+
+  std::vector<float> prod(count), round(count);
+  feature::dct2d(block.data(), prod.data(), n);
+  std::vector<double> prod_d(count);
+  for (std::size_t i = 0; i < count; ++i) prod_d[i] = prod[i];
+  compare_blocks(prod_d.data(), ref.data(), n, float_tol,
+                 "production float DCT vs naive DCT");
+
+  feature::idct2d(prod.data(), round.data(), n);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double diff = std::abs(static_cast<double>(round[i]) - block[i]);
+    if (!(diff <= float_tol)) {
+      std::ostringstream os;
+      os << "idct2d(dct2d(x)) round-trip: element " << i << " differs by "
+         << diff << " (tolerance " << float_tol << ")";
+      oracle_fail(os.str());
+    }
+  }
+}
+
+float DensityCutDetector::score(const data::Clip& clip) const {
+  const double area = static_cast<double>(geom::union_area(clip.rects));
+  const double total =
+      static_cast<double>(clip.window_nm) * clip.window_nm;
+  return static_cast<float>(area / total);
+}
+
+void expect_scan_parity(const core::ChipIndex& chip,
+                        const core::Detector& detector,
+                        core::ScanConfig config,
+                        const std::vector<std::size_t>& thread_counts,
+                        ThreadPool& pool) {
+  config.threads = 1;
+  const auto serial = core::scan_chip(chip, detector, config);
+  for (const std::size_t threads : thread_counts) {
+    config.threads = threads;
+    const auto parallel = core::scan_chip(chip, detector, config, pool);
+    std::ostringstream os;
+    os << "scan(threads=" << threads << ") vs scan(threads=1): ";
+    if (parallel.windows_total != serial.windows_total ||
+        parallel.windows_classified != serial.windows_classified ||
+        parallel.flagged != serial.flagged) {
+      os << "window counts diverge (total " << parallel.windows_total << "/"
+         << serial.windows_total << ", classified "
+         << parallel.windows_classified << "/" << serial.windows_classified
+         << ", flagged " << parallel.flagged << "/" << serial.flagged << ")";
+      oracle_fail(os.str());
+    }
+    if (parallel.hits.size() != serial.hits.size()) {
+      os << "hit count " << parallel.hits.size() << " vs "
+         << serial.hits.size();
+      oracle_fail(os.str());
+    }
+    for (std::size_t i = 0; i < serial.hits.size(); ++i) {
+      if (!(parallel.hits[i] == serial.hits[i])) {
+        const auto& p = parallel.hits[i];
+        const auto& s = serial.hits[i];
+        os << "hit " << i << " differs: window (" << p.window.xlo << ","
+           << p.window.ylo << ") score " << p.score << " vs (" << s.window.xlo
+           << "," << s.window.ylo << ") score " << s.score;
+        oracle_fail(os.str());
+      }
+    }
+  }
+}
+
+namespace {
+
+void compare_bytes(const std::vector<std::uint8_t>& a,
+                   const std::vector<std::uint8_t>& b, const char* what) {
+  if (a.size() != b.size()) {
+    std::ostringstream os;
+    os << what << ": byte count " << a.size() << " vs " << b.size();
+    oracle_fail(os.str());
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      std::ostringstream os;
+      os << what << ": first difference at offset " << i << " (0x" << std::hex
+         << static_cast<int>(a[i]) << " vs 0x" << static_cast<int>(b[i])
+         << ")";
+      oracle_fail(os.str());
+    }
+  }
+}
+
+std::vector<std::uint8_t> stream_bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+}  // namespace
+
+void expect_gds_fixpoint(const gds::Library& lib) {
+  const auto first = gds::write_bytes(lib);
+  const gds::Library round = gds::read_bytes(first);
+  const auto second = gds::write_bytes(round);
+  compare_bytes(second, first, "GDS write->read->write fixpoint");
+}
+
+void expect_weights_fixpoint(nn::Network& a, nn::Network& b) {
+  std::ostringstream first;
+  nn::save_weights(a, first);
+  std::istringstream in(first.str());
+  nn::load_weights(b, in);
+  std::ostringstream second;
+  nn::save_weights(b, second);
+  compare_bytes(stream_bytes(second.str()), stream_bytes(first.str()),
+                "weights save->load->save fixpoint");
+
+  const auto pa = a.params();
+  const auto pb = b.params();
+  if (pa.size() != pb.size()) {
+    oracle_fail("weights fixpoint: networks have different topology");
+  }
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (*pa[i].value != *pb[i].value) {
+      std::ostringstream os;
+      os << "weights fixpoint: parameter " << i
+         << " differs after load (size " << pa[i].value->size() << " vs "
+         << pb[i].value->size() << ")";
+      oracle_fail(os.str());
+    }
+  }
+}
+
+void expect_dataset_fixpoint(const data::Dataset& ds) {
+  std::ostringstream first;
+  data::save_dataset(ds, first);
+  std::istringstream in(first.str());
+  const data::Dataset round = data::load_dataset(in);
+  std::ostringstream second;
+  data::save_dataset(round, second);
+  compare_bytes(stream_bytes(second.str()), stream_bytes(first.str()),
+                "dataset save->load->save fixpoint");
+}
+
+}  // namespace lhd::testkit

@@ -1,0 +1,87 @@
+#pragma once
+// Differential oracles: two independent implementations (or two execution
+// strategies) of the same computation, checked for agreement. Each
+// expect_* helper throws PropertyFailure with enough context to pin down
+// the first disagreement; combined with CHECK_PROPERTY the failing seed
+// is printed too.
+
+#include <cstddef>
+#include <vector>
+
+#include "lhd/core/detector.hpp"
+#include "lhd/core/scan.hpp"
+#include "lhd/data/dataset.hpp"
+#include "lhd/gds/model.hpp"
+#include "lhd/nn/network.hpp"
+
+namespace lhd {
+class ThreadPool;
+}
+
+namespace lhd::testkit {
+
+// --- DCT --------------------------------------------------------------------
+
+/// Textbook O(n²)-per-coefficient 2-D DCT-II with orthonormal scaling —
+/// the slow reference the fast basis-matmul path is checked against.
+void naive_dct2d(const double* in, double* out, int n);
+
+/// The production algorithm (cached-basis matrix multiply) recomputed in
+/// double precision, so the *algorithm* can be compared against the naive
+/// definition at tight tolerance independent of float rounding.
+void matrix_dct2d(const double* in, double* out, int n);
+
+/// Three-way DCT check on one n×n block:
+///   1. matrix_dct2d (double) vs naive_dct2d (double) within `algo_tol`
+///      — same math, so 1e-9 holds;
+///   2. production feature::dct2d (float) vs naive_dct2d within
+///      `float_tol` — bounds the float rounding of the shipped kernel;
+///   3. feature::idct2d(feature::dct2d(x)) round-trips within `float_tol`.
+void expect_dct_parity(const std::vector<float>& block, int n,
+                       double algo_tol = 1e-9, double float_tol = 5e-5);
+
+// --- scan -------------------------------------------------------------------
+
+/// Geometry-density detector for parity tests: score = covered area /
+/// window area, no training needed. Deterministic and thread-safe.
+class DensityCutDetector : public core::Detector {
+ public:
+  explicit DensityCutDetector(float threshold = 0.10f)
+      : threshold_(threshold) {}
+
+  std::string name() const override { return "testkit-density-cut"; }
+  void train(const data::Dataset&) override {}
+  float score(const data::Clip& clip) const override;
+  bool predict(const data::Clip& clip) const override {
+    return score(clip) > threshold_;
+  }
+  void set_threshold(float threshold) override { threshold_ = threshold; }
+  float threshold() const override { return threshold_; }
+
+ private:
+  float threshold_;
+};
+
+/// Serial-vs-parallel scan equality: runs scan_chip with threads=1 as the
+/// baseline and requires bit-identical hits / window counts for every
+/// entry of `thread_counts` on the given pool.
+void expect_scan_parity(const core::ChipIndex& chip,
+                        const core::Detector& detector,
+                        core::ScanConfig config,
+                        const std::vector<std::size_t>& thread_counts,
+                        ThreadPool& pool);
+
+// --- serialization fixpoints ------------------------------------------------
+
+/// write → read → write must reproduce the exact byte stream (the writer
+/// is canonical: fixed timestamps, deterministic record order).
+void expect_gds_fixpoint(const gds::Library& lib);
+
+/// save(a) → load into b (same topology) → save(b) must reproduce the
+/// exact byte stream, and b's parameters must equal a's.
+void expect_weights_fixpoint(nn::Network& a, nn::Network& b);
+
+/// save → load → save must reproduce the exact byte stream.
+void expect_dataset_fixpoint(const data::Dataset& ds);
+
+}  // namespace lhd::testkit

@@ -1,0 +1,145 @@
+#include "lhd/testkit/property.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+
+namespace lhd::testkit {
+
+namespace {
+
+/// Outcome of one body execution.
+struct RunOutcome {
+  bool failed = false;
+  std::string what;
+};
+
+RunOutcome run_once(const PropertyFn& body, std::uint64_t seed,
+                    std::size_t size) {
+  Rng rng(seed);
+  try {
+    body(rng, size);
+    return {};
+  } catch (const std::exception& e) {
+    return {true, e.what()};
+  } catch (...) {
+    return {true, "non-std exception"};
+  }
+}
+
+std::size_t size_for_run(const PropertyConfig& cfg, std::size_t i) {
+  if (cfg.runs <= 1 || cfg.max_size <= cfg.min_size) return cfg.min_size;
+  return cfg.min_size +
+         ((cfg.max_size - cfg.min_size) * i) / (cfg.runs - 1);
+}
+
+bool env_seed(std::uint64_t* seed) {
+  const char* s = std::getenv("LHD_PROPERTY_SEED");
+  if (s == nullptr || *s == '\0') return false;
+  *seed = std::strtoull(s, nullptr, 0);  // accepts decimal and 0x-hex
+  return true;
+}
+
+bool env_size(std::size_t* size) {
+  const char* s = std::getenv("LHD_PROPERTY_SIZE");
+  if (s == nullptr || *s == '\0') return false;
+  *size = static_cast<std::size_t>(std::strtoull(s, nullptr, 0));
+  return true;
+}
+
+PropertyReport fail_report(const std::string& name, std::uint64_t seed,
+                           std::size_t size, std::size_t original_size,
+                           std::size_t shrink_steps, std::size_t runs,
+                           const std::string& what) {
+  PropertyReport rep;
+  rep.ok = false;
+  rep.runs = runs;
+  rep.failing_seed = seed;
+  rep.failing_size = size;
+  rep.original_size = original_size;
+  rep.shrink_steps = shrink_steps;
+  std::ostringstream os;
+  os << "property '" << name << "' failed: seed=0x" << std::hex << seed
+     << std::dec << " size=" << size;
+  if (size != original_size) {
+    os << " (shrunk from " << original_size << " in " << shrink_steps
+       << " step" << (shrink_steps == 1 ? "" : "s") << ")";
+  }
+  os << "\n  " << what << "\n  replay: LHD_PROPERTY_SEED=0x" << std::hex
+     << seed << std::dec << " LHD_PROPERTY_SIZE=" << size
+     << " <test binary>";
+  rep.message = os.str();
+  return rep;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+PropertyReport run_property(const std::string& name,
+                            const PropertyConfig& config,
+                            const PropertyFn& body) {
+  LHD_CHECK(config.runs > 0, "property needs at least one run");
+  LHD_CHECK(config.min_size > 0 && config.min_size <= config.max_size,
+            "property sizes must satisfy 0 < min_size <= max_size");
+
+  // Replay mode: one exact (seed, size) case, no shrinking.
+  std::uint64_t replay_seed = 0;
+  if (env_seed(&replay_seed)) {
+    std::size_t replay_size = config.max_size;
+    env_size(&replay_size);
+    const RunOutcome out = run_once(body, replay_seed, replay_size);
+    if (out.failed) {
+      return fail_report(name, replay_seed, replay_size, replay_size, 0, 1,
+                         out.what);
+    }
+    PropertyReport rep;
+    rep.runs = 1;
+    return rep;
+  }
+
+  const std::uint64_t base =
+      config.base_seed != 0 ? config.base_seed : fnv1a(name);
+  for (std::size_t i = 0; i < config.runs; ++i) {
+    const std::uint64_t seed = base + i;
+    const std::size_t size = size_for_run(config, i);
+    const RunOutcome out = run_once(body, seed, size);
+    if (!out.failed) continue;
+
+    // Shrink: smallest size in [min_size, size) that still fails under
+    // this seed. Sizes are tried ascending so the first hit is minimal.
+    std::size_t best_size = size;
+    std::string best_what = out.what;
+    std::size_t steps = 0;
+    for (std::size_t s = config.min_size; s < size; ++s) {
+      ++steps;
+      const RunOutcome shrunk = run_once(body, seed, s);
+      if (shrunk.failed) {
+        best_size = s;
+        best_what = shrunk.what;
+        break;
+      }
+    }
+    return fail_report(name, seed, best_size, size, steps, i + 1, best_what);
+  }
+
+  PropertyReport rep;
+  rep.runs = config.runs;
+  return rep;
+}
+
+PropertyReport run_property(const std::string& name, std::size_t runs,
+                            const PropertyFn& body) {
+  PropertyConfig cfg;
+  cfg.runs = runs;
+  return run_property(name, cfg, body);
+}
+
+}  // namespace lhd::testkit

@@ -1,0 +1,81 @@
+#pragma once
+// Deterministic property-based test runner.
+//
+// A property is a callable `void body(Rng& rng, std::size_t size)` that
+// derives a random input from `rng` (scaled by `size`) and throws on
+// violation (lhd::Error, PropertyFailure, any std::exception — gtest
+// assertions work too when the body uses them directly). The runner
+// executes the body over a seed schedule, and on the first failure
+// shrinks the `size` parameter down to the smallest size that still
+// fails under the same seed, then reports a single-line reproducer:
+//
+//   property 'scan-parity' failed: seed=0x2f... size=5 (shrunk from 48)
+//   replay: LHD_PROPERTY_SEED=0x2f... LHD_PROPERTY_SIZE=5 <test binary>
+//
+// Replaying: set LHD_PROPERTY_SEED (and optionally LHD_PROPERTY_SIZE) in
+// the environment and rerun the test — every CHECK_PROPERTY in the
+// process then runs exactly that one (seed, size) case. See
+// docs/TESTING.md for the full workflow.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "lhd/util/check.hpp"
+#include "lhd/util/rng.hpp"
+
+namespace lhd::testkit {
+
+/// Thrown by oracles / CHECK_PROPERTY to signal a property violation.
+/// Derives from lhd::Error so generic catch sites treat it uniformly.
+class PropertyFailure : public Error {
+ public:
+  using Error::Error;
+};
+
+struct PropertyConfig {
+  std::size_t runs = 64;      ///< number of (seed, size) cases executed
+  std::size_t min_size = 2;   ///< size of the first case (and shrink floor)
+  std::size_t max_size = 48;  ///< size of the last case (linear ramp)
+  std::uint64_t base_seed = 0;  ///< 0 = derive from the property name
+};
+
+struct PropertyReport {
+  bool ok = true;
+  std::size_t runs = 0;           ///< cases executed (excluding shrinks)
+  std::uint64_t failing_seed = 0;
+  std::size_t failing_size = 0;   ///< after shrinking
+  std::size_t original_size = 0;  ///< size at which the failure first hit
+  std::size_t shrink_steps = 0;   ///< bodies executed while shrinking
+  std::string message;            ///< failure text + reproducer line
+};
+
+using PropertyFn = std::function<void(Rng&, std::size_t)>;
+
+/// Run `body` over the seed schedule; never throws — inspect the report.
+PropertyReport run_property(const std::string& name,
+                            const PropertyConfig& config,
+                            const PropertyFn& body);
+
+/// Shorthand with default sizes.
+PropertyReport run_property(const std::string& name, std::size_t runs,
+                            const PropertyFn& body);
+
+/// Stable 64-bit FNV-1a hash — the default per-property seed base, so two
+/// properties with different names never share input streams.
+std::uint64_t fnv1a(const std::string& s);
+
+}  // namespace lhd::testkit
+
+/// Run a property and fail the enclosing test on violation. The failure
+/// message (with the reproducer line) travels via PropertyFailure, which
+/// gtest reports as the test's failure text.
+#define CHECK_PROPERTY(name, runs, ...)                                      \
+  do {                                                                       \
+    const ::lhd::testkit::PropertyReport lhd_prop_report_ =                  \
+        ::lhd::testkit::run_property((name), static_cast<std::size_t>(runs), \
+                                     (__VA_ARGS__));                         \
+    if (!lhd_prop_report_.ok) {                                              \
+      throw ::lhd::testkit::PropertyFailure(lhd_prop_report_.message);       \
+    }                                                                        \
+  } while (false)

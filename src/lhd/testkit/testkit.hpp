@@ -1,0 +1,16 @@
+#pragma once
+// Umbrella header for lhd::testkit — the deterministic testing library.
+//
+// testkit links only into tests, benches, and fuzz harnesses; production
+// targets must not depend on it. Contents:
+//   - gen.hpp      seed-threaded random builders (rects, clips, libraries)
+//   - mutate.hpp   structure-aware GDSII byte-stream mutators + bombs
+//   - property.hpp CHECK_PROPERTY runner with shrinking and seed replay
+//   - oracle.hpp   differential oracles (scan parity, DCT parity, fixpoints)
+//   - fault.hpp    fault-injection streams (fail at the Nth byte)
+
+#include "lhd/testkit/fault.hpp"
+#include "lhd/testkit/gen.hpp"
+#include "lhd/testkit/mutate.hpp"
+#include "lhd/testkit/oracle.hpp"
+#include "lhd/testkit/property.hpp"

@@ -5,6 +5,7 @@
 
 #include <filesystem>
 #include <limits>
+#include <sstream>
 #include <thread>
 
 #include "lhd/core/cnn_detector.hpp"
@@ -15,6 +16,7 @@
 #include "lhd/core/shallow_detector.hpp"
 #include "lhd/ml/naive_bayes.hpp"
 #include "lhd/synth/chip_gen.hpp"
+#include "lhd/testkit/testkit.hpp"
 #include "lhd/util/thread_pool.hpp"
 
 namespace lhd::core {
@@ -224,31 +226,34 @@ TEST(Pipeline, ThresholdSweepRestoresThreshold) {
 // -------------------------------------------------------------- chip index --
 
 TEST(ChipIndex, QueryMatchesBruteForce) {
-  Rng rng(3);
-  std::vector<Rect> rects;
-  for (int i = 0; i < 300; ++i) {
-    const auto x = static_cast<geom::Coord>(rng.next_int(0, 8000));
-    const auto y = static_cast<geom::Coord>(rng.next_int(0, 8000));
-    const auto w = static_cast<geom::Coord>(rng.next_int(20, 400));
-    const auto h = static_cast<geom::Coord>(rng.next_int(20, 400));
-    rects.emplace_back(x, y, x + w, y + h);
-  }
-  const ChipIndex index(rects);
-  for (int trial = 0; trial < 30; ++trial) {
-    const auto x = static_cast<geom::Coord>(rng.next_int(0, 7000));
-    const auto y = static_cast<geom::Coord>(rng.next_int(0, 7000));
-    const Rect window(x, y, x + 1024, y + 1024);
-    auto got = index.query(window);
-    auto expected = geom::clip_rects(rects, window);
-    auto key = [](const Rect& r) {
-      return std::tuple(r.xlo, r.ylo, r.xhi, r.yhi);
-    };
-    std::sort(got.begin(), got.end(),
-              [&](const Rect& a, const Rect& b) { return key(a) < key(b); });
-    std::sort(expected.begin(), expected.end(),
-              [&](const Rect& a, const Rect& b) { return key(a) < key(b); });
-    EXPECT_EQ(got, expected) << "window " << trial;
-  }
+  // Property form of the old single-seed test: random layouts now come from
+  // testkit and any failure prints its reproducing LHD_PROPERTY_SEED line.
+  CHECK_PROPERTY("chip-index-brute-force", 32, [](Rng& rng,
+                                                  std::size_t size) {
+    const auto rects =
+        testkit::random_rects(rng, 20 + size * 6, 8400, 20, 400);
+    const ChipIndex index(rects);
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto x = static_cast<geom::Coord>(rng.next_int(0, 7000));
+      const auto y = static_cast<geom::Coord>(rng.next_int(0, 7000));
+      const Rect window(x, y, x + 1024, y + 1024);
+      auto got = index.query(window);
+      auto expected = geom::clip_rects(rects, window);
+      auto key = [](const Rect& r) {
+        return std::tuple(r.xlo, r.ylo, r.xhi, r.yhi);
+      };
+      std::sort(got.begin(), got.end(),
+                [&](const Rect& a, const Rect& b) { return key(a) < key(b); });
+      std::sort(expected.begin(), expected.end(),
+                [&](const Rect& a, const Rect& b) { return key(a) < key(b); });
+      if (got != expected) {
+        std::ostringstream os;
+        os << "index.query disagrees with clip_rects on window " << trial
+           << " (" << got.size() << " vs " << expected.size() << " rects)";
+        throw testkit::PropertyFailure(os.str());
+      }
+    }
+  });
 }
 
 TEST(ChipIndex, EmptyIndexQueriesEmpty) {
@@ -309,51 +314,53 @@ TEST(ChipIndex, QueryStampWrapAroundKeepsResults) {
 }
 
 TEST(ChipIndex, ConcurrentQueriesWithOwnScratchMatchSerial) {
-  Rng rng(99);
-  std::vector<Rect> rects;
-  for (int i = 0; i < 300; ++i) {
-    const auto x = static_cast<geom::Coord>(rng.next_int(0, 6000));
-    const auto y = static_cast<geom::Coord>(rng.next_int(0, 6000));
-    const auto w = static_cast<geom::Coord>(rng.next_int(20, 300));
-    const auto h = static_cast<geom::Coord>(rng.next_int(20, 300));
-    rects.emplace_back(x, y, x + w, y + h);
-  }
-  const ChipIndex index(rects);
-  std::vector<Rect> windows;
-  for (int i = 0; i < 64; ++i) {
-    const auto x = static_cast<geom::Coord>(rng.next_int(0, 6000));
-    const auto y = static_cast<geom::Coord>(rng.next_int(0, 6000));
-    windows.emplace_back(x, y, x + 1024, y + 1024);
-  }
-  std::vector<std::vector<Rect>> serial;
-  serial.reserve(windows.size());
-  for (const auto& w : windows) serial.push_back(index.query(w));
+  CHECK_PROPERTY("chip-index-concurrent", 4, [](Rng& rng, std::size_t) {
+    const auto rects = testkit::random_rects(rng, 300, 6300, 20, 300);
+    const ChipIndex index(rects);
+    std::vector<Rect> windows;
+    for (int i = 0; i < 64; ++i) {
+      const auto x = static_cast<geom::Coord>(rng.next_int(0, 6000));
+      const auto y = static_cast<geom::Coord>(rng.next_int(0, 6000));
+      windows.emplace_back(x, y, x + 1024, y + 1024);
+    }
+    std::vector<std::vector<Rect>> serial;
+    serial.reserve(windows.size());
+    for (const auto& w : windows) serial.push_back(index.query(w));
 
-  // Hammer the same const index from several threads, each with its own
-  // scratch. Pre-fix, the shared mutable stamp state makes this race
-  // (caught by TSan) and corrupt dedupe results.
-  constexpr int kThreads = 4;
-  constexpr int kRounds = 50;
-  std::vector<int> mismatches(kThreads, 0);
-  std::vector<std::thread> threads;
-  for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&, t] {
-      ChipIndex::QueryScratch scratch;
-      for (int round = 0; round < kRounds; ++round) {
-        for (std::size_t i = 0; i < windows.size(); ++i) {
-          if (index.query(windows[i], scratch) != serial[i]) ++mismatches[t];
+    // Hammer the same const index from several threads, each with its own
+    // scratch. Pre-fix, the shared mutable stamp state makes this race
+    // (caught by TSan) and corrupt dedupe results.
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 12;
+    std::vector<int> mismatches(kThreads, 0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        ChipIndex::QueryScratch scratch;
+        for (int round = 0; round < kRounds; ++round) {
+          for (std::size_t i = 0; i < windows.size(); ++i) {
+            if (index.query(windows[i], scratch) != serial[i]) {
+              ++mismatches[t];
+            }
+          }
+          // The convenience overload must be just as safe (it owns a
+          // per-call scratch); pre-fix it shared mutable stamp state.
+          const std::size_t i =
+              static_cast<std::size_t>(round) % windows.size();
+          if (index.query(windows[i]) != serial[i]) ++mismatches[t];
         }
-        // The convenience overload must be just as safe (it owns a
-        // per-call scratch); pre-fix it shared mutable stamp state.
-        const std::size_t i = static_cast<std::size_t>(round) % windows.size();
-        if (index.query(windows[i]) != serial[i]) ++mismatches[t];
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (int t = 0; t < kThreads; ++t) {
+      if (mismatches[t] != 0) {
+        std::ostringstream os;
+        os << "thread " << t << " saw " << mismatches[t]
+           << " query results diverge from the serial baseline";
+        throw testkit::PropertyFailure(os.str());
       }
-    });
-  }
-  for (auto& th : threads) th.join();
-  for (int t = 0; t < kThreads; ++t) {
-    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
-  }
+    }
+  });
 }
 
 // ------------------------------------------------------------------- scan --

@@ -2,13 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <sstream>
+#include <vector>
 
 #include "lhd/data/augment.hpp"
 #include "lhd/geom/polygon.hpp"
 #include "lhd/data/dataset.hpp"
 #include "lhd/data/io.hpp"
+#include "lhd/testkit/testkit.hpp"
 
 namespace lhd::data {
 namespace {
@@ -280,6 +283,31 @@ TEST(DataIo, RejectsTruncatedStream) {
 
 TEST(DataIo, MissingFileThrows) {
   EXPECT_THROW(load_dataset_file("/nonexistent/path/x.lhdd"), Error);
+}
+
+TEST(DataIo, StreamFailureAtEveryByteThrowsCleanly) {
+  // Fault injection: cut the stream at every single byte offset. The
+  // loader must throw lhd::Error each time — never crash, hang, or return
+  // a half-parsed dataset.
+  Rng rng(41);
+  Dataset ds("faulty");
+  for (int i = 0; i < 5; ++i) {
+    ds.add(testkit::random_clip(rng, 1 + static_cast<std::size_t>(i)));
+  }
+  std::ostringstream buf;
+  save_dataset(ds, buf);
+  const std::string blob = buf.str();
+  const std::vector<std::uint8_t> bytes(blob.begin(), blob.end());
+
+  testkit::for_each_fail_point(
+      bytes, [&](std::istream& in, std::size_t fail_at) {
+        EXPECT_THROW(load_dataset(in), Error)
+            << "load succeeded with stream cut at byte " << fail_at;
+      });
+
+  // Sanity: the unfaulted stream still loads.
+  std::istringstream whole(blob);
+  EXPECT_EQ(load_dataset(whole).size(), ds.size());
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "lhd/feature/pca.hpp"
 #include "lhd/feature/scaler.hpp"
 #include "lhd/feature/squish.hpp"
+#include "lhd/testkit/testkit.hpp"
 #include "lhd/util/rng.hpp"
 
 namespace lhd::feature {
@@ -150,16 +151,17 @@ TEST(Dct, InverseRecoversInput) {
 }
 
 TEST(Dct, ParsevalEnergyPreserved) {
-  constexpr int n = 8;
-  std::vector<float> block(n * n);
-  Rng rng(4);
-  for (auto& v : block) v = static_cast<float>(rng.next_double());
-  std::vector<float> coef(n * n);
-  dct2d(block.data(), coef.data(), n);
-  double e_in = 0, e_out = 0;
-  for (const float v : block) e_in += static_cast<double>(v) * v;
-  for (const float v : coef) e_out += static_cast<double>(v) * v;
-  EXPECT_NEAR(e_in, e_out, 1e-3);
+  // Orthonormal transform: energy is preserved for every input block.
+  CHECK_PROPERTY("dct-parseval", 32, [](Rng& rng, std::size_t) {
+    constexpr int n = 8;
+    const auto block = testkit::random_block(rng, n);
+    std::vector<float> coef(block.size());
+    dct2d(block.data(), coef.data(), n);
+    double e_in = 0, e_out = 0;
+    for (const float v : block) e_in += static_cast<double>(v) * v;
+    for (const float v : coef) e_out += static_cast<double>(v) * v;
+    EXPECT_NEAR(e_in, e_out, 1e-3);
+  });
 }
 
 TEST(Dct, ZigzagIsPermutation) {

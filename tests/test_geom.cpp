@@ -7,6 +7,7 @@
 #include "lhd/geom/boolean.hpp"
 #include "lhd/geom/polygon.hpp"
 #include "lhd/geom/rect.hpp"
+#include "lhd/testkit/testkit.hpp"
 #include "lhd/util/check.hpp"
 #include "lhd/util/rng.hpp"
 
@@ -181,20 +182,9 @@ class PolygonDecomposeProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(PolygonDecomposeProperty, AreaPreservedNoOverlap) {
   lhd::Rng rng(static_cast<std::uint64_t>(GetParam()));
-  // Build a random monotone staircase from (0,0) to (W,h_total) and close
-  // it as a ring — always simple and Manhattan.
-  std::vector<Point> ring;
-  Coord x = 0, y = 0;
-  ring.push_back({0, 0});
+  // Random monotone staircase ring — always simple and Manhattan.
   const int steps = 3 + static_cast<int>(rng.next_below(5));
-  for (int i = 0; i < steps; ++i) {
-    x += static_cast<Coord>(rng.next_int(5, 30));
-    ring.push_back({x, y});
-    y += static_cast<Coord>(rng.next_int(5, 30));
-    ring.push_back({x, y});
-  }
-  ring.push_back({0, y});  // close over the top-left; last edge is V
-  const Polygon p(ring);
+  const Polygon p(testkit::random_staircase_ring(rng, steps));
   const auto rects = p.decompose();
   ASSERT_FALSE(rects.empty());
   std::int64_t sum = 0;
@@ -287,23 +277,21 @@ TEST(Boolean, UnionMergesOverlap) {
 }
 
 TEST(Boolean, UnionOutputIsDisjoint) {
-  lhd::Rng rng(5);
-  std::vector<Rect> rects;
-  for (int i = 0; i < 40; ++i) {
-    const auto x = static_cast<Coord>(rng.next_int(0, 200));
-    const auto y = static_cast<Coord>(rng.next_int(0, 200));
-    rects.emplace_back(x, y, x + static_cast<Coord>(rng.next_int(5, 60)),
-                       y + static_cast<Coord>(rng.next_int(5, 60)));
-  }
-  const auto u = rect_union(rects);
-  std::int64_t sum = 0;
-  for (std::size_t i = 0; i < u.size(); ++i) {
-    sum += u[i].area();
-    for (std::size_t j = i + 1; j < u.size(); ++j) {
-      EXPECT_FALSE(u[i].overlaps(u[j])) << i << "," << j;
+  CHECK_PROPERTY("union-disjoint", 32, [](lhd::Rng& rng, std::size_t size) {
+    const auto rects = testkit::random_rects(rng, 2 + size, 260, 5, 60);
+    const auto u = rect_union(rects);
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      sum += u[i].area();
+      for (std::size_t j = i + 1; j < u.size(); ++j) {
+        if (u[i].overlaps(u[j])) {
+          throw testkit::PropertyFailure("rect_union emitted overlapping "
+                                         "output rects");
+        }
+      }
     }
-  }
-  EXPECT_EQ(sum, union_area(rects));
+    EXPECT_EQ(sum, union_area(rects));
+  });
 }
 
 TEST(Boolean, IntersectionOfNested) {
@@ -332,19 +320,13 @@ TEST(Boolean, DifferenceWithSelfIsEmpty) {
 
 TEST(Boolean, DeMorganAreaIdentity) {
   // |A| = |A ∩ B| + |A \ B| for random sets.
-  lhd::Rng rng(9);
-  std::vector<Rect> a, b;
-  for (int i = 0; i < 20; ++i) {
-    const auto ax = static_cast<Coord>(rng.next_int(0, 150));
-    const auto ay = static_cast<Coord>(rng.next_int(0, 150));
-    a.emplace_back(ax, ay, ax + 40, ay + 30);
-    const auto bx = static_cast<Coord>(rng.next_int(0, 150));
-    const auto by = static_cast<Coord>(rng.next_int(0, 150));
-    b.emplace_back(bx, by, bx + 35, by + 45);
-  }
-  const auto inter = rect_intersection(a, b);
-  const auto diff = rect_difference(a, b);
-  EXPECT_EQ(union_area(inter) + union_area(diff), union_area(a));
+  CHECK_PROPERTY("demorgan-area", 32, [](lhd::Rng& rng, std::size_t size) {
+    const auto a = testkit::random_rects(rng, 1 + size, 200, 5, 50);
+    const auto b = testkit::random_rects(rng, 1 + size, 200, 5, 50);
+    const auto inter = rect_intersection(a, b);
+    const auto diff = rect_difference(a, b);
+    EXPECT_EQ(union_area(inter) + union_area(diff), union_area(a));
+  });
 }
 
 }  // namespace

@@ -4,12 +4,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <set>
 #include <sstream>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "lhd/nn/network.hpp"
 #include "lhd/nn/serialize.hpp"
 #include "lhd/nn/trainer.hpp"
+#include "lhd/testkit/testkit.hpp"
 
 namespace lhd::nn {
 namespace {
@@ -525,6 +531,107 @@ TEST(Serialize, GarbageStreamThrows) {
   std::stringstream buf;
   buf << "garbage";
   EXPECT_THROW(load_weights(net, buf), Error);
+}
+
+TEST(Serialize, SaveLoadSaveFixpoint) {
+  CHECK_PROPERTY("weights-fixpoint", 16, [](Rng& rng, std::size_t) {
+    Network a = make_mlp();
+    a.init(rng);
+    Network b = make_mlp();
+    Rng other(rng.next_u64());
+    b.init(other);  // different weights; load must overwrite them all
+    testkit::expect_weights_fixpoint(a, b);
+  });
+}
+
+std::vector<float> snapshot_params(Network& net) {
+  std::vector<float> flat;
+  for (const auto& p : net.params()) {
+    flat.insert(flat.end(), p.value->begin(), p.value->end());
+  }
+  return flat;
+}
+
+TEST(Serialize, TruncationAtEveryOffsetThrowsAndLeavesNetUntouched) {
+  Network src = make_mlp();
+  Rng rng(21);
+  src.init(rng);
+  std::ostringstream buf;
+  save_weights(src, buf);
+  const std::string blob = buf.str();
+  const std::vector<std::uint8_t> bytes(blob.begin(), blob.end());
+
+  Network dst = make_mlp();
+  Rng rng2(22);
+  dst.init(rng2);
+  const auto before = snapshot_params(dst);
+
+  testkit::for_each_fail_point(
+      bytes, [&](std::istream& in, std::size_t fail_at) {
+        try {
+          load_weights(dst, in);
+          FAIL() << "load succeeded with stream cut at byte " << fail_at;
+        } catch (const Error& e) {
+          // The error names the stream offset where the read fell short.
+          EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos)
+              << "cut at " << fail_at << ": " << e.what();
+        }
+        // Staged load: a failed load must not leave dst half-written.
+        EXPECT_EQ(snapshot_params(dst), before)
+            << "params modified by failed load cut at byte " << fail_at;
+      });
+
+  // And the uncut stream still loads into the very same net.
+  std::istringstream whole(blob);
+  load_weights(dst, whole);
+  EXPECT_EQ(snapshot_params(dst), snapshot_params(src));
+}
+
+// ------------------------------------------------- weight-stream corpus --
+
+std::vector<std::uint8_t> nn_corpus(const std::string& name) {
+  return testkit::load_hex_file(std::string(LHD_FIXTURES_DIR) +
+                                "/nn_corpus/" + name);
+}
+
+void expect_corpus_rejected(const std::string& name,
+                            const std::string& needle) {
+  Network net = make_hotspot_cnn(2, 8);  // 10 params, matches the corpus
+  const auto bytes = nn_corpus(name);
+  std::istringstream in(std::string(bytes.begin(), bytes.end()));
+  try {
+    load_weights(net, in);
+    FAIL() << name << " loaded without error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << name << ": " << e.what();
+  }
+}
+
+TEST(SerializeCorpus, BadMagic) {
+  expect_corpus_rejected("bad_magic.hex", "byte");
+}
+
+TEST(SerializeCorpus, TruncatedAfterMagic) {
+  expect_corpus_rejected("truncated_after_magic.hex", "truncated");
+}
+
+TEST(SerializeCorpus, HugeParamSizeRejectedBeforeAllocation) {
+  expect_corpus_rejected("huge_param_size.hex", "size");
+}
+
+TEST(SerializeCorpus, EveryCorpusFileHasARegressionTest) {
+  const std::set<std::string> covered = {
+      "bad_magic.hex",
+      "truncated_after_magic.hex",
+      "huge_param_size.hex",
+  };
+  std::set<std::string> on_disk;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::string(LHD_FIXTURES_DIR) + "/nn_corpus")) {
+    on_disk.insert(entry.path().filename().string());
+  }
+  EXPECT_EQ(on_disk, covered);
 }
 
 

@@ -1,0 +1,155 @@
+// Property-based suites over the parity-critical production kernels:
+// serial-vs-parallel scan equality, fast-vs-naive DCT, raster/boolean
+// metamorphic identities, and serialization fixpoints. Every failure
+// prints a reproducing LHD_PROPERTY_SEED line (see docs/TESTING.md).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lhd/core/scan.hpp"
+#include "lhd/data/dataset.hpp"
+#include "lhd/feature/dct.hpp"
+#include "lhd/geom/polygon.hpp"
+#include "lhd/geom/raster.hpp"
+#include "lhd/testkit/testkit.hpp"
+#include "lhd/util/thread_pool.hpp"
+
+namespace lhd::testkit {
+namespace {
+
+using geom::Rect;
+
+// ------------------------------------------------------------ scan parity
+
+TEST(Property, ScanParityAcrossThreadCounts) {
+  ThreadPool pool(4);
+  const DensityCutDetector detector(0.05f);
+  // 64 random layouts; `size` scales the rect soup so shrinking narrows a
+  // failure to the smallest layout that still diverges.
+  CHECK_PROPERTY("scan-parity", 64, [&](Rng& rng, std::size_t size) {
+    const auto rects = random_rects(rng, 8 + size * 8, 8192, 16, 900);
+    const core::ChipIndex chip(rects);
+    core::ScanConfig cfg;
+    cfg.window_nm = 1024;
+    cfg.stride_nm = 512;
+    cfg.skip_empty = rng.next_bool();
+    expect_scan_parity(chip, detector, cfg, {2, 3, 8}, pool);
+  });
+}
+
+// ------------------------------------------------------------- DCT parity
+
+TEST(Property, DctMatchesNaiveReference) {
+  CHECK_PROPERTY("dct-parity", 64, [](Rng& rng, std::size_t size) {
+    // Cycle through the block sizes the feature extractor meets in
+    // practice; 8 is the production default.
+    static constexpr int kSides[] = {4, 8, 16};
+    const int n = kSides[size % 3];
+    expect_dct_parity(random_block(rng, n), n);
+  });
+}
+
+TEST(Property, DctOfConstantBlockIsDcOnly) {
+  CHECK_PROPERTY("dct-dc-only", 16, [](Rng& rng, std::size_t) {
+    const int n = 8;
+    const auto level = static_cast<float>(rng.next_double());
+    std::vector<float> block(64, level), out(64);
+    feature::dct2d(block.data(), out.data(), n);
+    // DC = n * level under orthonormal scaling; every AC term ~ 0.
+    EXPECT_NEAR(out[0], n * level, 1e-4);
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      EXPECT_NEAR(out[i], 0.0f, 1e-4);
+    }
+  });
+}
+
+// ------------------------------------------- raster metamorphic identities
+
+TEST(Property, TranslateThenRasterizeEqualsRasterizeThenShift) {
+  CHECK_PROPERTY("raster-translate", 48, [](Rng& rng, std::size_t size) {
+    const geom::Coord window = 1024, pixel = 8;
+    // Keep rects inside the window even after the shift.
+    auto rects = random_rects(rng, 2 + size, window / 2, 4, 200);
+    const auto dx_px = static_cast<geom::Coord>(rng.next_int(0, 32));
+    const auto dy_px = static_cast<geom::Coord>(rng.next_int(0, 32));
+    auto shifted = rects;
+    for (auto& r : shifted) {
+      r = Rect(r.xlo + dx_px * pixel, r.ylo + dy_px * pixel,
+               r.xhi + dx_px * pixel, r.yhi + dy_px * pixel);
+    }
+    const auto base = geom::rasterize(rects, window, pixel);
+    const auto moved = geom::rasterize(shifted, window, pixel);
+    for (int y = 0; y < base.height(); ++y) {
+      for (int x = 0; x < base.width(); ++x) {
+        const float want = base.get_or(x - dx_px, y - dy_px, 0.0f);
+        if (moved.at(x, y) != want) {
+          std::ostringstream os;
+          os << "pixel (" << x << "," << y << ") = " << moved.at(x, y)
+             << ", want " << want << " after shift (" << dx_px << ","
+             << dy_px << ") px";
+          throw PropertyFailure(os.str());
+        }
+      }
+    }
+  });
+}
+
+TEST(Property, FlipXIsAnInvolutionOnRasters) {
+  CHECK_PROPERTY("raster-flip-involution", 32,
+                 [](Rng& rng, std::size_t size) {
+    const auto rects = random_rects(rng, 2 + size, 512, 4, 120);
+    const auto img = geom::rasterize(rects, 512, 8);
+    EXPECT_EQ(geom::flip_x(geom::flip_x(img)), img);
+    EXPECT_EQ(geom::flip_y(geom::flip_y(img)), img);
+  });
+}
+
+// --------------------------------------------- boolean (union_area) identities
+
+TEST(Property, UnionAreaIsTranslationInvariant) {
+  CHECK_PROPERTY("union-area-translate", 48, [](Rng& rng, std::size_t size) {
+    auto rects = random_rects(rng, 1 + size, 4096, 2, 700);
+    const auto area = geom::union_area(rects);
+    const auto dx = static_cast<geom::Coord>(rng.next_int(-5000, 5000));
+    const auto dy = static_cast<geom::Coord>(rng.next_int(-5000, 5000));
+    for (auto& r : rects) {
+      r = Rect(r.xlo + dx, r.ylo + dy, r.xhi + dx, r.yhi + dy);
+    }
+    EXPECT_EQ(geom::union_area(rects), area);
+  });
+}
+
+TEST(Property, UnionAreaIsPermutationInvariantAndBounded) {
+  CHECK_PROPERTY("union-area-permute", 48, [](Rng& rng, std::size_t size) {
+    auto rects = random_rects(rng, 1 + size, 2048, 2, 500);
+    const auto area = geom::union_area(rects);
+    std::int64_t sum = 0;
+    for (const auto& r : rects) sum += r.area();
+    EXPECT_LE(area, sum);          // union never exceeds the naive sum
+    EXPECT_GT(area, 0);            // generators never emit empty rects
+    rng.shuffle(rects);
+    EXPECT_EQ(geom::union_area(rects), area);
+  });
+}
+
+// ------------------------------------------------------ serialization fixpoints
+
+TEST(Property, GdsWriteReadWriteFixpoint) {
+  CHECK_PROPERTY("gds-fixpoint", 48, [](Rng& rng, std::size_t size) {
+    expect_gds_fixpoint(random_library(rng, size));
+  });
+}
+
+TEST(Property, DatasetSaveLoadSaveFixpoint) {
+  CHECK_PROPERTY("dataset-fixpoint", 32, [](Rng& rng, std::size_t size) {
+    data::Dataset ds("prop");
+    for (std::size_t i = 0; i < 1 + size / 2; ++i) {
+      ds.add(random_clip(rng, 1 + rng.next_below(12)));
+    }
+    expect_dataset_fixpoint(ds);
+  });
+}
+
+}  // namespace
+}  // namespace lhd::testkit

@@ -1,0 +1,268 @@
+// Tests for lhd/testkit itself: the property runner's seed schedule,
+// shrinking and replay; generator validity; the structure-aware mutators;
+// hex corpus helpers; fault-injection streams.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "lhd/gds/reader.hpp"
+#include "lhd/gds/writer.hpp"
+#include "lhd/geom/polygon.hpp"
+#include "lhd/testkit/testkit.hpp"
+
+namespace lhd::testkit {
+namespace {
+
+// ---------------------------------------------------------- property runner
+
+TEST(PropertyRunner, PassingPropertyRunsTheFullSchedule) {
+  std::size_t calls = 0;
+  const auto rep = run_property("always-passes", 16,
+                                [&](Rng&, std::size_t) { ++calls; });
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.runs, 16u);
+  EXPECT_EQ(calls, 16u);
+}
+
+TEST(PropertyRunner, SizeRampCoversMinToMax) {
+  PropertyConfig cfg;
+  cfg.runs = 10;
+  cfg.min_size = 2;
+  cfg.max_size = 48;
+  std::set<std::size_t> sizes;
+  const auto rep = run_property(
+      "size-ramp", cfg, [&](Rng&, std::size_t size) { sizes.insert(size); });
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(*sizes.begin(), 2u);
+  EXPECT_EQ(*sizes.rbegin(), 48u);
+}
+
+TEST(PropertyRunner, FailureShrinksToMinimalSize) {
+  // Fails iff size >= 7. A coarse 8-run ramp (2, 8, 15, ...) first hits the
+  // failure at size 8, so the shrinker must walk it back down to exactly 7.
+  PropertyConfig cfg;
+  cfg.runs = 8;
+  const auto rep = run_property("shrinks-to-seven", cfg,
+                                [](Rng&, std::size_t size) {
+                                  if (size >= 7) throw Error("too big");
+                                });
+  ASSERT_FALSE(rep.ok);
+  EXPECT_EQ(rep.failing_size, 7u);
+  EXPECT_GT(rep.original_size, 7u);
+  EXPECT_NE(rep.message.find("replay: LHD_PROPERTY_SEED=0x"),
+            std::string::npos);
+  EXPECT_NE(rep.message.find("too big"), std::string::npos);
+}
+
+TEST(PropertyRunner, SameNameSameSchedule) {
+  const auto fail_if_big = [](Rng&, std::size_t size) {
+    if (size >= 10) throw Error("big");
+  };
+  const auto a = run_property("deterministic", 16, fail_if_big);
+  const auto b = run_property("deterministic", 16, fail_if_big);
+  ASSERT_FALSE(a.ok);
+  EXPECT_EQ(a.failing_seed, b.failing_seed);
+  EXPECT_EQ(a.failing_size, b.failing_size);
+  EXPECT_EQ(a.message, b.message);
+}
+
+TEST(PropertyRunner, DifferentNamesUseDifferentSeeds) {
+  EXPECT_NE(fnv1a("property-a"), fnv1a("property-b"));
+}
+
+TEST(PropertyRunner, EnvReplayRunsExactlyOneCase) {
+  ASSERT_EQ(setenv("LHD_PROPERTY_SEED", "0x1234", 1), 0);
+  ASSERT_EQ(setenv("LHD_PROPERTY_SIZE", "11", 1), 0);
+  std::size_t calls = 0;
+  std::uint64_t seen_first = 0;
+  std::size_t seen_size = 0;
+  const auto rep =
+      run_property("replay", 64, [&](Rng& rng, std::size_t size) {
+        ++calls;
+        seen_first = rng.next_u64();
+        seen_size = size;
+      });
+  unsetenv("LHD_PROPERTY_SEED");
+  unsetenv("LHD_PROPERTY_SIZE");
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(seen_size, 11u);
+  EXPECT_EQ(seen_first, Rng(0x1234).next_u64());
+}
+
+TEST(PropertyRunner, CheckPropertyMacroThrowsPropertyFailure) {
+  EXPECT_THROW(CHECK_PROPERTY("macro-fails", 8,
+                              [](Rng&, std::size_t) { throw Error("no"); }),
+               PropertyFailure);
+  // And a passing property sails through.
+  CHECK_PROPERTY("macro-passes", 8, [](Rng&, std::size_t) {});
+}
+
+// ----------------------------------------------------------------- gen
+
+TEST(Gen, RandomRectRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const auto r = random_rect(rng, 1024, 1, 200);
+    EXPECT_FALSE(r.empty());
+    EXPECT_GE(r.xlo, 0);
+    EXPECT_GE(r.ylo, 0);
+    EXPECT_LT(r.xhi, 1024);
+    EXPECT_LT(r.yhi, 1024);
+    EXPECT_LE(r.width(), 200);
+    EXPECT_LE(r.height(), 200);
+  }
+}
+
+TEST(Gen, StaircaseRingIsAValidPolygon) {
+  CHECK_PROPERTY("staircase-valid", 32, [](Rng& rng, std::size_t size) {
+    const auto ring =
+        random_staircase_ring(rng, 1 + static_cast<int>(size % 8));
+    const geom::Polygon poly(ring);  // ctor validates Manhattan ring
+    EXPECT_FALSE(poly.decompose().empty());
+  });
+}
+
+TEST(Gen, RandomClipStaysInWindow) {
+  Rng rng(11);
+  const auto clip = random_clip(rng, 20, 2048);
+  EXPECT_EQ(clip.window_nm, 2048);
+  EXPECT_EQ(clip.rects.size(), 20u);
+  for (const auto& r : clip.rects) {
+    EXPECT_GE(r.xlo, 0);
+    EXPECT_LT(r.xhi, 2048);
+  }
+}
+
+TEST(Gen, RandomLibraryIsReaderClean) {
+  CHECK_PROPERTY("random-library-parses", 24, [](Rng& rng, std::size_t size) {
+    const auto lib = random_library(rng, size);
+    const auto bytes = gds::write_bytes(lib);
+    const auto round = gds::read_bytes(bytes);
+    EXPECT_EQ(round.structures().size(), lib.structures().size());
+    // TOP must flatten without throwing.
+    (void)round.flatten_layer("TOP", 1);
+  });
+}
+
+TEST(Gen, HexRoundTripsAndToleratesComments) {
+  Rng rng(3);
+  const auto bytes = random_bytes(rng, 100);
+  EXPECT_EQ(from_hex(to_hex(bytes)), bytes);
+  EXPECT_EQ(from_hex("# comment line\n0a 0b # trailing\n0c"),
+            (std::vector<std::uint8_t>{0x0A, 0x0B, 0x0C}));
+  EXPECT_THROW(from_hex("0a 0"), Error);   // odd digit count
+  EXPECT_THROW(from_hex("zz"), Error);     // invalid character
+}
+
+// ----------------------------------------------------------------- mutate
+
+std::vector<std::uint8_t> base_stream() {
+  Rng rng(42);
+  return gds::write_bytes(random_library(rng, 12));
+}
+
+TEST(Mutate, RecordOffsetsWalkTheFraming) {
+  const auto bytes = base_stream();
+  const auto offsets = record_offsets(bytes);
+  ASSERT_GT(offsets.size(), 6u);
+  EXPECT_EQ(offsets.front(), 0u);
+  // Each offset starts a well-formed header inside the stream.
+  for (const std::size_t at : offsets) {
+    ASSERT_LE(at + 4, bytes.size());
+    const auto total = static_cast<std::size_t>(bytes[at]) * 256 +
+                       bytes[at + 1];
+    EXPECT_GE(total, 4u);
+    EXPECT_EQ(total % 2, 0u);
+    EXPECT_LE(at + total, bytes.size());
+  }
+}
+
+TEST(Mutate, EveryStrategyProducesParseableOrRejectedBytes) {
+  const auto base = base_stream();
+  for (std::uint8_t m = 0; m < static_cast<std::uint8_t>(GdsMutation::kCount);
+       ++m) {
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      Rng rng(seed * 977 + m);
+      const auto mutated =
+          apply_mutation(base, static_cast<GdsMutation>(m), rng);
+      try {
+        const auto lib = gds::read_bytes(mutated);
+        (void)gds::write_bytes(lib);  // what parses must re-serialize
+      } catch (const Error&) {
+        // Rejection is the expected outcome; crashing is the bug.
+      }
+    }
+  }
+}
+
+TEST(Mutate, MutationsChangeTheBytes) {
+  const auto base = base_stream();
+  Rng rng(5);
+  std::size_t changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (mutate_gds(base, rng) != base) ++changed;
+  }
+  EXPECT_GT(changed, 45u);  // near-certain; guards a no-op mutator bug
+}
+
+TEST(Mutate, DepthBombParsesButRefusesToFlatten) {
+  const auto bytes = sref_depth_bomb(70);
+  const auto lib = gds::read_bytes(bytes);
+  EXPECT_EQ(lib.structures().size(), 71u);
+  EXPECT_THROW((void)lib.flatten_layer("S0", 1), Error);
+  // A chain inside the depth budget flattens fine.
+  const auto ok = gds::read_bytes(sref_depth_bomb(10));
+  EXPECT_EQ(ok.flatten_layer("S0", 1).size(), 1u);
+}
+
+TEST(Mutate, FanoutBombWithinCapFlattens) {
+  const auto lib = gds::read_bytes(aref_fanout_bomb(16, 16));
+  EXPECT_EQ(lib.flatten_layer("TOP", 1).size(), 256u);
+}
+
+// ----------------------------------------------------------------- fault
+
+TEST(Fault, FaultyIStreamFailsAtTheConfiguredByte) {
+  const std::vector<std::uint8_t> bytes{1, 2, 3, 4, 5};
+  FaultyIStream in(bytes, 3);
+  char buf[5] = {};
+  in.read(buf, 5);
+  EXPECT_TRUE(in.fail());
+  EXPECT_EQ(in.gcount(), 3);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[2], 3);
+  EXPECT_EQ(in.bytes_served(), 3u);
+}
+
+TEST(Fault, FaultyIStreamBeyondEndNeverFails) {
+  const std::vector<std::uint8_t> bytes{9, 8};
+  FaultyIStream in(bytes, 100);
+  char buf[2] = {};
+  in.read(buf, 2);
+  EXPECT_FALSE(in.fail());
+  EXPECT_EQ(buf[1], 8);
+}
+
+TEST(Fault, FaultyOStreamStopsAccepting) {
+  FaultyOStream out(4);
+  out.write("abcdef", 6);
+  EXPECT_TRUE(out.fail());
+  EXPECT_EQ(out.bytes().size(), 4u);
+  EXPECT_EQ(out.bytes()[3], static_cast<std::uint8_t>('d'));
+}
+
+TEST(Fault, ForEachFailPointCoversEveryPrefix) {
+  const std::vector<std::uint8_t> bytes{1, 2, 3, 4};
+  std::size_t calls = 0;
+  for_each_fail_point(bytes, [&](std::istream&, std::size_t fail_at) {
+    EXPECT_EQ(fail_at, calls);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 4u);
+}
+
+}  // namespace
+}  // namespace lhd::testkit
