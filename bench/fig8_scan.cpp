@@ -5,13 +5,25 @@
 // Each flow also runs serial vs parallel (ScanConfig::threads) to measure
 // the scan's thread scaling; hit lists are bit-identical across counts.
 //
+// Each flow additionally runs with clip deduplication on and off
+// (ScanConfig::dedup): dedup canonicalizes every window, memoizes scores
+// in a scan-wide ScoreCache, and batches cache misses through
+// Detector::score_batch() — "classified" then counts actual detector
+// invocations, and the cache hit/miss/eviction tallies land in the report.
+//
 // Besides the text table, the run serializes to BENCH_fig8_scan.json via
-// obs::RunReport: one phase per (tiles, flow, threads) cell with its
-// window/flag tallies plus per-shard wall times, and the global registry
-// totals. Structure and tallies are deterministic; only timing varies.
+// obs::RunReport: one phase per (tiles, flow, threads, dedup) cell with
+// its window/flag tallies plus per-shard wall times, and the global
+// registry totals. Structure and tallies are deterministic; only timing
+// (and, under dedup, the schedule-dependent classified count) varies.
+//
+// The chip arrays --tile-variants distinct generated tiles as a repeating
+// macro (cell reuse, the redundancy real layouts have and dedup exploits);
+// 0 makes every tile unique, which starves the cache.
 //
 // Flags: --suite=B2 --max-tiles=16 --stride=512 --threads=0 (0 = all
-// cores) --report=<path> (default BENCH_fig8_scan.json, empty disables)
+// cores) --tile-variants=4 --cache-capacity=65536 --batch=32
+// --report=<path> (default BENCH_fig8_scan.json, empty disables)
 
 #include <thread>
 
@@ -25,14 +37,25 @@ namespace {
 /// One scan cell -> one RunReport phase, shard stats included.
 void report_scan(lhd::obs::RunReport& report, const std::string& name,
                  const lhd::core::ScanResult& r, int tiles,
-                 std::size_t threads) {
+                 std::size_t threads, bool dedup) {
   using lhd::obs::Json;
   Json extra = Json::object();
   extra["tiles"] = tiles;
   extra["threads"] = static_cast<long long>(threads);
+  extra["dedup"] = dedup;
   extra["windows_total"] = static_cast<long long>(r.windows_total);
   extra["windows_classified"] = static_cast<long long>(r.windows_classified);
   extra["flagged"] = static_cast<long long>(r.flagged);
+  if (dedup) {
+    extra["cache_hits"] = static_cast<long long>(r.cache_hits);
+    extra["cache_misses"] = static_cast<long long>(r.cache_misses);
+    extra["cache_evictions"] = static_cast<long long>(r.cache_evictions);
+    const auto probes = r.cache_hits + r.cache_misses;
+    if (probes > 0) {
+      extra["cache_hit_rate"] =
+          static_cast<double>(r.cache_hits) / static_cast<double>(probes);
+    }
+  }
   if (r.windows_total > 0) {
     extra["us_per_window"] =
         1e6 * r.seconds / static_cast<double>(r.windows_total);
@@ -78,11 +101,23 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> thread_counts = {1};
   if (parallel_threads > 1) thread_counts.push_back(parallel_threads);
 
+  scan_cfg.cache_capacity = static_cast<std::size_t>(
+      cli.get_int("cache-capacity",
+                  static_cast<long long>(scan_cfg.cache_capacity)));
+  scan_cfg.batch = static_cast<std::size_t>(
+      cli.get_int("batch", static_cast<long long>(scan_cfg.batch)));
+  const int tile_variants =
+      static_cast<int>(cli.get_int("tile-variants", 4));
+
   obs::RunReport report("fig8_scan", suite_name);
   report.set_config("window_nm", static_cast<long long>(scan_cfg.window_nm));
   report.set_config("stride_nm", static_cast<long long>(scan_cfg.stride_nm));
   report.set_config("parallel_threads",
                     static_cast<long long>(parallel_threads));
+  report.set_config("cache_capacity",
+                    static_cast<long long>(scan_cfg.cache_capacity));
+  report.set_config("batch", static_cast<long long>(scan_cfg.batch));
+  report.set_config("tile_variants", static_cast<long long>(tile_variants));
   report.set_config("obs_enabled", obs::enabled());
 
   Table table("Fig. 8 — full-chip scan scaling (window " +
@@ -91,8 +126,8 @@ int main(int argc, char** argv) {
               Table::cell(static_cast<long long>(scan_cfg.stride_nm)) +
               " nm)");
   table.set_header({"chip tiles", "area mm^2 (scaled)", "flow", "threads",
-                    "windows", "classified", "flagged", "seconds",
-                    "us / window"});
+                    "dedup", "windows", "classified", "flagged", "hit rate",
+                    "seconds", "us / window"});
 
   const long long max_tiles = cli.get_int("max-tiles", 16);
   report.set_config("max_tiles", max_tiles);
@@ -100,7 +135,8 @@ int main(int argc, char** argv) {
     synth::StyleConfig chip_style = spec.style;
     chip_style.p_risky_site = 0.25;
     const auto lib = synth::build_chip(chip_style, tiles, tiles,
-                                       1000 + static_cast<std::uint64_t>(tiles));
+                                       1000 + static_cast<std::uint64_t>(tiles),
+                                       tile_variants);
     const auto index =
         core::ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
     const double area_mm2 = static_cast<double>(tiles) * tiles *
@@ -110,32 +146,52 @@ int main(int argc, char** argv) {
     double serial_cnn = 0.0, parallel_cnn = 0.0;
     for (const std::size_t threads : thread_counts) {
       scan_cfg.threads = threads;
-      const auto single = core::scan_chip(index, *cnn, scan_cfg);
-      const auto two =
-          core::scan_chip_two_stage(index, *prefilter, *cnn, scan_cfg);
-      if (threads == 1) serial_cnn = single.seconds;
-      if (threads == thread_counts.back()) parallel_cnn = single.seconds;
       const std::string cell = Table::cell(static_cast<long long>(tiles)) +
                                "x" +
                                Table::cell(static_cast<long long>(tiles));
-      report_scan(report, "cnn-only " + cell, single, tiles, threads);
-      report_scan(report, "two-stage " + cell, two, tiles, threads);
-      for (const auto& [flow, r] :
-           {std::pair{"cnn-only", &single}, {"pm->cnn two-stage", &two}}) {
-        table.add_row(
-            {cell, Table::cell(area_mm2, 3), flow,
-             Table::cell(static_cast<long long>(threads)),
-             Table::cell(static_cast<long long>(r->windows_total)),
-             Table::cell(static_cast<long long>(r->windows_classified)),
-             Table::cell(static_cast<long long>(r->flagged)),
-             Table::cell(r->seconds, 2),
-             Table::cell(1e6 * r->seconds /
-                             static_cast<double>(r->windows_total),
-                         1)});
+      for (const bool dedup : {false, true}) {
+        scan_cfg.dedup = dedup;
+        const auto single = core::scan_chip(index, *cnn, scan_cfg);
+        const auto two =
+            core::scan_chip_two_stage(index, *prefilter, *cnn, scan_cfg);
+        if (!dedup && threads == 1) serial_cnn = single.seconds;
+        if (!dedup && threads == thread_counts.back()) {
+          parallel_cnn = single.seconds;
+        }
+        const std::string suffix = dedup ? " dedup" : "";
+        report_scan(report, "cnn-only " + cell + suffix, single, tiles,
+                    threads, dedup);
+        report_scan(report, "two-stage " + cell + suffix, two, tiles,
+                    threads, dedup);
+        for (const auto& [flow, r] :
+             {std::pair{"cnn-only", &single}, {"pm->cnn two-stage", &two}}) {
+          const auto probes = r->cache_hits + r->cache_misses;
+          table.add_row(
+              {cell, Table::cell(area_mm2, 3), flow,
+               Table::cell(static_cast<long long>(threads)),
+               dedup ? "on" : "off",
+               Table::cell(static_cast<long long>(r->windows_total)),
+               Table::cell(static_cast<long long>(r->windows_classified)),
+               Table::cell(static_cast<long long>(r->flagged)),
+               probes > 0 ? Table::cell(static_cast<double>(r->cache_hits) /
+                                            static_cast<double>(probes),
+                                        3)
+                          : "-",
+               Table::cell(r->seconds, 2),
+               Table::cell(1e6 * r->seconds /
+                               static_cast<double>(r->windows_total),
+                           1)});
+        }
+        LHD_LOG(Info) << tiles << "x" << tiles << " @" << threads
+                      << " threads" << (dedup ? " (dedup)" : "") << ": cnn "
+                      << single.seconds << "s vs two-stage " << two.seconds
+                      << "s"
+                      << (dedup ? " — " +
+                                      Table::cell(static_cast<long long>(
+                                          single.windows_classified)) +
+                                      " detector invocations"
+                                : "");
       }
-      LHD_LOG(Info) << tiles << "x" << tiles << " @" << threads
-                    << " threads: cnn " << single.seconds
-                    << "s vs two-stage " << two.seconds << "s";
     }
     if (thread_counts.size() > 1 && parallel_cnn > 0.0) {
       LHD_LOG(Info) << tiles << "x" << tiles << ": cnn-only scan speedup "

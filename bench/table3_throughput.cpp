@@ -130,8 +130,11 @@ const core::ChipIndex& sample_chip() {
     set_log_level(LogLevel::Warn);
     synth::StyleConfig style = synth::suite_by_name("B2").style;
     style.p_risky_site = 0.25;
-    return core::ChipIndex::from_library(synth::build_chip(style, 4, 4, 77),
-                                         "TOP", synth::kChipLayer);
+    // 4 tile variants arrayed as a 2x2 macro: the dedup benchmark rows need
+    // a chip with the cell reuse real layouts have.
+    return core::ChipIndex::from_library(
+        synth::build_chip(style, 4, 4, 77, /*tile_variants=*/4), "TOP",
+        synth::kChipLayer);
   }();
   return index;
 }
@@ -157,8 +160,11 @@ void BM_ChipIndexQuery(benchmark::State& state) {
 BENCHMARK(BM_ChipIndexQuery);
 
 /// Whole-scan throughput vs ScanConfig::threads (pattern-match detector so
-/// the scan scaffolding, not CNN inference, dominates). Shards run on the
-/// process-wide pool; on a single-core host all counts coincide.
+/// the scan scaffolding, not CNN inference, dominates), with and without
+/// clip deduplication (args: threads, dedup). Shards run on the
+/// process-wide pool; on a single-core host all thread counts coincide.
+/// Cache hit/miss totals accumulate into the obs registry and land in the
+/// report via capture_registry().
 void BM_ScanChipPatternMatch(benchmark::State& state) {
   set_log_level(LogLevel::Warn);
   static const auto det = [] {
@@ -173,11 +179,23 @@ void BM_ScanChipPatternMatch(benchmark::State& state) {
   core::ScanConfig cfg;
   cfg.window_nm = synth::suite_by_name("B2").style.window_nm;
   cfg.threads = static_cast<std::size_t>(state.range(0));
+  cfg.dedup = state.range(1) != 0;
+  std::size_t classified = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::scan_chip(index, *det, cfg));
+    const auto result = core::scan_chip(index, *det, cfg);
+    classified = result.windows_classified;
+    benchmark::DoNotOptimize(result);
   }
+  state.counters["classified"] =
+      benchmark::Counter(static_cast<double>(classified));
 }
-BENCHMARK(BM_ScanChipPatternMatch)->Arg(1)->Arg(2)->Arg(4)
+BENCHMARK(BM_ScanChipPatternMatch)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
     ->Unit(benchmark::kMillisecond);
 
 /// Console reporter that also captures each finished run into a RunReport

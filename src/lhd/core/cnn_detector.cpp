@@ -75,6 +75,20 @@ float CnnDetector::score(const data::Clip& clip) const {
   return probability(clip) - 0.5f;
 }
 
+std::vector<float> CnnDetector::score_batch(
+    const std::vector<data::Clip>& clips) const {
+  nn::Rows rows(clips.size());
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    rows[i] = extractor_->extract(clips[i]);
+  }
+  const auto probs = trainer_->predict_proba_batch(rows);
+  std::vector<float> out(clips.size());
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    out[i] = probs[i] - 0.5f;
+  }
+  return out;
+}
+
 bool CnnDetector::predict(const data::Clip& clip) const {
   return score(clip) > threshold_;
 }

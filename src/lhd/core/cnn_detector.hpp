@@ -44,6 +44,11 @@ class CnnDetector final : public Detector {
   void train(const data::Dataset& train_set) override;
   /// Score = P(hotspot) - 0.5 - threshold, so 0 keeps the natural 0.5 cut.
   float score(const data::Clip& clip) const override;
+  /// Real batched forward pass: one feature-extraction + Network::infer()
+  /// sweep per chunk instead of per clip. Per-sample arithmetic inside the
+  /// network is independent, so each element matches score() bit-for-bit.
+  std::vector<float> score_batch(
+      const std::vector<data::Clip>& clips) const override;
   bool predict(const data::Clip& clip) const override;
   std::vector<bool> predict_all(const data::Dataset& ds) const override;
   void set_threshold(float threshold) override { threshold_ = threshold; }

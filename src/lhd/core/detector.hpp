@@ -37,6 +37,14 @@ class Detector {
   /// Binary prediction for one clip.
   virtual bool predict(const data::Clip& clip) const = 0;
 
+  /// Batch scoring (default: loop over score). Implementations with a real
+  /// batched forward path (the CNN) override this to amortize per-call
+  /// overhead; the deduplicated scanner feeds each shard's cache misses
+  /// through it. Contract: element i is bit-identical to score(clips[i]) —
+  /// batching may change the cost, never the numbers.
+  virtual std::vector<float> score_batch(
+      const std::vector<data::Clip>& clips) const;
+
   /// Batch prediction (default: loop over predict).
   virtual std::vector<bool> predict_all(const data::Dataset& ds) const;
 

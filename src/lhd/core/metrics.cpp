@@ -1,6 +1,7 @@
 #include "lhd/core/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "lhd/util/check.hpp"
 
@@ -34,6 +35,12 @@ double full_simulation_seconds(std::size_t clips,
 
 double roc_auc(const std::vector<float>& scores, const data::Dataset& ds) {
   LHD_CHECK(scores.size() == ds.size(), "score count mismatch");
+  // A single NaN poisons the U statistic silently: NaN compares false
+  // against everything, so sort/lower_bound produce an arbitrary-but-
+  // plausible AUC instead of an error. Reject non-finite scores up front.
+  for (const float s : scores) {
+    LHD_CHECK(std::isfinite(s), "roc_auc: non-finite score");
+  }
   std::vector<float> pos, neg;
   for (std::size_t i = 0; i < ds.size(); ++i) {
     (ds[i].is_hotspot() ? pos : neg).push_back(scores[i]);

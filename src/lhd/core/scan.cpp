@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <thread>
+#include <unordered_map>
 
+#include "lhd/core/score_cache.hpp"
+#include "lhd/data/clip_hash.hpp"
 #include "lhd/obs/registry.hpp"
 #include "lhd/obs/timer.hpp"
 #include "lhd/util/check.hpp"
@@ -10,6 +13,22 @@
 #include "lhd/util/thread_pool.hpp"
 
 namespace lhd::core {
+
+namespace {
+
+/// Bucket-coordinate division that rounds toward negative infinity. Plain
+/// integer division truncates toward zero, which for a window starting
+/// left of / below the extent rounds the (negative) offset *up* to bucket
+/// 0 — the query would then walk bucket row/column 0 even though the
+/// window never touches it. Floor division keeps the mapping exact for
+/// any window position.
+geom::Coord floor_div(geom::Coord a, geom::Coord b) {
+  geom::Coord q = a / b;
+  if (a % b != 0 && (a < 0) != (b < 0)) --q;
+  return q;
+}
+
+}  // namespace
 
 ChipIndex::ChipIndex(std::vector<geom::Rect> rects, geom::Coord bucket_nm)
     : rects_(std::move(rects)), bucket_nm_(bucket_nm) {
@@ -48,6 +67,7 @@ std::vector<geom::Rect> ChipIndex::query(const geom::Rect& window,
                                          QueryScratch& scratch) const {
   std::vector<geom::Rect> out;
   if (rects_.empty()) return out;
+  if (!window.overlaps(extent_)) return out;
   if (scratch.stamp_.size() != rects_.size()) {
     scratch.stamp_.assign(rects_.size(), 0);
     scratch.stamp_value_ = 0;
@@ -59,13 +79,15 @@ std::vector<geom::Rect> ChipIndex::query(const geom::Rect& window,
     scratch.stamp_value_ = 1;
   }
   const int x0 = std::max(
-      0, static_cast<int>((window.xlo - extent_.xlo) / bucket_nm_));
+      0, static_cast<int>(floor_div(window.xlo - extent_.xlo, bucket_nm_)));
   const int y0 = std::max(
-      0, static_cast<int>((window.ylo - extent_.ylo) / bucket_nm_));
+      0, static_cast<int>(floor_div(window.ylo - extent_.ylo, bucket_nm_)));
   const int x1 = std::min(
-      bx_ - 1, static_cast<int>((window.xhi - 1 - extent_.xlo) / bucket_nm_));
+      bx_ - 1,
+      static_cast<int>(floor_div(window.xhi - 1 - extent_.xlo, bucket_nm_)));
   const int y1 = std::min(
-      by_ - 1, static_cast<int>((window.yhi - 1 - extent_.ylo) / bucket_nm_));
+      by_ - 1,
+      static_cast<int>(floor_div(window.yhi - 1 - extent_.ylo, bucket_nm_)));
   for (int by = y0; by <= y1; ++by) {
     for (int bx = x0; bx <= x1; ++bx) {
       for (const std::uint32_t i :
@@ -101,6 +123,11 @@ struct ShardAccum {
   std::size_t windows_total = 0;
   std::size_t windows_classified = 0;
   std::size_t flagged = 0;
+  /// Dedup only: windows served by a pattern still pending in the same
+  /// batch. Their ScoreCache probe counted as a miss (the memo was in
+  /// flight, not committed), but no detector invocation happened —
+  /// attach_cache_stats reclassifies them as hits.
+  std::size_t batch_alias_hits = 0;
   std::vector<ScanHit> hits;
   double seconds = 0.0;        ///< shard wall time
   double query_seconds = 0.0;  ///< time inside ChipIndex::query
@@ -118,12 +145,218 @@ data::Clip make_clip(std::vector<geom::Rect> rects, geom::Coord window_nm) {
   return clip;
 }
 
+/// Orders, deduplicates, and batches the expensive detector stage for one
+/// shard. Windows are enqueued in scan order; a pattern already memoized
+/// in the scan-wide ScoreCache (by any shard) resolves immediately, and
+/// cache misses accumulate until `batch` of them are scored together via
+/// Detector::score_batch(). The *canonical* clip is what gets scored, so a
+/// pattern's score never depends on which occurrence (or shard) computed
+/// it — that is what makes dedup results deterministic. finish() emits
+/// hits strictly in enqueue (row-major) order.
+class DedupScorer {
+ public:
+  DedupScorer(const Detector& det, ScoreCache& cache, ShardAccum& acc,
+              geom::Coord window_nm, std::size_t batch)
+      : det_(det),
+        cache_(cache),
+        acc_(acc),
+        window_nm_(window_nm),
+        batch_(std::max<std::size_t>(1, batch)) {}
+
+  void enqueue(const geom::Rect& window, std::vector<geom::Rect> rects) {
+    data::CanonicalClip canon =
+        data::canonical_clip(std::move(rects), window_nm_);
+    const std::uint64_t hash = data::canonical_hash(canon);
+    if (const auto cached = cache_.lookup(canon, hash)) {
+      slots_.push_back({window, *cached, kResolved});
+      return;
+    }
+    // Intra-batch dedup: a pattern already pending in this batch is scored
+    // once and later occurrences alias its slot. On a 64-bit collision
+    // with a *different* pending pattern, score separately (correct,
+    // merely redundant); the map keeps pointing at the first owner.
+    std::size_t index = pending_.size();
+    const auto it = pending_by_hash_.find(hash);
+    if (it != pending_by_hash_.end() &&
+        pending_[it->second].canon == canon) {
+      index = it->second;
+      ++acc_.batch_alias_hits;
+    } else {
+      if (it == pending_by_hash_.end()) pending_by_hash_.emplace(hash, index);
+      pending_.push_back({std::move(canon), hash});
+    }
+    slots_.push_back({window, 0.0f, static_cast<std::ptrdiff_t>(index)});
+    if (pending_.size() >= batch_) score_pending();
+  }
+
+  /// Score whatever is still pending, then emit every slot in scan order.
+  void finish(float threshold) {
+    score_pending();
+    for (const Slot& slot : slots_) {
+      if (slot.score > threshold) {
+        ++acc_.flagged;
+        acc_.hits.push_back({slot.window, slot.score});
+      }
+    }
+    slots_.clear();
+    resolved_upto_ = 0;
+  }
+
+ private:
+  static constexpr std::ptrdiff_t kResolved = -1;
+
+  struct Slot {
+    geom::Rect window;
+    float score = 0.0f;
+    std::ptrdiff_t pending = kResolved;  ///< index into the current batch
+  };
+  struct Pending {
+    data::CanonicalClip canon;
+    std::uint64_t hash = 0;
+  };
+
+  void score_pending() {
+    if (pending_.empty()) return;
+    std::vector<data::Clip> clips;
+    clips.reserve(pending_.size());
+    for (const Pending& p : pending_) {
+      clips.push_back(make_clip(p.canon.rects, window_nm_));
+    }
+    const std::vector<float> scores = det_.score_batch(clips);
+    acc_.windows_classified += pending_.size();
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      cache_.insert(pending_[i].canon, pending_[i].hash, scores[i]);
+    }
+    // Every unresolved slot references the batch just scored — slots from
+    // earlier batches were resolved by the previous score_pending().
+    for (std::size_t s = resolved_upto_; s < slots_.size(); ++s) {
+      if (slots_[s].pending != kResolved) {
+        slots_[s].score = scores[static_cast<std::size_t>(slots_[s].pending)];
+        slots_[s].pending = kResolved;
+      }
+    }
+    resolved_upto_ = slots_.size();
+    pending_.clear();
+    pending_by_hash_.clear();
+  }
+
+  const Detector& det_;
+  ScoreCache& cache_;
+  ShardAccum& acc_;
+  geom::Coord window_nm_;
+  std::size_t batch_;
+  std::vector<Slot> slots_;
+  std::size_t resolved_upto_ = 0;
+  std::vector<Pending> pending_;
+  std::unordered_map<std::uint64_t, std::size_t> pending_by_hash_;
+};
+
+/// Single-stage sink: score every window the moment it arrives.
+struct DirectSink {
+  const Detector& det;
+  geom::Coord window_nm;
+  ShardAccum& acc;
+
+  void window(const geom::Rect& w, std::vector<geom::Rect> rects) {
+    ++acc.windows_classified;
+    const data::Clip clip = make_clip(std::move(rects), window_nm);
+    const float s = det.score(clip);
+    if (s > det.threshold()) {
+      ++acc.flagged;
+      acc.hits.push_back({w, s});
+    }
+  }
+  void flush() {}
+};
+
+/// Single-stage sink with dedup: every window goes through the scorer.
+struct DedupSink {
+  const Detector& det;
+  DedupScorer scorer;
+
+  DedupSink(const Detector& d, ScoreCache& cache, ShardAccum& acc,
+            const ScanConfig& config)
+      : det(d), scorer(d, cache, acc, config.window_nm, config.batch) {}
+
+  void window(const geom::Rect& w, std::vector<geom::Rect> rects) {
+    scorer.enqueue(w, std::move(rects));
+  }
+  void flush() { scorer.finish(det.threshold()); }
+};
+
+/// Two-stage sink: cheap prefilter proposes, refiner decides.
+struct TwoStageSink {
+  const Detector& prefilter;
+  const Detector& refiner;
+  geom::Coord window_nm;
+  ShardAccum& acc;
+
+  void window(const geom::Rect& w, std::vector<geom::Rect> rects) {
+    const data::Clip clip = make_clip(std::move(rects), window_nm);
+    if (!prefilter.predict(clip)) return;  // stage 1 rejects
+    ++acc.windows_classified;              // stage 2 work
+    const float s = refiner.score(clip);
+    if (s > refiner.threshold()) {
+      ++acc.flagged;
+      acc.hits.push_back({w, s});
+    }
+  }
+  void flush() {}
+};
+
+/// Two-stage sink with dedup: the prefilter stays an uncached per-window
+/// predict() (it is the cheap stage — caching it would cost more than it
+/// saves), only the expensive refiner is deduplicated and batched.
+struct TwoStageDedupSink {
+  const Detector& prefilter;
+  const Detector& refiner;
+  geom::Coord window_nm;
+  DedupScorer scorer;
+
+  TwoStageDedupSink(const Detector& pre, const Detector& ref,
+                    ScoreCache& cache, ShardAccum& acc,
+                    const ScanConfig& config)
+      : prefilter(pre),
+        refiner(ref),
+        window_nm(config.window_nm),
+        scorer(ref, cache, acc, config.window_nm, config.batch) {}
+
+  void window(const geom::Rect& w, std::vector<geom::Rect> rects) {
+    data::Clip clip = make_clip(std::move(rects), window_nm);
+    if (!prefilter.predict(clip)) return;  // stage 1 rejects
+    scorer.enqueue(w, std::move(clip.rects));
+  }
+  void flush() { scorer.finish(refiner.threshold()); }
+};
+
+/// Copy the scan-local cache's tallies into the result and the registry.
+/// `alias_hits` (summed over shards) reclassifies intra-batch duplicate
+/// windows from misses to hits: they probed the cache before their
+/// pattern's memo was committed, but were served without a detector
+/// invocation — which is what the hit/miss split reports. The hit+miss
+/// total (one probe per deduped window) is conserved.
+void attach_cache_stats(ScanResult& result, const ScoreCache& cache,
+                        std::uint64_t alias_hits) {
+  const ScoreCache::Stats stats = cache.stats();
+  result.cache_hits = stats.hits + alias_hits;
+  result.cache_misses = stats.misses - alias_hits;
+  result.cache_evictions = stats.evictions;
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.add("scan.cache.hits", result.cache_hits);
+    reg.add("scan.cache.misses", result.cache_misses);
+    reg.add("scan.cache.evictions", result.cache_evictions);
+  }
+}
+
 /// Shared scan skeleton: enumerate the window grid, shard it row-wise,
-/// run `classify(window, rects, accum)` per non-skipped window, and merge
-/// shards in row-major order so results match the serial scan bit for bit.
-template <typename Classify>
+/// feed each non-skipped window to a per-shard sink built by
+/// `make_sink(accum)` (flushed at shard end), and merge shards in
+/// row-major order so results match the serial scan bit for bit.
+template <typename MakeSink>
 ScanResult scan_impl(const ChipIndex& chip, const ScanConfig& config,
-                     ThreadPool& pool, const Classify& classify) {
+                     ThreadPool& pool, const MakeSink& make_sink,
+                     std::uint64_t* batch_alias_hits = nullptr) {
   LHD_CHECK(config.window_nm > 0 && config.stride_nm > 0, "bad scan config");
   ScanResult result;
   Stopwatch sw;
@@ -137,6 +370,7 @@ ScanResult scan_impl(const ChipIndex& chip, const ScanConfig& config,
                              ShardAccum& acc) {
     obs::ScopedTimer shard_timer(acc.seconds);
     ChipIndex::QueryScratch scratch;
+    auto sink = make_sink(acc);
     for (std::size_t r = lo; r < hi; ++r) {
       const geom::Coord y = row_ys[r];
       for (geom::Coord x = extent.xlo; x < extent.xhi;
@@ -150,9 +384,10 @@ ScanResult scan_impl(const ChipIndex& chip, const ScanConfig& config,
           rects = chip.query(window, scratch);
         }
         if (config.skip_empty && rects.empty()) continue;
-        classify(window, std::move(rects), acc);
+        sink.window(window, std::move(rects));
       }
     }
+    sink.flush();
   };
 
   const std::size_t shards =
@@ -173,6 +408,9 @@ ScanResult scan_impl(const ChipIndex& chip, const ScanConfig& config,
     result.windows_total += acc.windows_total;
     result.windows_classified += acc.windows_classified;
     result.flagged += acc.flagged;
+    if (batch_alias_hits != nullptr) {
+      *batch_alias_hits += acc.batch_alias_hits;
+    }
     result.hits.insert(result.hits.end(), acc.hits.begin(), acc.hits.end());
     result.shards.push_back(
         {acc.windows_total, acc.seconds, acc.query_seconds});
@@ -206,18 +444,19 @@ ScanResult scan_chip(const ChipIndex& chip, const Detector& detector,
 
 ScanResult scan_chip(const ChipIndex& chip, const Detector& detector,
                      const ScanConfig& config, ThreadPool& pool) {
-  return scan_impl(
+  if (!config.dedup) {
+    return scan_impl(chip, config, pool, [&](ShardAccum& acc) {
+      return DirectSink{detector, config.window_nm, acc};
+    });
+  }
+  ScoreCache cache(config.cache_capacity);
+  std::uint64_t alias_hits = 0;
+  ScanResult result = scan_impl(
       chip, config, pool,
-      [&](const geom::Rect& window, std::vector<geom::Rect> rects,
-          ShardAccum& acc) {
-        ++acc.windows_classified;
-        const data::Clip clip = make_clip(std::move(rects), config.window_nm);
-        const float s = detector.score(clip);
-        if (s > detector.threshold()) {
-          ++acc.flagged;
-          acc.hits.push_back({window, s});
-        }
-      });
+      [&](ShardAccum& acc) { return DedupSink(detector, cache, acc, config); },
+      &alias_hits);
+  attach_cache_stats(result, cache, alias_hits);
+  return result;
 }
 
 ScanResult scan_chip_two_stage(const ChipIndex& chip,
@@ -232,19 +471,21 @@ ScanResult scan_chip_two_stage(const ChipIndex& chip,
                                const Detector& prefilter,
                                const Detector& refiner,
                                const ScanConfig& config, ThreadPool& pool) {
-  return scan_impl(
+  if (!config.dedup) {
+    return scan_impl(chip, config, pool, [&](ShardAccum& acc) {
+      return TwoStageSink{prefilter, refiner, config.window_nm, acc};
+    });
+  }
+  ScoreCache cache(config.cache_capacity);
+  std::uint64_t alias_hits = 0;
+  ScanResult result = scan_impl(
       chip, config, pool,
-      [&](const geom::Rect& window, std::vector<geom::Rect> rects,
-          ShardAccum& acc) {
-        const data::Clip clip = make_clip(std::move(rects), config.window_nm);
-        if (!prefilter.predict(clip)) return;  // stage 1 rejects
-        ++acc.windows_classified;              // stage 2 work
-        const float s = refiner.score(clip);
-        if (s > refiner.threshold()) {
-          ++acc.flagged;
-          acc.hits.push_back({window, s});
-        }
-      });
+      [&](ShardAccum& acc) {
+        return TwoStageDedupSink(prefilter, refiner, cache, acc, config);
+      },
+      &alias_hits);
+  attach_cache_stats(result, cache, alias_hits);
+  return result;
 }
 
 }  // namespace lhd::core

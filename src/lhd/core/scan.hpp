@@ -9,6 +9,20 @@
 /// results are merged in row-major window order, so the hit list is
 /// bit-identical for every thread count (ScanConfig::threads).
 ///
+/// Real layouts repeat the same local pattern across the chip, so the scan
+/// can optionally deduplicate (ScanConfig::dedup): each window's geometry
+/// is canonicalized (data/clip_hash.hpp), looked up in a scan-wide
+/// ScoreCache shared by all shards, and only cache misses reach the
+/// detector — batched through Detector::score_batch(). The dedup path
+/// scores the *canonical* clip, so a pattern's score does not depend on
+/// which occurrence or shard computed it: results are deterministic across
+/// thread counts, cache capacities, and batch sizes, and identical to the
+/// naive path whenever the detector's score is invariant under rect order
+/// and whole-pattern translation (asserted by the dedup parity property
+/// test). windows_classified becomes the number of *detector invocations*,
+/// which a shared cache makes schedule-dependent — it is the one ScanResult
+/// count that may differ run to run when dedup is on.
+///
 /// Thread-safety: ChipIndex is immutable after construction and all its
 /// methods are const; concurrent query() calls are race-free as long as
 /// each thread passes its own QueryScratch. scan_chip* may run on a shared
@@ -65,7 +79,11 @@ class ChipIndex {
   std::vector<geom::Rect> query(const geom::Rect& window,
                                 QueryScratch& scratch) const;
 
-  /// Convenience overload that allocates a scratch per call.
+  /// Test-only convenience overload that allocates a fresh scratch per
+  /// call. The per-query O(#rects) stamp allocation this hides is exactly
+  /// what QueryScratch exists to amortize — production call sites (the
+  /// scanner, the benches) must pass a reused scratch; keep this one to
+  /// tests and one-off assertions.
   std::vector<geom::Rect> query(const geom::Rect& window) const;
 
   /// Build directly from a GDS library's flattened layer.
@@ -88,6 +106,18 @@ struct ScanConfig {
   /// hardware thread, N = shard the window grid N ways. Results are
   /// bit-identical across thread counts.
   std::size_t threads = 1;
+  /// Deduplicate windows by canonical geometry: classify each distinct
+  /// pattern once (per cache lifetime) instead of once per occurrence. Off
+  /// by default — the naive path stays the reference the dedup path is
+  /// checked against.
+  bool dedup = false;
+  /// Total ScoreCache entry bound when dedup is on. 0 keeps dedup's
+  /// batching/canonicalization flow but disables memoization entirely
+  /// (every window misses) — useful for isolating cache effects.
+  std::size_t cache_capacity = 1 << 16;
+  /// Cache misses per shard accumulated before one batched
+  /// Detector::score_batch() call (dedup path only; clamped to >= 1).
+  std::size_t batch = 32;
 };
 
 struct ScanHit {
@@ -110,9 +140,23 @@ struct ShardStat {
 
 struct ScanResult {
   std::size_t windows_total = 0;    ///< windows visited
-  std::size_t windows_classified = 0;  ///< windows the (final) detector saw
+  /// Windows the (final) detector actually scored. With dedup on this is
+  /// the number of detector invocations (unique cache misses) — the
+  /// quantity dedup exists to shrink — and is schedule-dependent: two
+  /// shards can race to classify the same pattern. Every other count and
+  /// the hit list stay deterministic.
+  std::size_t windows_classified = 0;
   std::size_t flagged = 0;
   double seconds = 0.0;
+  /// Dedup only: windows served without a detector invocation — from a
+  /// committed ScoreCache memo or from a pattern pending in the same
+  /// batch. hits + misses == one probe per deduped window.
+  std::uint64_t cache_hits = 0;
+  /// Dedup only: windows that forced a detector invocation (first
+  /// occurrence of a pattern, capacity-0 re-scores, hash-collision
+  /// overflow).
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;  ///< dedup only: ScoreCache evictions
   std::vector<ScanHit> hits;
   /// One entry per shard, in shard (row-major) order; size() is the shard
   /// count actually used. Timing fields vary run to run; window counts are

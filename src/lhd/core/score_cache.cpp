@@ -1,0 +1,81 @@
+#include "lhd/core/score_cache.hpp"
+
+#include <algorithm>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::core {
+
+ScoreCache::ScoreCache(std::size_t capacity, std::size_t shard_count)
+    : capacity_(capacity) {
+  LHD_CHECK(shard_count > 0, "score cache needs at least one shard");
+  // Never allocate more shards than entries: with capacity 1 a 16-way
+  // split would either break the bound or leave 15 dead shards.
+  shard_count_ = std::max<std::size_t>(
+      1, std::min(shard_count, std::max<std::size_t>(capacity_, 1)));
+  per_shard_capacity_ = capacity_ / shard_count_;
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+}
+
+std::optional<float> ScoreCache::lookup(const data::CanonicalClip& key,
+                                        std::uint64_t hash) const {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const Shard& shard = shard_for(hash);
+  {
+    const MutexLock lock(shard.mutex);
+    const auto it = shard.map.find(hash);
+    if (it != shard.map.end() && it->second.key == key) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.score;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void ScoreCache::insert(const data::CanonicalClip& key, std::uint64_t hash,
+                        float score) {
+  if (capacity_ == 0 || per_shard_capacity_ == 0) return;
+  Shard& shard = shard_for(hash);
+  std::uint64_t evicted = 0;
+  {
+    const MutexLock lock(shard.mutex);
+    if (shard.map.find(hash) != shard.map.end()) return;  // first writer wins
+    while (shard.map.size() >= per_shard_capacity_ && !shard.fifo.empty()) {
+      shard.map.erase(shard.fifo.front());
+      shard.fifo.pop_front();
+      ++evicted;
+    }
+    shard.map.emplace(hash, Entry{key, score});
+    shard.fifo.push_back(hash);
+  }
+  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+}
+
+std::size_t ScoreCache::size() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    const MutexLock lock(shards_[s].mutex);
+    total += shards_[s].map.size();
+  }
+  return total;
+}
+
+ScoreCache::Stats ScoreCache::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ScoreCache::reset_stats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace lhd::core

@@ -1,0 +1,94 @@
+#pragma once
+/// @file score_cache.hpp
+/// @brief Sharded, thread-safe memo of detector scores keyed by canonical
+/// clip content (`data::CanonicalClip` + its 64-bit hash) — the cache the
+/// deduplicated full-chip scan consults so each distinct layout pattern is
+/// classified once, not once per occurrence.
+///
+/// Thread-safety: every method is safe to call concurrently. Entries are
+/// spread over N shards by key hash; each shard is an `lhd::Mutex`-guarded
+/// hash map with FIFO eviction (annotated with LHD_GUARDED_BY and
+/// machine-checked under Clang, see docs/STATIC_ANALYSIS.md). Hit/miss/
+/// eviction tallies are relaxed atomics. Lookups compare the full
+/// canonical form, never just the 64-bit hash, so a hash collision can
+/// degrade the hit rate but never alias two distinct patterns — cached
+/// scores are exact by construction.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "lhd/data/clip_hash.hpp"
+#include "lhd/util/thread_annotations.hpp"
+
+namespace lhd::core {
+
+class ScoreCache {
+ public:
+  /// Monotonic totals since construction (or the last reset_stats()).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    friend bool operator==(const Stats&, const Stats&) = default;
+  };
+
+  /// `capacity` bounds the total entry count across all shards (rounded
+  /// down to a uniform per-shard bound); 0 disables storage entirely —
+  /// every lookup misses and inserts are dropped, which keeps the
+  /// dedup-scan control flow valid with caching effectively off.
+  explicit ScoreCache(std::size_t capacity, std::size_t shard_count = 16);
+
+  /// The memoized score for `key`, or nullopt. `hash` must be
+  /// `data::canonical_hash(key)` (callers already have it — recomputing
+  /// per probe would double the canonicalization cost).
+  std::optional<float> lookup(const data::CanonicalClip& key,
+                              std::uint64_t hash) const;
+
+  /// Memoize `score` for `key`. First writer wins: a concurrent duplicate
+  /// insert (two shards scoring the same pattern at once) is a no-op, and
+  /// since scores are a deterministic function of the canonical form the
+  /// surviving entry is identical either way. Evicts the shard's oldest
+  /// entry when the shard is full.
+  void insert(const data::CanonicalClip& key, std::uint64_t hash,
+              float score);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Current entry count across shards (takes every shard lock; O(shards)).
+  std::size_t size() const;
+
+  Stats stats() const;
+  void reset_stats();
+
+ private:
+  struct Entry {
+    data::CanonicalClip key;
+    float score = 0.0f;
+  };
+
+  /// One lock's worth of the key space. The FIFO queue mirrors the map's
+  /// insertion order and drives eviction.
+  struct Shard {
+    mutable Mutex mutex;
+    std::unordered_map<std::uint64_t, Entry> map LHD_GUARDED_BY(mutex);
+    std::deque<std::uint64_t> fifo LHD_GUARDED_BY(mutex);
+  };
+
+  Shard& shard_for(std::uint64_t hash) const {
+    return shards_[hash % shard_count_];
+  }
+
+  std::size_t capacity_ = 0;
+  std::size_t shard_count_ = 1;
+  std::size_t per_shard_capacity_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace lhd::core

@@ -7,6 +7,14 @@
 
 namespace lhd::core {
 
+std::vector<float> Detector::score_batch(
+    const std::vector<data::Clip>& clips) const {
+  std::vector<float> out;
+  out.reserve(clips.size());
+  for (const auto& clip : clips) out.push_back(score(clip));
+  return out;
+}
+
 std::vector<bool> Detector::predict_all(const data::Dataset& ds) const {
   std::vector<bool> out;
   out.reserve(ds.size());

@@ -1,0 +1,59 @@
+#pragma once
+// Canonical form + 64-bit content hash for clip geometry — the key the
+// deduplicated full-chip scan caches detector scores under.
+//
+// Real layouts are massively repetitive: the same local pattern recurs
+// across a chip thousands to millions of times (the observation behind the
+// pattern-matching generation, EPIC, and clip-library compression). Two
+// scan windows whose geometry matches up to a rigid translation (and rect
+// enumeration order) are the *same pattern*, so one detector invocation can
+// serve all of them. The canonical form makes that equivalence explicit:
+//
+//   * translation-normalized — every rect is shifted so the pattern's
+//     bounding box sits at the origin;
+//   * sorted — rects are ordered lexicographically by (xlo, ylo, xhi, yhi),
+//     erasing enumeration order;
+//   * window-tagged — window_nm is part of the form, since the same rects
+//     in a different window are a different classification problem.
+//
+// Mirrored or rotated variants of a pattern normalize to *different*
+// canonical forms (the coordinates change), which is deliberate: detectors
+// are not symmetry-invariant, so symmetric variants must not share a
+// cached score. All of this is asserted by the ClipHash tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "lhd/data/clip.hpp"
+#include "lhd/geom/rect.hpp"
+
+namespace lhd::data {
+
+/// A clip's geometry in canonical (translation-normalized, sorted) form.
+/// Equality on this struct is the "same pattern" relation the score cache
+/// deduplicates by; keep the full form next to the hash so a 64-bit
+/// collision can never alias two distinct patterns.
+struct CanonicalClip {
+  std::vector<geom::Rect> rects;  ///< bbox at origin, lexicographically sorted
+  geom::Coord window_nm = 0;
+
+  friend bool operator==(const CanonicalClip&, const CanonicalClip&) = default;
+};
+
+/// Canonicalize a window-local rect soup (the scan's per-window extraction).
+CanonicalClip canonical_clip(std::vector<geom::Rect> rects,
+                             geom::Coord window_nm);
+
+/// Canonicalize a clip's geometry (label and id are not part of the form).
+CanonicalClip canonical_clip(const Clip& clip);
+
+/// 64-bit content hash of a canonical form (stable within a process run
+/// and across runs — pure arithmetic, no pointer or seed dependence).
+std::uint64_t canonical_hash(const CanonicalClip& canon);
+
+/// Hash of `clip`'s canonical form: invariant under whole-pattern
+/// translation and rect order, sensitive to mirroring/rotation and to
+/// window_nm. Convenience for `canonical_hash(canonical_clip(clip))`.
+std::uint64_t clip_hash(const Clip& clip);
+
+}  // namespace lhd::data

@@ -1,5 +1,8 @@
 #include "lhd/synth/chip_gen.hpp"
 
+#include <cmath>
+#include <vector>
+
 #include "lhd/geom/polygon.hpp"
 #include "lhd/synth/clip_gen.hpp"
 #include "lhd/util/check.hpp"
@@ -7,8 +10,9 @@
 namespace lhd::synth {
 
 gds::Library build_chip(const StyleConfig& style, int tiles_x, int tiles_y,
-                        std::uint64_t seed) {
+                        std::uint64_t seed, int tile_variants) {
   LHD_CHECK(tiles_x > 0 && tiles_y > 0, "tile counts must be positive");
+  LHD_CHECK(tile_variants >= 0, "tile_variants must be non-negative");
   gds::Library lib;
   lib.name = "LHD_CHIP";
   Rng master(seed);
@@ -16,22 +20,54 @@ gds::Library build_chip(const StyleConfig& style, int tiles_x, int tiles_y,
   // Add TOP first so readers find it immediately; tiles follow. The
   // reference stays valid: Library stores structures in a deque.
   gds::Structure* top = &lib.add_structure("TOP");
+
+  const auto fill_tile = [&](gds::Structure& s, Rng& rng) {
+    for (const auto& r : generate_clip(style, rng)) {
+      gds::Boundary b;
+      b.layer = kChipLayer;
+      b.polygon = geom::Polygon::from_rect(r);
+      s.add(std::move(b));
+    }
+  };
+  const auto place = [&](const std::string& name, int tx, int ty) {
+    gds::SRef ref;
+    ref.structure = name;
+    ref.transform.origin = {tx * style.window_nm, ty * style.window_nm};
+    top->add(std::move(ref));
+  };
+
+  if (tile_variants > 0) {
+    // Cell reuse: generate V distinct tiles once, then array them as a
+    // repeating px × py macro so the flattened chip is periodic with a
+    // period of (px, py) tiles in both axes.
+    const int v = std::min(tile_variants, tiles_x * tiles_y);
+    const int px = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(v))));
+    const int py = (v + px - 1) / px;
+    std::vector<std::string> names;
+    names.reserve(static_cast<std::size_t>(v));
+    for (int i = 0; i < v; ++i) {
+      Rng tile_rng = master.fork();
+      const std::string name = "TILE_V" + std::to_string(i);
+      fill_tile(lib.add_structure(name), tile_rng);
+      names.push_back(name);
+    }
+    for (int ty = 0; ty < tiles_y; ++ty) {
+      for (int tx = 0; tx < tiles_x; ++tx) {
+        const int slot = (tx % px) + px * (ty % py);
+        place(names[static_cast<std::size_t>(slot % v)], tx, ty);
+      }
+    }
+    return lib;
+  }
+
   for (int ty = 0; ty < tiles_y; ++ty) {
     for (int tx = 0; tx < tiles_x; ++tx) {
       Rng tile_rng = master.fork();
       const std::string name =
           "TILE_" + std::to_string(tx) + "_" + std::to_string(ty);
-      gds::Structure& s = lib.add_structure(name);
-      for (const auto& r : generate_clip(style, tile_rng)) {
-        gds::Boundary b;
-        b.layer = kChipLayer;
-        b.polygon = geom::Polygon::from_rect(r);
-        s.add(std::move(b));
-      }
-      gds::SRef ref;
-      ref.structure = name;
-      ref.transform.origin = {tx * style.window_nm, ty * style.window_nm};
-      top->add(std::move(ref));
+      fill_tile(lib.add_structure(name), tile_rng);
+      place(name, tx, ty);
     }
   }
   return lib;

@@ -14,7 +14,15 @@ inline constexpr std::int16_t kChipLayer = 1;
 
 /// Build a (tiles_x × tiles_y)-tile chip; each tile is one window_nm square
 /// of generated pattern, placed via SREF into the TOP structure.
+///
+/// `tile_variants` controls cell reuse, the defining redundancy of real
+/// layouts (standard cells and macros are instantiated thousands of times):
+/// with V > 0 only V distinct tile structures are generated and arrayed as
+/// a repeating ~sqrt(V) × ~sqrt(V) macro across the die, so the flattened
+/// geometry is periodic and a sliding-window scan sees each local pattern
+/// many times (what `ScanConfig::dedup` exploits). 0 forks a fresh RNG per
+/// tile — every tile unique, the historical behavior.
 gds::Library build_chip(const StyleConfig& style, int tiles_x, int tiles_y,
-                        std::uint64_t seed);
+                        std::uint64_t seed, int tile_variants = 0);
 
 }  // namespace lhd::synth

@@ -173,6 +173,61 @@ void expect_scan_parity(const core::ChipIndex& chip,
   }
 }
 
+void expect_dedup_scan_parity(const core::ChipIndex& chip,
+                              const core::Detector& detector,
+                              core::ScanConfig config,
+                              const std::vector<std::size_t>& thread_counts,
+                              const std::vector<std::size_t>& cache_capacities,
+                              const std::vector<std::size_t>& batch_sizes,
+                              ThreadPool& pool) {
+  config.dedup = false;
+  config.threads = 1;
+  const auto naive = core::scan_chip(chip, detector, config);
+  config.dedup = true;
+  for (const std::size_t threads : thread_counts) {
+    for (const std::size_t capacity : cache_capacities) {
+      for (const std::size_t batch : batch_sizes) {
+        config.threads = threads;
+        config.cache_capacity = capacity;
+        config.batch = batch;
+        const auto dedup = core::scan_chip(chip, detector, config, pool);
+        std::ostringstream os;
+        os << "dedup scan(threads=" << threads << ", capacity=" << capacity
+           << ", batch=" << batch << ") vs naive scan: ";
+        if (dedup.windows_total != naive.windows_total ||
+            dedup.flagged != naive.flagged) {
+          os << "window counts diverge (total " << dedup.windows_total << "/"
+             << naive.windows_total << ", flagged " << dedup.flagged << "/"
+             << naive.flagged << ")";
+          oracle_fail(os.str());
+        }
+        if (dedup.windows_classified > naive.windows_classified) {
+          os << "dedup classified MORE windows than naive ("
+             << dedup.windows_classified << " vs "
+             << naive.windows_classified << ")";
+          oracle_fail(os.str());
+        }
+        if (dedup.hits.size() != naive.hits.size()) {
+          os << "hit count " << dedup.hits.size() << " vs "
+             << naive.hits.size();
+          oracle_fail(os.str());
+        }
+        for (std::size_t i = 0; i < naive.hits.size(); ++i) {
+          if (!(dedup.hits[i] == naive.hits[i])) {
+            const auto& d = dedup.hits[i];
+            const auto& n = naive.hits[i];
+            os << "hit " << i << " differs: window (" << d.window.xlo << ","
+               << d.window.ylo << ") score " << d.score << " vs ("
+               << n.window.xlo << "," << n.window.ylo << ") score "
+               << n.score;
+            oracle_fail(os.str());
+          }
+        }
+      }
+    }
+  }
+}
+
 namespace {
 
 void compare_bytes(const std::vector<std::uint8_t>& a,

@@ -71,6 +71,24 @@ void expect_scan_parity(const core::ChipIndex& chip,
                         const std::vector<std::size_t>& thread_counts,
                         ThreadPool& pool);
 
+/// Dedup-vs-naive scan equality: runs the naive scan (dedup off,
+/// threads=1) as the baseline, then requires identical hits / flagged /
+/// windows_total from the dedup scan across every (thread count, cache
+/// capacity, batch size) combination. Requires a detector whose score is
+/// invariant under rect order and whole-pattern translation
+/// (DensityCutDetector is) — that is the precondition under which dedup
+/// promises bit-identical results. windows_classified is deliberately NOT
+/// compared: with a shared cache it counts unique misses, which is
+/// schedule-dependent; instead it is checked to never exceed the naive
+/// count.
+void expect_dedup_scan_parity(const core::ChipIndex& chip,
+                              const core::Detector& detector,
+                              core::ScanConfig config,
+                              const std::vector<std::size_t>& thread_counts,
+                              const std::vector<std::size_t>& cache_capacities,
+                              const std::vector<std::size_t>& batch_sizes,
+                              ThreadPool& pool);
+
 // --- serialization fixpoints ------------------------------------------------
 
 /// write → read → write must reproduce the exact byte stream (the writer

@@ -13,7 +13,9 @@
 #include "lhd/core/factory.hpp"
 #include "lhd/core/pipeline.hpp"
 #include "lhd/core/scan.hpp"
+#include "lhd/core/score_cache.hpp"
 #include "lhd/core/shallow_detector.hpp"
+#include "lhd/data/clip_hash.hpp"
 #include "lhd/ml/naive_bayes.hpp"
 #include "lhd/synth/chip_gen.hpp"
 #include "lhd/testkit/testkit.hpp"
@@ -234,8 +236,11 @@ TEST(ChipIndex, QueryMatchesBruteForce) {
         testkit::random_rects(rng, 20 + size * 6, 8400, 20, 400);
     const ChipIndex index(rects);
     for (int trial = 0; trial < 8; ++trial) {
-      const auto x = static_cast<geom::Coord>(rng.next_int(0, 7000));
-      const auto y = static_cast<geom::Coord>(rng.next_int(0, 7000));
+      // Range deliberately overshoots the extent on both sides, so windows
+      // that hang off the chip (or miss it entirely) are exercised against
+      // the brute-force ground truth too.
+      const auto x = static_cast<geom::Coord>(rng.next_int(-2500, 9500));
+      const auto y = static_cast<geom::Coord>(rng.next_int(-2500, 9500));
       const Rect window(x, y, x + 1024, y + 1024);
       auto got = index.query(window);
       auto expected = geom::clip_rects(rects, window);
@@ -311,6 +316,33 @@ TEST(ChipIndex, QueryStampWrapAroundKeepsResults) {
   EXPECT_EQ(index.query(Rect(4900, 4900, 5200, 5200), scratch).size(), 1u);
   const auto after_wrap = index.query(win_a, scratch);
   EXPECT_EQ(after_wrap, before);
+}
+
+TEST(ChipIndex, OutOfExtentWindowsReturnNothing) {
+  // Regression for the bucket-range truncation bug: integer division
+  // truncates toward zero, so a window entirely left of / below the extent
+  // produced a negative bucket offset that rounded *up* to 0 and spuriously
+  // walked bucket row/column 0. Floor division plus the overlap early-out
+  // must keep every fully-outside window an exact no-op.
+  const std::vector<Rect> rects = {Rect(5000, 5000, 5400, 5400),
+                                   Rect(9000, 9000, 9200, 9300)};
+  const ChipIndex index(rects);
+  const std::vector<Rect> outside = {
+      Rect(0, 0, 1024, 1024),            // below-left of the extent
+      Rect(0, 6000, 1024, 7024),         // left, y-overlapping
+      Rect(6000, 0, 7024, 1024),         // below, x-overlapping
+      Rect(-3000, -3000, -2000, -2000),  // fully negative coordinates
+      Rect(9300, 9400, 9800, 9900),      // above-right of the extent
+  };
+  ChipIndex::QueryScratch scratch;
+  for (const auto& w : outside) {
+    EXPECT_TRUE(index.query(w, scratch).empty())
+        << "window (" << w.xlo << "," << w.ylo << ")";
+  }
+  // Windows straddling the extent's low edge still see the geometry.
+  const auto got = index.query(Rect(4600, 4600, 5624, 5624), scratch);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], Rect(400, 400, 800, 800));  // window-local coordinates
 }
 
 TEST(ChipIndex, ConcurrentQueriesWithOwnScratchMatchSerial) {
@@ -485,6 +517,235 @@ TEST(Scan, ParallelTwoStageMatchesSerialBitExact) {
   }
 }
 
+// ------------------------------------------------------------ score cache --
+
+data::CanonicalClip canon_of(std::vector<Rect> rects,
+                             geom::Coord window = 1024) {
+  return data::canonical_clip(std::move(rects), window);
+}
+
+TEST(ScoreCache, InsertThenLookupHits) {
+  ScoreCache cache(64);
+  const auto key = canon_of({Rect(0, 0, 100, 100)});
+  const auto hash = data::canonical_hash(key);
+  EXPECT_FALSE(cache.lookup(key, hash).has_value());
+  cache.insert(key, hash, 0.75f);
+  const auto got = cache.lookup(key, hash);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 0.75f);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats(), (ScoreCache::Stats{1, 1, 0}));
+}
+
+TEST(ScoreCache, CapacityZeroNeverStores) {
+  ScoreCache cache(0);
+  const auto key = canon_of({Rect(0, 0, 50, 50)});
+  const auto hash = data::canonical_hash(key);
+  cache.insert(key, hash, 0.5f);
+  EXPECT_FALSE(cache.lookup(key, hash).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats(), (ScoreCache::Stats{0, 1, 0}));
+}
+
+TEST(ScoreCache, CapacityOneEvictsFifo) {
+  // The shard count clamps to the capacity, so capacity 1 is one shard
+  // holding one entry — the second insert must evict the first.
+  ScoreCache cache(1);
+  const auto a = canon_of({Rect(0, 0, 100, 100)});
+  const auto b = canon_of({Rect(0, 0, 100, 200)});
+  cache.insert(a, data::canonical_hash(a), 1.0f);
+  cache.insert(b, data::canonical_hash(b), 2.0f);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.lookup(a, data::canonical_hash(a)).has_value());
+  const auto got = cache.lookup(b, data::canonical_hash(b));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 2.0f);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ScoreCache, FirstWriterWins) {
+  ScoreCache cache(16);
+  const auto key = canon_of({Rect(10, 10, 40, 40)});
+  const auto hash = data::canonical_hash(key);
+  cache.insert(key, hash, 0.25f);
+  cache.insert(key, hash, 0.75f);  // duplicate: must be a no-op
+  EXPECT_EQ(cache.size(), 1u);
+  const auto got = cache.lookup(key, hash);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 0.25f);
+}
+
+TEST(ScoreCache, ResetStatsClearsTalliesNotEntries) {
+  ScoreCache cache(8);
+  const auto key = canon_of({Rect(0, 0, 10, 10)});
+  const auto hash = data::canonical_hash(key);
+  cache.insert(key, hash, 0.1f);
+  (void)cache.lookup(key, hash);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats(), (ScoreCache::Stats{}));
+  EXPECT_TRUE(cache.lookup(key, hash).has_value());
+}
+
+// ------------------------------------------------------------- dedup scan --
+
+TEST(Scan, DedupScanMatchesNaive) {
+  synth::StyleConfig style;
+  const auto lib = synth::build_chip(style, 4, 4, 41);
+  const auto index = ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
+  // Density score: invariant under rect order and whole-pattern
+  // translation, i.e. exactly the precondition under which the dedup path
+  // promises bit-identical results.
+  const ThresholdedDensityDetector det(0.05f);
+  ScanConfig cfg;
+  cfg.window_nm = 1024;
+  cfg.stride_nm = 512;
+  const auto naive = scan_chip(index, det, cfg);
+  cfg.dedup = true;
+  const auto dedup = scan_chip(index, det, cfg);
+  EXPECT_EQ(dedup.windows_total, naive.windows_total);
+  EXPECT_EQ(dedup.flagged, naive.flagged);
+  EXPECT_EQ(dedup.hits, naive.hits);
+  EXPECT_LE(dedup.windows_classified, naive.windows_classified);
+  // Single-stage dedup probes the cache exactly once per non-skipped
+  // window, and only misses ever reach the detector.
+  EXPECT_EQ(dedup.cache_hits + dedup.cache_misses,
+            naive.windows_classified);
+  EXPECT_GE(dedup.cache_misses, dedup.windows_classified);
+}
+
+TEST(Scan, DedupExploitsChipCellReuse) {
+  // A chip built with tile variants is periodic (cell reuse), so the dedup
+  // scan must classify at most the unique-pattern count: one period of the
+  // window grid plus the clipped boundary windows — far fewer than half of
+  // the naive invocations. This is the ISSUE's headline claim, pinned on
+  // the generator that the fig8 bench scans.
+  synth::StyleConfig style;
+  const auto lib = synth::build_chip(style, 8, 8, 44, /*tile_variants=*/4);
+  const auto index = ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
+  const ThresholdedDensityDetector det(0.05f);
+  ScanConfig cfg;
+  cfg.window_nm = 1024;
+  cfg.stride_nm = 512;
+  const auto naive = scan_chip(index, det, cfg);
+  cfg.dedup = true;
+  const auto dedup = scan_chip(index, det, cfg);
+  EXPECT_EQ(dedup.windows_total, naive.windows_total);
+  EXPECT_EQ(dedup.hits, naive.hits);
+  ASSERT_GT(naive.windows_classified, 0u);
+  EXPECT_LE(dedup.windows_classified, naive.windows_classified / 2)
+      << "periodic chip should dedup to a fraction of the naive invocations";
+}
+
+TEST(Scan, DedupTwoStageMatchesNaive) {
+  synth::StyleConfig style;
+  const auto lib = synth::build_chip(style, 4, 4, 42);
+  const auto index = ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
+  const ThresholdedDensityDetector prefilter(0.10f);
+  const ThresholdedDensityDetector refiner(0.05f);
+  ScanConfig cfg;
+  cfg.window_nm = 1024;
+  cfg.stride_nm = 512;
+  const auto naive = scan_chip_two_stage(index, prefilter, refiner, cfg);
+  cfg.dedup = true;
+  const auto dedup = scan_chip_two_stage(index, prefilter, refiner, cfg);
+  EXPECT_EQ(dedup.windows_total, naive.windows_total);
+  EXPECT_EQ(dedup.flagged, naive.flagged);
+  EXPECT_EQ(dedup.hits, naive.hits);
+  // Only stage-2 survivors are deduped, so one cache probe per window the
+  // naive refiner classified.
+  EXPECT_EQ(dedup.cache_hits + dedup.cache_misses,
+            naive.windows_classified);
+}
+
+TEST(Scan, DedupCapacityZeroAndBatchOneStillMatch) {
+  synth::StyleConfig style;
+  const auto lib = synth::build_chip(style, 3, 3, 43);
+  const auto index = ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
+  const ThresholdedDensityDetector det(0.05f);
+  ScanConfig cfg;
+  const auto naive = scan_chip(index, det, cfg);
+  cfg.dedup = true;
+  cfg.cache_capacity = 0;  // memoization off: every window misses
+  cfg.batch = 1;           // degenerate batching: score one at a time
+  const auto dedup = scan_chip(index, det, cfg);
+  EXPECT_EQ(dedup.hits, naive.hits);
+  EXPECT_EQ(dedup.flagged, naive.flagged);
+  EXPECT_EQ(dedup.cache_hits, 0u);
+  // With the cache disabled and batch 1, intra-batch dedup cannot trigger
+  // either — every window reaches the detector, exactly like naive.
+  EXPECT_EQ(dedup.windows_classified, naive.windows_classified);
+}
+
+TEST(Scan, DedupClassifiesRepeatedPatternOnce) {
+  // A 4x4 grid of identical tiles, windows aligned to the tile pitch:
+  // every window sees the same pattern up to translation.
+  std::vector<Rect> rects;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      rects.emplace_back(i * 1024 + 100, j * 1024 + 100, i * 1024 + 400,
+                         j * 1024 + 400);
+    }
+  }
+  const ChipIndex index(rects);
+  const ThresholdedDensityDetector det(0.05f);
+  ScanConfig cfg;
+  cfg.window_nm = 1024;
+  cfg.stride_nm = 1024;
+  cfg.dedup = true;
+  cfg.batch = 1;  // insert each miss before the next window probes
+  const auto result = scan_chip(index, det, cfg);
+  EXPECT_EQ(result.windows_total, 16u);
+  EXPECT_EQ(result.flagged, 16u);
+  EXPECT_EQ(result.windows_classified, 1u);  // one detector invocation
+  EXPECT_EQ(result.cache_hits, 15u);
+  EXPECT_EQ(result.cache_misses, 1u);
+
+  // With a large batch the 15 duplicates alias the pattern while it is
+  // still pending (the memo is never committed before they arrive); the
+  // hit/miss split must report the same dedup outcome regardless.
+  cfg.batch = 32;
+  const auto batched = scan_chip(index, det, cfg);
+  EXPECT_EQ(batched.windows_classified, 1u);
+  EXPECT_EQ(batched.cache_hits, 15u);
+  EXPECT_EQ(batched.cache_misses, 1u);
+  EXPECT_EQ(batched.hits, result.hits);
+}
+
+// ------------------------------------------------------------ score batch --
+
+TEST(Detector, DefaultScoreBatchMatchesScore) {
+  const ThresholdedDensityDetector det(0.1f);
+  std::vector<data::Clip> clips;
+  for (int i = 1; i <= 5; ++i) {
+    data::Clip c;
+    c.window_nm = 1024;
+    c.rects = {Rect(0, 0, i * 100, i * 100)};
+    clips.push_back(std::move(c));
+  }
+  const auto batch = det.score_batch(clips);
+  ASSERT_EQ(batch.size(), clips.size());
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    EXPECT_EQ(batch[i], det.score(clips[i]));
+  }
+}
+
+TEST(CnnDetector, ScoreBatchMatchesScoreBitExact) {
+  // The batched forward pass must reproduce the per-clip path bit for bit
+  // (untrained weights are fine — the contract is about inference, and the
+  // dedup parity guarantee rests on it).
+  CnnDetector det("cnn-batch", {});
+  const auto suite = tiny_suite(8, 4);
+  std::vector<data::Clip> clips;
+  for (std::size_t i = 0; i < suite.test.size(); ++i) {
+    clips.push_back(suite.test[i]);
+  }
+  const auto batch = det.score_batch(clips);
+  ASSERT_EQ(batch.size(), clips.size());
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    EXPECT_EQ(batch[i], det.score(clips[i]));
+  }
+}
+
 TEST(Scan, ThreadsZeroUsesHardwareConcurrency) {
   synth::StyleConfig style;
   const auto lib = synth::build_chip(style, 2, 2, 33);
@@ -594,6 +855,24 @@ TEST(RocAuc, SizeMismatchThrows) {
   data::Clip c;
   ds.add(std::move(c));
   EXPECT_THROW(roc_auc({0.1f, 0.2f}, ds), Error);
+}
+
+TEST(RocAuc, NonFiniteScoresThrow) {
+  // NaN compares false against everything, so pre-check it would slip
+  // through the sorted U-statistic and silently corrupt the AUC instead of
+  // failing. All three non-finite kinds must be rejected.
+  data::Dataset ds;
+  for (int i = 0; i < 2; ++i) {
+    data::Clip c;
+    c.label = i == 0 ? data::Label::Hotspot : data::Label::NonHotspot;
+    ds.add(std::move(c));
+  }
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(roc_auc({nan, 0.2f}, ds), Error);
+  EXPECT_THROW(roc_auc({0.9f, inf}, ds), Error);
+  EXPECT_THROW(roc_auc({-inf, 0.2f}, ds), Error);
+  EXPECT_DOUBLE_EQ(roc_auc({0.9f, 0.2f}, ds), 1.0);  // finite still fine
 }
 
 }  // namespace

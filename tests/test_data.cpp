@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <filesystem>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "lhd/data/augment.hpp"
 #include "lhd/geom/polygon.hpp"
+#include "lhd/data/clip_hash.hpp"
 #include "lhd/data/dataset.hpp"
 #include "lhd/data/io.hpp"
 #include "lhd/testkit/testkit.hpp"
@@ -308,6 +310,73 @@ TEST(DataIo, StreamFailureAtEveryByteThrowsCleanly) {
   // Sanity: the unfaulted stream still loads.
   std::istringstream whole(blob);
   EXPECT_EQ(load_dataset(whole).size(), ds.size());
+}
+
+// -------------------------------------------------------------- clip hash --
+
+TEST(ClipHash, CanonicalFormSitsAtOriginSorted) {
+  const auto canon = canonical_clip(
+      {Rect(700, 400, 800, 500), Rect(300, 200, 400, 300)}, 1024);
+  ASSERT_EQ(canon.rects.size(), 2u);
+  EXPECT_EQ(canon.rects[0], Rect(0, 0, 100, 100));
+  EXPECT_EQ(canon.rects[1], Rect(400, 200, 500, 300));
+  EXPECT_EQ(canon.window_nm, 1024);
+}
+
+TEST(ClipHash, TranslationInvariant) {
+  const Clip base =
+      make_clip({Rect(100, 100, 300, 200), Rect(400, 100, 500, 600)},
+                Label::Hotspot);
+  for (const auto& [dx, dy] : {std::pair(512, 0), std::pair(0, -4096),
+                               std::pair(12345, 6789)}) {
+    Clip moved = base;
+    for (auto& r : moved.rects) r = r.shifted(dx, dy);
+    EXPECT_EQ(canonical_clip(moved), canonical_clip(base)) << dx << "," << dy;
+    EXPECT_EQ(clip_hash(moved), clip_hash(base)) << dx << "," << dy;
+  }
+}
+
+TEST(ClipHash, RectOrderInvariant) {
+  const Clip ab =
+      make_clip({Rect(0, 0, 100, 100), Rect(200, 300, 400, 500)},
+                Label::Hotspot);
+  const Clip ba =
+      make_clip({Rect(200, 300, 400, 500), Rect(0, 0, 100, 100)},
+                Label::Hotspot);
+  EXPECT_EQ(canonical_clip(ab), canonical_clip(ba));
+  EXPECT_EQ(clip_hash(ab), clip_hash(ba));
+}
+
+TEST(ClipHash, MirrorAndRotationAreDistinctPatterns) {
+  // Detectors are not symmetry-invariant, so symmetric variants must not
+  // share a cache entry: an asymmetric L-shaped pair and its mirrored /
+  // rotated images must canonicalize differently.
+  const Clip base =
+      make_clip({Rect(0, 0, 300, 100), Rect(0, 100, 100, 400)},
+                Label::Hotspot);
+  Clip mirrored = base;  // flip x: x -> -x, then canonicalization re-origins
+  for (auto& r : mirrored.rects) r = Rect(-r.xhi, r.ylo, -r.xlo, r.yhi);
+  Clip rotated = base;  // rotate 90°: (x, y) -> (-y, x)
+  for (auto& r : rotated.rects) r = Rect(-r.yhi, r.xlo, -r.ylo, r.xhi);
+  EXPECT_NE(canonical_clip(mirrored), canonical_clip(base));
+  EXPECT_NE(canonical_clip(rotated), canonical_clip(base));
+  EXPECT_NE(clip_hash(mirrored), clip_hash(base));
+  EXPECT_NE(clip_hash(rotated), clip_hash(base));
+}
+
+TEST(ClipHash, WindowSizeIsPartOfTheForm) {
+  // Same rects in a different window = a different classification problem.
+  const Clip small = make_clip({Rect(0, 0, 100, 100)}, Label::Hotspot, 512);
+  const Clip large = make_clip({Rect(0, 0, 100, 100)}, Label::Hotspot, 1024);
+  EXPECT_NE(canonical_clip(small), canonical_clip(large));
+  EXPECT_NE(clip_hash(small), clip_hash(large));
+}
+
+TEST(ClipHash, LabelAndIdDoNotAffectTheForm) {
+  Clip hot = make_clip({Rect(0, 0, 100, 100)}, Label::Hotspot);
+  Clip cold = make_clip({Rect(0, 0, 100, 100)}, Label::NonHotspot);
+  EXPECT_EQ(canonical_clip(hot), canonical_clip(cold));
+  EXPECT_EQ(clip_hash(hot), clip_hash(cold));
 }
 
 }  // namespace

@@ -38,6 +38,26 @@ TEST(Property, ScanParityAcrossThreadCounts) {
   });
 }
 
+TEST(Property, DedupScanParityAcrossThreadsCapacitiesAndBatches) {
+  ThreadPool pool(4);
+  const DensityCutDetector detector(0.05f);
+  // Density score is invariant under rect order and whole-pattern
+  // translation — the precondition under which the dedup path promises
+  // results bit-identical to the naive scan. Capacity 0 (memoization off)
+  // and 1 (constant thrash) are the eviction edge cases; batch 1 flushes
+  // every miss immediately.
+  CHECK_PROPERTY("dedup-scan-parity", 24, [&](Rng& rng, std::size_t size) {
+    const auto rects = random_rects(rng, 8 + size * 8, 8192, 16, 900);
+    const core::ChipIndex chip(rects);
+    core::ScanConfig cfg;
+    cfg.window_nm = 1024;
+    cfg.stride_nm = 512;
+    cfg.skip_empty = rng.next_bool();
+    expect_dedup_scan_parity(chip, detector, cfg, {1, 2, 8}, {0, 1, 4096},
+                             {1, 32}, pool);
+  });
+}
+
 // ------------------------------------------------------------- DCT parity
 
 TEST(Property, DctMatchesNaiveReference) {

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <tuple>
 
 #include "lhd/geom/polygon.hpp"
 #include "lhd/geom/raster.hpp"
@@ -330,6 +332,58 @@ TEST(ChipGen, DeterministicGivenSeed) {
 TEST(ChipGen, RejectsBadTileCounts) {
   StyleConfig style;
   EXPECT_THROW(build_chip(style, 0, 2, 1), Error);
+  EXPECT_THROW(build_chip(style, 2, 2, 1, -1), Error);
+}
+
+TEST(ChipGen, TileVariantsAreArrayedPeriodically) {
+  StyleConfig style;
+  const auto lib = build_chip(style, 4, 4, 7, /*tile_variants=*/4);
+  // Only 4 distinct tile structures exist, but all 16 slots are placed.
+  EXPECT_EQ(lib.structures().size(), 1u + 4);
+  const auto* top = lib.find("TOP");
+  ASSERT_NE(top, nullptr);
+  std::vector<std::string> grid(16);
+  std::size_t refs = 0;
+  for (const auto& e : top->elements) {
+    if (const auto* ref = std::get_if<gds::SRef>(&e)) {
+      const auto tx = ref->transform.origin.x / style.window_nm;
+      const auto ty = ref->transform.origin.y / style.window_nm;
+      grid[static_cast<std::size_t>(ty * 4 + tx)] = ref->structure;
+      ++refs;
+    }
+  }
+  EXPECT_EQ(refs, 16u);
+  // 4 variants form a 2x2 macro: placement repeats with period 2 in both
+  // axes, so the flattened chip is periodic (what a dedup scan feeds on).
+  for (int ty = 0; ty < 4; ++ty) {
+    for (int tx = 0; tx < 4; ++tx) {
+      EXPECT_EQ(grid[static_cast<std::size_t>(ty * 4 + tx)],
+                grid[static_cast<std::size_t>((ty % 2) * 4 + tx % 2)])
+          << "tile (" << tx << ", " << ty << ")";
+    }
+  }
+  // The geometry really is shared, not just the names: tile (2, 2) is the
+  // same variant as tile (0, 0), translated by two windows.
+  const auto rects = lib.flatten_layer("TOP", kChipLayer);
+  const geom::Coord w = style.window_nm;
+  std::vector<Rect> origin_tile, repeat_tile;
+  for (const auto& r : rects) {
+    if (r.xhi <= w && r.yhi <= w) {
+      origin_tile.push_back(Rect(r.xlo + 2 * w, r.ylo + 2 * w, r.xhi + 2 * w,
+                                 r.yhi + 2 * w));
+    } else if (r.xlo >= 2 * w && r.xhi <= 3 * w && r.ylo >= 2 * w &&
+               r.yhi <= 3 * w) {
+      repeat_tile.push_back(r);
+    }
+  }
+  const auto lex = [](const Rect& a, const Rect& b) {
+    return std::tie(a.xlo, a.ylo, a.xhi, a.yhi) <
+           std::tie(b.xlo, b.ylo, b.xhi, b.yhi);
+  };
+  std::sort(origin_tile.begin(), origin_tile.end(), lex);
+  std::sort(repeat_tile.begin(), repeat_tile.end(), lex);
+  ASSERT_FALSE(origin_tile.empty());
+  EXPECT_EQ(origin_tile, repeat_tile);
 }
 
 }  // namespace
