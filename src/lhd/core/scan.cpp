@@ -1,6 +1,9 @@
 #include "lhd/core/scan.hpp"
 
 #include <algorithm>
+#include <compare>
+#include <functional>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 
@@ -10,6 +13,7 @@
 #include "lhd/obs/timer.hpp"
 #include "lhd/util/check.hpp"
 #include "lhd/util/stopwatch.hpp"
+#include "lhd/util/thread_annotations.hpp"
 #include "lhd/util/thread_pool.hpp"
 
 namespace lhd::core {
@@ -128,6 +132,10 @@ struct ShardAccum {
   /// flight, not committed), but no detector invocation happened —
   /// attach_cache_stats reclassifies them as hits.
   std::size_t batch_alias_hits = 0;
+  /// Hierarchical only: windows replayed from a memoized key (no geometry
+  /// extraction) and windows straddling >= 2 instance bboxes.
+  std::uint64_t replay_hits = 0;
+  std::uint64_t stitch_windows = 0;
   std::vector<ScanHit> hits;
   double seconds = 0.0;        ///< shard wall time
   double query_seconds = 0.0;  ///< time inside ChipIndex::query
@@ -153,23 +161,52 @@ data::Clip make_clip(std::vector<geom::Rect> rects, geom::Coord window_nm) {
 /// pattern's score never depends on which occurrence (or shard) computed
 /// it — that is what makes dedup results deterministic. finish() emits
 /// hits strictly in enqueue (row-major) order.
+///
+/// The hierarchical scan layers its replay memo on top: a window enqueued
+/// with a `tag` fires `hook(tag, score)` the moment its score is known
+/// (immediately on a cache hit, otherwise when its batch is scored);
+/// windows whose score was replayed bypass enqueue entirely via
+/// push_resolved(), and windows whose pattern is still *pending* alias it
+/// via repeat() — both still append a slot, so finish() keeps the strict
+/// scan-order emission.
 class DedupScorer {
  public:
+  using ResolveHook = std::function<void(std::size_t tag, float score)>;
+  /// Tag meaning "no commit callback wanted" — the flattened sinks' case.
+  static constexpr std::size_t kNoTag = static_cast<std::size_t>(-1);
+
+  /// Names a pattern still pending in the current batch. enqueue() hands
+  /// one out; repeat() aliases another window to it without recomputing
+  /// the content. Scoring the batch invalidates every outstanding ref
+  /// (the generation bumps), after which repeat() declines.
+  struct PendingRef {
+    std::uint64_t generation = 0;
+    std::size_t index = 0;
+  };
+
   DedupScorer(const Detector& det, ScoreCache& cache, ShardAccum& acc,
-              geom::Coord window_nm, std::size_t batch)
+              geom::Coord window_nm, std::size_t batch,
+              ResolveHook hook = {})
       : det_(det),
         cache_(cache),
         acc_(acc),
         window_nm_(window_nm),
-        batch_(std::max<std::size_t>(1, batch)) {}
+        batch_(std::max<std::size_t>(1, batch)),
+        hook_(std::move(hook)) {}
 
-  void enqueue(const geom::Rect& window, std::vector<geom::Rect> rects) {
+  /// Returns a ref naming the pattern if it is (still) pending after this
+  /// call, std::nullopt if the window resolved immediately (cache hit) or
+  /// the enqueue filled the batch and scored it.
+  std::optional<PendingRef> enqueue(const geom::Rect& window,
+                                    std::vector<geom::Rect> rects,
+                                    std::size_t tag = kNoTag) {
     data::CanonicalClip canon =
         data::canonical_clip(std::move(rects), window_nm_);
     const std::uint64_t hash = data::canonical_hash(canon);
     if (const auto cached = cache_.lookup(canon, hash)) {
-      slots_.push_back({window, *cached, kResolved});
-      return;
+      slots_.push_back({window, *cached, kResolved, kNoTag});
+      if (hook_ && tag != kNoTag) hook_(tag, *cached);
+      return std::nullopt;
     }
     // Intra-batch dedup: a pattern already pending in this batch is scored
     // once and later occurrences alias its slot. On a 64-bit collision
@@ -185,8 +222,30 @@ class DedupScorer {
       if (it == pending_by_hash_.end()) pending_by_hash_.emplace(hash, index);
       pending_.push_back({std::move(canon), hash});
     }
-    slots_.push_back({window, 0.0f, static_cast<std::ptrdiff_t>(index)});
-    if (pending_.size() >= batch_) score_pending();
+    slots_.push_back({window, 0.0f, static_cast<std::ptrdiff_t>(index), tag});
+    if (pending_.size() >= batch_) {
+      score_pending();
+      return std::nullopt;
+    }
+    return PendingRef{generation_, index};
+  }
+
+  /// Alias `window` to a pattern a previous enqueue() left pending, without
+  /// recomputing or even possessing its content. Declines (returns false)
+  /// when the ref's batch has already been scored — the caller falls back
+  /// to the content path (and will then hit the committed memo).
+  bool repeat(const geom::Rect& window, const PendingRef& ref) {
+    if (ref.generation != generation_) return false;
+    slots_.push_back(
+        {window, 0.0f, static_cast<std::ptrdiff_t>(ref.index), kNoTag});
+    return true;
+  }
+
+  /// Append a window whose score is already known (a replayed memo). No
+  /// cache probe, no detector work — just a slot, so the hit list stays in
+  /// scan order.
+  void push_resolved(const geom::Rect& window, float score) {
+    slots_.push_back({window, score, kResolved, kNoTag});
   }
 
   /// Score whatever is still pending, then emit every slot in scan order.
@@ -209,6 +268,7 @@ class DedupScorer {
     geom::Rect window;
     float score = 0.0f;
     std::ptrdiff_t pending = kResolved;  ///< index into the current batch
+    std::size_t tag = kNoTag;            ///< hook payload, kNoTag = none
   };
   struct Pending {
     data::CanonicalClip canon;
@@ -233,11 +293,16 @@ class DedupScorer {
       if (slots_[s].pending != kResolved) {
         slots_[s].score = scores[static_cast<std::size_t>(slots_[s].pending)];
         slots_[s].pending = kResolved;
+        if (hook_ && slots_[s].tag != kNoTag) {
+          hook_(slots_[s].tag, slots_[s].score);
+          slots_[s].tag = kNoTag;
+        }
       }
     }
     resolved_upto_ = slots_.size();
     pending_.clear();
     pending_by_hash_.clear();
+    ++generation_;  // outstanding PendingRefs are now stale
   }
 
   const Detector& det_;
@@ -245,8 +310,10 @@ class DedupScorer {
   ShardAccum& acc_;
   geom::Coord window_nm_;
   std::size_t batch_;
+  ResolveHook hook_;
   std::vector<Slot> slots_;
   std::size_t resolved_upto_ = 0;
+  std::uint64_t generation_ = 0;
   std::vector<Pending> pending_;
   std::unordered_map<std::uint64_t, std::size_t> pending_by_hash_;
 };
@@ -329,15 +396,20 @@ struct TwoStageDedupSink {
   void flush() { scorer.finish(refiner.threshold()); }
 };
 
-/// Copy the scan-local cache's tallies into the result and the registry.
+/// Copy *this scan's* cache activity into the result and the registry.
+/// `before` is the Stats snapshot taken when the scan started: a cache
+/// shared across scans (ScanConfig::cache) keeps cumulative totals, so the
+/// per-scan numbers are the delta — reporting cache.stats() directly would
+/// double-count every preceding scan (the two-scans-one-cache regression).
 /// `alias_hits` (summed over shards) reclassifies intra-batch duplicate
 /// windows from misses to hits: they probed the cache before their
 /// pattern's memo was committed, but were served without a detector
 /// invocation — which is what the hit/miss split reports. The hit+miss
 /// total (one probe per deduped window) is conserved.
 void attach_cache_stats(ScanResult& result, const ScoreCache& cache,
+                        const ScoreCache::Stats& before,
                         std::uint64_t alias_hits) {
-  const ScoreCache::Stats stats = cache.stats();
+  const ScoreCache::Stats stats = cache.stats() - before;
   result.cache_hits = stats.hits + alias_hits;
   result.cache_misses = stats.misses - alias_hits;
   result.cache_evictions = stats.evictions;
@@ -349,18 +421,21 @@ void attach_cache_stats(ScanResult& result, const ScoreCache& cache,
   }
 }
 
-/// Shared scan skeleton: enumerate the window grid, shard it row-wise,
-/// feed each non-skipped window to a per-shard sink built by
-/// `make_sink(accum)` (flushed at shard end), and merge shards in
-/// row-major order so results match the serial scan bit for bit.
-template <typename MakeSink>
-ScanResult scan_impl(const ChipIndex& chip, const ScanConfig& config,
-                     ThreadPool& pool, const MakeSink& make_sink,
+/// Shared scan skeleton: enumerate the window grid over `extent`, shard it
+/// row-wise, hand every window to a per-shard worker built by
+/// `make_worker(accum)` (flushed at shard end), and merge shards in
+/// row-major order so results match the serial scan bit for bit. Rows are
+/// split *evenly*: with R rows over S shards the first R%S shards take
+/// one extra row, so every shard covers a non-empty contiguous ascending
+/// range and shards.size() is the shard count actually used (ceil-division
+/// used to hand trailing shards zero rows yet still report them).
+template <typename MakeWorker>
+ScanResult grid_scan(const geom::Rect& extent, const ScanConfig& config,
+                     ThreadPool& pool, const MakeWorker& make_worker,
                      std::uint64_t* batch_alias_hits = nullptr) {
   LHD_CHECK(config.window_nm > 0 && config.stride_nm > 0, "bad scan config");
   ScanResult result;
   Stopwatch sw;
-  const geom::Rect extent = chip.extent();
   std::vector<geom::Coord> row_ys;
   for (geom::Coord y = extent.ylo; y < extent.yhi; y += config.stride_nm) {
     row_ys.push_back(y);
@@ -369,25 +444,16 @@ ScanResult scan_impl(const ChipIndex& chip, const ScanConfig& config,
   const auto scan_rows = [&](std::size_t lo, std::size_t hi,
                              ShardAccum& acc) {
     obs::ScopedTimer shard_timer(acc.seconds);
-    ChipIndex::QueryScratch scratch;
-    auto sink = make_sink(acc);
+    auto worker = make_worker(acc);
     for (std::size_t r = lo; r < hi; ++r) {
       const geom::Coord y = row_ys[r];
       for (geom::Coord x = extent.xlo; x < extent.xhi;
            x += config.stride_nm) {
-        const geom::Rect window(x, y, x + config.window_nm,
-                                y + config.window_nm);
-        ++acc.windows_total;
-        std::vector<geom::Rect> rects;
-        {
-          obs::ScopedTimer query_timer(acc.query_seconds);
-          rects = chip.query(window, scratch);
-        }
-        if (config.skip_empty && rects.empty()) continue;
-        sink.window(window, std::move(rects));
+        worker.window(geom::Rect(x, y, x + config.window_nm,
+                                 y + config.window_nm));
       }
     }
-    sink.flush();
+    worker.flush();
   };
 
   const std::size_t shards =
@@ -397,17 +463,20 @@ ScanResult scan_impl(const ChipIndex& chip, const ScanConfig& config,
   if (shards <= 1) {
     scan_rows(0, row_ys.size(), accums[0]);
   } else {
-    const std::size_t rows_per = (row_ys.size() + shards - 1) / shards;
+    const std::size_t base = row_ys.size() / shards;
+    const std::size_t rem = row_ys.size() % shards;
     pool.parallel_for(0, shards, [&](std::size_t s) {
-      const std::size_t lo = s * rows_per;
-      const std::size_t hi = std::min(row_ys.size(), lo + rows_per);
-      if (lo < hi) scan_rows(lo, hi, accums[s]);
+      const std::size_t lo = s * base + std::min(s, rem);
+      const std::size_t hi = lo + base + (s < rem ? 1 : 0);
+      scan_rows(lo, hi, accums[s]);
     });
   }
   for (const auto& acc : accums) {
     result.windows_total += acc.windows_total;
     result.windows_classified += acc.windows_classified;
     result.flagged += acc.flagged;
+    result.replay_hits += acc.replay_hits;
+    result.stitch_windows += acc.stitch_windows;
     if (batch_alias_hits != nullptr) {
       *batch_alias_hits += acc.batch_alias_hits;
     }
@@ -435,6 +504,399 @@ ScanResult scan_impl(const ChipIndex& chip, const ScanConfig& config,
   return result;
 }
 
+/// grid_scan worker for the flattened path: query the ChipIndex per
+/// window, apply skip_empty, and forward non-empty windows to one of the
+/// (window, rects) sinks above. This is the pre-hierarchical scan loop
+/// verbatim, just factored so both paths share the grid/shard/merge
+/// skeleton.
+template <typename Sink>
+struct FlatWorker {
+  const ChipIndex& chip;
+  const ScanConfig& config;
+  ShardAccum& acc;
+  Sink sink;
+  ChipIndex::QueryScratch scratch;
+
+  void window(const geom::Rect& w) {
+    ++acc.windows_total;
+    std::vector<geom::Rect> rects;
+    {
+      obs::ScopedTimer query_timer(acc.query_seconds);
+      rects = chip.query(w, scratch);
+    }
+    if (config.skip_empty && rects.empty()) return;
+    sink.window(w, std::move(rects));
+  }
+  void flush() { sink.flush(); }
+};
+
+template <typename MakeSink>
+ScanResult scan_flat(const ChipIndex& chip, const ScanConfig& config,
+                     ThreadPool& pool, const MakeSink& make_sink,
+                     std::uint64_t* batch_alias_hits = nullptr) {
+  return grid_scan(
+      chip.extent(), config, pool,
+      [&](ShardAccum& acc) {
+        return FlatWorker<decltype(make_sink(acc))>{
+            chip, config, acc, make_sink(acc), ChipIndex::QueryScratch{}};
+      },
+      batch_alias_hits);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical scan: index each distinct cell once, replay per instance.
+// ---------------------------------------------------------------------------
+
+/// One overlapping instance's contribution to a window's identity: which
+/// cell, its orientation, and the window's offset from the instance origin
+/// (dx = window.xlo - origin.x, in int64 — origins can sit anywhere in the
+/// coordinate range). Window content is a pure function of the *sorted*
+/// set of these parts: the geometry a visit contributes to the window is
+/// R(cell rects) ∩ ([dx, dx+w) × [dy, dy+w)) translated to window-local
+/// coordinates, which mentions nothing but the part's fields.
+struct VisitKeyPart {
+  std::uint32_t cell = 0;
+  std::uint8_t mirror = 0;
+  std::uint16_t angle = 0;
+  std::int64_t dx = 0;
+  std::int64_t dy = 0;
+
+  friend bool operator==(const VisitKeyPart&, const VisitKeyPart&) = default;
+  friend auto operator<=>(const VisitKeyPart&,
+                          const VisitKeyPart&) = default;
+};
+
+/// Sorted parts, one per instance whose geometry bbox overlaps the window.
+/// Duplicate parts are kept: two coincident placements of the same cell
+/// double the geometry, exactly as flattening would.
+using ReplayKey = std::vector<VisitKeyPart>;
+
+struct ReplayKeyHash {
+  std::size_t operator()(const ReplayKey& key) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;  // splitmix64-style combine
+    const auto mix = [&h](std::uint64_t v) {
+      v += 0x9e3779b97f4a7c15ULL + h;
+      v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+      h = v ^ (v >> 31);
+    };
+    for (const VisitKeyPart& p : key) {
+      mix(std::uint64_t{p.cell} | (std::uint64_t{p.mirror} << 32) |
+          (std::uint64_t{p.angle} << 40));
+      mix(static_cast<std::uint64_t>(p.dx));
+      mix(static_cast<std::uint64_t>(p.dy));
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// A committed window outcome: either "no geometry in the window" (the
+/// skip_empty skip, memoized so repeated offsets skip the cell queries
+/// too) or a final score.
+struct ReplayEntry {
+  bool empty_content = false;
+  float score = 0.0f;
+};
+
+/// Scan-wide memo of *committed* window outcomes by replay key, shared by
+/// every shard. Only resolved scores are published (pending batch entries
+/// stay shard-local), so readers never see a placeholder; since a key's
+/// score is a pure function of the key, racing writers are idempotent.
+/// Entry count is bounded as a backstop: a chip whose every window has a
+/// unique key (no repetition to exploit) stops being memoized past the
+/// cap instead of growing O(windows) state — lookups stay correct.
+class ReplayCache {
+ public:
+  std::optional<ReplayEntry> lookup(const ReplayKey& key) const {
+    const MutexLock lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void insert(const ReplayKey& key, const ReplayEntry& entry) {
+    const MutexLock lock(mutex_);
+    if (map_.size() >= kMaxEntries) return;
+    map_.emplace(key, entry);
+  }
+
+ private:
+  static constexpr std::size_t kMaxEntries = std::size_t{1} << 20;
+
+  mutable Mutex mutex_;
+  std::unordered_map<ReplayKey, ReplayEntry, ReplayKeyHash> map_
+      LHD_GUARDED_BY(mutex_);
+};
+
+/// One placement of a distinct cell, with both directions of the
+/// transform precomputed and the top-frame bbox of the cell's own
+/// geometry (degenerate rects already dropped by the cell's ChipIndex).
+struct Visit {
+  std::uint32_t cell = 0;
+  gds::Transform to_top;
+  gds::Transform to_local;  ///< to_top.inverse(), computed once
+  geom::Rect bbox;
+};
+
+/// Uniform bucket grid over visit bboxes: which instances can contribute
+/// geometry to a window. Same shape as ChipIndex's grid but yields visit
+/// ids (exact bbox-overlap filtered) instead of clipped rects. Immutable
+/// after construction; concurrent query() needs a Scratch per thread.
+class InstanceGrid {
+ public:
+  struct Scratch {
+    std::vector<std::uint32_t> stamp;
+    std::uint32_t value = 0;
+  };
+
+  InstanceGrid(const std::vector<Visit>& visits, const geom::Rect& extent,
+               geom::Coord bucket_nm)
+      : extent_(extent), bucket_nm_(bucket_nm), count_(visits.size()) {
+    LHD_CHECK(bucket_nm_ > 0, "bucket size must be positive");
+    bboxes_.reserve(visits.size());
+    for (const Visit& v : visits) bboxes_.push_back(v.bbox);
+    if (visits.empty() || extent_.empty()) {
+      bx_ = by_ = 1;
+      buckets_.resize(1);
+      return;
+    }
+    const auto spans = [this](geom::Coord lo, geom::Coord hi) {
+      return static_cast<int>(
+          (static_cast<std::int64_t>(hi) - lo + bucket_nm_ - 1) / bucket_nm_);
+    };
+    bx_ = std::max(spans(extent_.xlo, extent_.xhi), 1);
+    by_ = std::max(spans(extent_.ylo, extent_.yhi), 1);
+    buckets_.assign(static_cast<std::size_t>(bx_) * static_cast<std::size_t>(by_), {});
+    for (std::uint32_t i = 0; i < visits.size(); ++i) {
+      const geom::Rect& b = bboxes_[i];
+      if (b.empty()) continue;
+      // Visit bboxes are inside `extent` (it is their union), so the
+      // bucket range needs no clamping beyond the grid edge.
+      const int x0 = std::max(0, bucket_of(b.xlo, extent_.xlo));
+      const int y0 = std::max(0, bucket_of(b.ylo, extent_.ylo));
+      const int x1 = std::min(bx_ - 1, bucket_of(b.xhi - 1, extent_.xlo));
+      const int y1 = std::min(by_ - 1, bucket_of(b.yhi - 1, extent_.ylo));
+      for (int by = y0; by <= y1; ++by) {
+        for (int bx = x0; bx <= x1; ++bx) {
+          buckets_[static_cast<std::size_t>(by) * static_cast<std::size_t>(bx_) +
+                   static_cast<std::size_t>(bx)]
+              .push_back(i);
+        }
+      }
+    }
+  }
+
+  /// Ids of visits whose bbox overlaps `window`, ascending, appended to
+  /// `out` (cleared first). Race-free with one Scratch per thread.
+  void query(const geom::Rect& window, Scratch& scratch,
+             std::vector<std::uint32_t>& out) const {
+    out.clear();
+    if (count_ == 0 || !window.overlaps(extent_)) return;
+    if (scratch.stamp.size() != count_) {
+      scratch.stamp.assign(count_, 0);
+      scratch.value = 0;
+    }
+    if (++scratch.value == 0) {
+      std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0);
+      scratch.value = 1;
+    }
+    const int x0 = std::max(0, bucket_of(window.xlo, extent_.xlo));
+    const int y0 = std::max(0, bucket_of(window.ylo, extent_.ylo));
+    const int x1 = std::min(bx_ - 1, bucket_of(window.xhi - 1, extent_.xlo));
+    const int y1 = std::min(by_ - 1, bucket_of(window.yhi - 1, extent_.ylo));
+    for (int by = y0; by <= y1; ++by) {
+      for (int bx = x0; bx <= x1; ++bx) {
+        for (const std::uint32_t i :
+             buckets_[static_cast<std::size_t>(by) *
+                          static_cast<std::size_t>(bx_) +
+                      static_cast<std::size_t>(bx)]) {
+          if (scratch.stamp[i] == scratch.value) continue;
+          scratch.stamp[i] = scratch.value;
+          if (bboxes_[i].overlaps(window)) out.push_back(i);
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+  }
+
+ private:
+  /// floor_div in int64: the window minus the extent origin can exceed the
+  /// Coord range when a window near one edge probes buckets near the other.
+  int bucket_of(geom::Coord v, geom::Coord origin) const {
+    const std::int64_t d = static_cast<std::int64_t>(v) - origin;
+    std::int64_t q = d / bucket_nm_;
+    if (d % bucket_nm_ != 0 && d < 0) --q;  // bucket_nm_ > 0
+    return static_cast<int>(q);
+  }
+
+  geom::Rect extent_;
+  geom::Coord bucket_nm_ = 0;
+  std::size_t count_ = 0;
+  int bx_ = 1, by_ = 1;
+  std::vector<geom::Rect> bboxes_;
+  std::vector<std::vector<std::uint32_t>> buckets_;
+};
+
+/// grid_scan worker for the hierarchical path. Per window: gather the
+/// overlapping visits, build the replay key, and serve the window from
+/// (in order) the shard-local memo, the shared ReplayCache, or the content
+/// path — inverse-transform the window into each visit's cell frame, query
+/// that cell's ChipIndex, map the clipped rects back, and hand the content
+/// to the DedupScorer (ScoreCache dedup + batched detector). Resolved
+/// scores are committed back to both memos via the scorer's hook, so every
+/// later window with the same key — any shard — replays without touching
+/// geometry. Not movable: the hook lambda captures `this`.
+class HierWorker {
+ public:
+  HierWorker(const std::vector<ChipIndex>& cells,
+             const std::vector<Visit>& visits, const InstanceGrid& grid,
+             ReplayCache& replay, const Detector& det, ScoreCache& cache,
+             ShardAccum& acc, const ScanConfig& config)
+      : cells_(cells),
+        visits_(visits),
+        grid_(grid),
+        replay_(replay),
+        acc_(acc),
+        skip_empty_(config.skip_empty),
+        threshold_(det.threshold()),
+        scorer_(det, cache, acc, config.window_nm, config.batch,
+                [this](std::size_t tag, float score) {
+                  commit_entry(pending_keys_[tag], {false, score});
+                  pending_refs_.erase(pending_keys_[tag]);
+                }),
+        cell_scratch_(cells.size()) {}
+
+  HierWorker(const HierWorker&) = delete;
+  HierWorker& operator=(const HierWorker&) = delete;
+
+  void window(const geom::Rect& w) {
+    ++acc_.windows_total;
+    {
+      obs::ScopedTimer query_timer(acc_.query_seconds);
+      grid_.query(w, grid_scratch_, ids_);
+    }
+    key_.clear();
+    for (const std::uint32_t id : ids_) {
+      const Visit& v = visits_[id];
+      VisitKeyPart part;
+      part.cell = v.cell;
+      part.mirror = static_cast<std::uint8_t>(v.to_top.mirror_x ? 1 : 0);
+      part.angle = static_cast<std::uint16_t>(v.to_top.angle_deg);
+      part.dx = static_cast<std::int64_t>(w.xlo) - v.to_top.origin.x;
+      part.dy = static_cast<std::int64_t>(w.ylo) - v.to_top.origin.y;
+      key_.push_back(part);
+    }
+    std::sort(key_.begin(), key_.end());
+    if (key_.size() >= 2) ++acc_.stitch_windows;
+    // No instance near the window: the flattened query would be empty.
+    if (key_.empty() && skip_empty_) return;
+    if (const auto it = local_.find(key_); it != local_.end()) {
+      ++acc_.replay_hits;
+      emit(w, it->second);
+      return;
+    }
+    if (const auto shared = replay_.lookup(key_)) {
+      ++acc_.replay_hits;
+      local_.emplace(key_, *shared);
+      emit(w, *shared);
+      return;
+    }
+    // The key's first occurrence may still be pending in the current
+    // batch: alias this window to its slot instead of re-gathering the
+    // geometry. A stale ref (batch already scored) falls through — the
+    // score was committed by the hook, so local_ serves the next repeat.
+    if (const auto it = pending_refs_.find(key_); it != pending_refs_.end()) {
+      if (scorer_.repeat(w, it->second)) {
+        ++acc_.replay_hits;
+        return;
+      }
+      pending_refs_.erase(it);
+    }
+    std::vector<geom::Rect> rects = gather(w);
+    if (skip_empty_ && rects.empty()) {
+      // Bboxes overlapped but no actual geometry landed in the window —
+      // the flattened scan skips it; memoize the skip for this key.
+      commit_entry(key_, {true, 0.0f});
+      return;
+    }
+    pending_keys_.push_back(key_);
+    if (const auto ref =
+            scorer_.enqueue(w, std::move(rects), pending_keys_.size() - 1)) {
+      pending_refs_.emplace(key_, *ref);
+    }
+  }
+
+  void flush() {
+    scorer_.finish(threshold_);
+    pending_keys_.clear();
+    pending_refs_.clear();  // hooks already emptied it; keep the invariant
+  }
+
+ private:
+  void emit(const geom::Rect& w, const ReplayEntry& entry) {
+    if (entry.empty_content) return;  // a replayed skip
+    scorer_.push_resolved(w, entry.score);
+  }
+
+  void commit_entry(const ReplayKey& key, const ReplayEntry& entry) {
+    local_.insert_or_assign(key, entry);
+    replay_.insert(key, entry);
+  }
+
+  /// The window's content, bit-identical to ChipIndex::query on the
+  /// flattened layer: apply() maps half-open cell sets exactly and
+  /// commutes with intersect, so clipping in the cell frame then mapping
+  /// back equals mapping then clipping.
+  std::vector<geom::Rect> gather(const geom::Rect& w) {
+    obs::ScopedTimer query_timer(acc_.query_seconds);
+    std::vector<geom::Rect> out;
+    for (const std::uint32_t id : ids_) {
+      const Visit& v = visits_[id];
+      const geom::Rect local_window = v.to_local.apply(w);
+      for (const geom::Rect& r :
+           cells_[v.cell].query(local_window, cell_scratch_[v.cell])) {
+        const geom::Rect top =
+            v.to_top.apply(r.shifted(local_window.xlo, local_window.ylo));
+        out.push_back(top.shifted(-w.xlo, -w.ylo));
+      }
+    }
+    return out;
+  }
+
+  const std::vector<ChipIndex>& cells_;
+  const std::vector<Visit>& visits_;
+  const InstanceGrid& grid_;
+  ReplayCache& replay_;
+  ShardAccum& acc_;
+  bool skip_empty_ = true;
+  float threshold_ = 0.0f;
+  DedupScorer scorer_;
+  std::vector<ChipIndex::QueryScratch> cell_scratch_;  ///< one per cell
+  InstanceGrid::Scratch grid_scratch_;
+  std::vector<std::uint32_t> ids_;  ///< visits overlapping current window
+  ReplayKey key_;                   ///< current window's key (reused)
+  std::unordered_map<ReplayKey, ReplayEntry, ReplayKeyHash> local_;
+  std::vector<ReplayKey> pending_keys_;  ///< hook tag -> key, cleared at flush
+  /// Keys whose first window is still pending in the scorer's current
+  /// batch; repeats alias its slot. The hook erases entries as their batch
+  /// resolves, so the map only ever holds live refs.
+  std::unordered_map<ReplayKey, DedupScorer::PendingRef, ReplayKeyHash>
+      pending_refs_;
+};
+
+}  // namespace
+
+namespace {
+
+/// The scan's ScoreCache: the caller-shared one when provided (dedup
+/// path), otherwise a scan-private cache materialized into `owned`.
+ScoreCache& select_cache(const ScanConfig& config, std::size_t capacity,
+                         std::optional<ScoreCache>& owned) {
+  if (config.cache != nullptr) return *config.cache;
+  owned.emplace(capacity);
+  return *owned;
+}
+
 }  // namespace
 
 ScanResult scan_chip(const ChipIndex& chip, const Detector& detector,
@@ -444,18 +906,23 @@ ScanResult scan_chip(const ChipIndex& chip, const Detector& detector,
 
 ScanResult scan_chip(const ChipIndex& chip, const Detector& detector,
                      const ScanConfig& config, ThreadPool& pool) {
+  LHD_CHECK(!config.hierarchical,
+            "scan_chip scans a flattened index; the hierarchical path needs "
+            "the GDS structure tree - call scan_library()");
   if (!config.dedup) {
-    return scan_impl(chip, config, pool, [&](ShardAccum& acc) {
+    return scan_flat(chip, config, pool, [&](ShardAccum& acc) {
       return DirectSink{detector, config.window_nm, acc};
     });
   }
-  ScoreCache cache(config.cache_capacity);
+  std::optional<ScoreCache> owned;
+  ScoreCache& cache = select_cache(config, config.cache_capacity, owned);
+  const ScoreCache::Stats before = cache.stats();
   std::uint64_t alias_hits = 0;
-  ScanResult result = scan_impl(
+  ScanResult result = scan_flat(
       chip, config, pool,
       [&](ShardAccum& acc) { return DedupSink(detector, cache, acc, config); },
       &alias_hits);
-  attach_cache_stats(result, cache, alias_hits);
+  attach_cache_stats(result, cache, before, alias_hits);
   return result;
 }
 
@@ -471,20 +938,112 @@ ScanResult scan_chip_two_stage(const ChipIndex& chip,
                                const Detector& prefilter,
                                const Detector& refiner,
                                const ScanConfig& config, ThreadPool& pool) {
+  LHD_CHECK(!config.hierarchical,
+            "scan_chip_two_stage scans a flattened index; the hierarchical "
+            "path needs the GDS structure tree - call scan_library()");
   if (!config.dedup) {
-    return scan_impl(chip, config, pool, [&](ShardAccum& acc) {
+    return scan_flat(chip, config, pool, [&](ShardAccum& acc) {
       return TwoStageSink{prefilter, refiner, config.window_nm, acc};
     });
   }
-  ScoreCache cache(config.cache_capacity);
+  std::optional<ScoreCache> owned;
+  ScoreCache& cache = select_cache(config, config.cache_capacity, owned);
+  const ScoreCache::Stats before = cache.stats();
   std::uint64_t alias_hits = 0;
-  ScanResult result = scan_impl(
+  ScanResult result = scan_flat(
       chip, config, pool,
       [&](ShardAccum& acc) {
         return TwoStageDedupSink(prefilter, refiner, cache, acc, config);
       },
       &alias_hits);
-  attach_cache_stats(result, cache, alias_hits);
+  attach_cache_stats(result, cache, before, alias_hits);
+  return result;
+}
+
+ScanResult scan_library(const gds::Library& lib, const std::string& top,
+                        std::int16_t layer, const Detector& detector,
+                        const ScanConfig& config) {
+  return scan_library(lib, top, layer, detector, config,
+                      ThreadPool::global());
+}
+
+ScanResult scan_library(const gds::Library& lib, const std::string& top,
+                        std::int16_t layer, const Detector& detector,
+                        const ScanConfig& config, ThreadPool& pool) {
+  if (!config.hierarchical) {
+    return scan_chip(ChipIndex::from_library(lib, top, layer), detector,
+                     config, pool);
+  }
+  LHD_CHECK(config.window_nm > 0 && config.stride_nm > 0, "bad scan config");
+  Stopwatch sw;
+
+  // Enumerate instance placements from the structure tree and index each
+  // distinct cell's own geometry exactly once. The scan extent is the
+  // union of the visit bboxes, which equals the flattened index's extent:
+  // every non-degenerate flattened rect is some visit's transformed own
+  // rect (D4 transforms preserve non-degeneracy and commute with unite),
+  // so the window grids match and so does the hit list.
+  const std::vector<gds::LayerInstance> placements =
+      lib.layer_instances(top, layer);
+  std::vector<ChipIndex> cells;
+  std::unordered_map<std::size_t, std::uint32_t> cell_of;
+  std::vector<Visit> visits;
+  geom::Rect extent;
+  for (const gds::LayerInstance& placement : placements) {
+    const auto [it, fresh] = cell_of.try_emplace(
+        placement.structure, static_cast<std::uint32_t>(cells.size()));
+    if (fresh) {
+      cells.emplace_back(gds::structure_layer_rects(
+          lib.structures()[placement.structure], layer));
+    }
+    const ChipIndex& cell = cells[it->second];
+    // Only degenerate shapes: the flattened index drops them too.
+    if (cell.rect_count() == 0) continue;
+    Visit v;
+    v.cell = it->second;
+    v.to_top = placement.transform;
+    v.to_local = placement.transform.inverse();
+    v.bbox = placement.transform.apply(cell.extent());
+    extent = extent.unite(v.bbox);
+    visits.push_back(v);
+  }
+  std::vector<char> cell_used(cells.size(), 0);
+  for (const Visit& v : visits) cell_used[v.cell] = 1;
+
+  const InstanceGrid grid(
+      visits, extent,
+      std::max<geom::Coord>(config.window_nm, geom::Coord{2048}));
+  ReplayCache replay;
+  std::optional<ScoreCache> owned;
+  // With dedup off, a private capacity-0 cache keeps the scorer flow valid
+  // while memoizing nothing: replay still collapses repeated keys, but
+  // distinct keys with identical content are scored independently,
+  // mirroring the flattened non-dedup contract.
+  ScoreCache& cache = config.dedup
+                          ? select_cache(config, config.cache_capacity, owned)
+                          : (owned.emplace(0), *owned);
+  const ScoreCache::Stats before = cache.stats();
+  std::uint64_t alias_hits = 0;
+  ScanResult result = grid_scan(
+      extent, config, pool,
+      [&](ShardAccum& acc) {
+        return HierWorker(cells, visits, grid, replay, detector, cache, acc,
+                          config);
+      },
+      &alias_hits);
+  if (config.dedup) attach_cache_stats(result, cache, before, alias_hits);
+  result.instances = visits.size();
+  result.distinct_cells = static_cast<std::size_t>(
+      std::count(cell_used.begin(), cell_used.end(), char{1}));
+  result.seconds = sw.seconds();  // include enumeration + cell indexing
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.add("scan.hier.runs");
+    reg.add("scan.hier.replay_hits", result.replay_hits);
+    reg.add("scan.hier.stitch_windows", result.stitch_windows);
+    reg.add("scan.hier.instances", result.instances);
+    reg.add("scan.hier.cells", result.distinct_cells);
+  }
   return result;
 }
 

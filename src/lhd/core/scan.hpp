@@ -23,11 +23,39 @@
 /// which a shared cache makes schedule-dependent — it is the one ScanResult
 /// count that may differ run to run when dedup is on.
 ///
+/// Real layouts are also *hierarchical* (SREF/AREF forests), so flattening
+/// pays O(flattened area) before the dedup cache can rediscover the
+/// repetition window-by-window. scan_library() with
+/// ScanConfig::hierarchical exploits the hierarchy directly: it enumerates
+/// instance placements from the structure tree (gds::Library::
+/// layer_instances, memoized per-structure bboxes — the layer is never
+/// flattened), indexes each distinct cell's geometry once, and keys every
+/// window by its *replay key* — the sorted (cell, mirror, angle,
+/// window-minus-origin offset) tuple per overlapping instance. Window
+/// content is a pure function of that key, so interior windows of repeated
+/// cells replay a memoized score instead of re-extracting geometry;
+/// detector work shrinks to O(distinct geometry + stitch bands where
+/// instances abut or overlap). The hit list stays bit-identical to the
+/// flattened scan (asserted by the hierarchical parity property) under the
+/// same precondition as dedup: the detector's score must be invariant
+/// under rect order and whole-pattern translation.
+///
 /// Thread-safety: ChipIndex is immutable after construction and all its
 /// methods are const; concurrent query() calls are race-free as long as
 /// each thread passes its own QueryScratch. scan_chip* may run on a shared
 /// pool; the detector's score()/predict() must be thread-safe (true for
-/// every in-tree detector). Scans record per-shard timings and window
+/// every in-tree detector). The hierarchical instance-replay path shards
+/// the same row-major window grid: per-shard state (replay key scratch,
+/// per-cell QueryScratch, the DedupScorer) is thread-local, while the two
+/// scan-wide memos — the ScoreCache and the replay cache (committed
+/// key→score entries) — are internally synchronized (lhd::Mutex +
+/// LHD_GUARDED_BY, machine-checked under Clang), so shards only exchange
+/// *committed* scores and the merged hit list is bit-identical for every
+/// thread count. A caller-supplied ScanConfig::cache may be shared across
+/// *sequential* scans (each scan reports per-scan deltas via the
+/// snapshot/delta Stats API); sharing one cache between *concurrent* scans
+/// is safe for results but makes the per-scan hit/miss attribution
+/// approximate. Scans record per-shard timings and window
 /// tallies into obs::Registry::global() when observability is enabled —
 /// instrumentation never changes scan results (asserted by
 /// Scan.InstrumentedScanMatchesUninstrumented).
@@ -43,6 +71,8 @@ class ThreadPool;
 }
 
 namespace lhd::core {
+
+class ScoreCache;
 
 /// Bucketed spatial index over a flattened rectangle soup. Degenerate
 /// (empty) input rects are dropped on construction — they cannot be
@@ -118,6 +148,22 @@ struct ScanConfig {
   /// Cache misses per shard accumulated before one batched
   /// Detector::score_batch() call (dedup path only; clamped to >= 1).
   std::size_t batch = 32;
+  /// Scan the GDS hierarchy instead of a flattened layer: index each
+  /// distinct cell once and replay memoized window scores per instance
+  /// (scan_library() only — scan_chip* has no hierarchy to exploit and
+  /// rejects the flag). Hit lists are bit-identical to the flattened scan
+  /// whenever the detector's score is invariant under rect order and
+  /// whole-pattern translation (the dedup precondition; asserted by the
+  /// hierarchical parity property).
+  bool hierarchical = false;
+  /// Optional caller-owned ScoreCache shared across scans (dedup path;
+  /// ignored when dedup is off). nullptr — the default — gives each scan a
+  /// private cache of cache_capacity entries. A shared cache keeps its
+  /// memos across scans; each scan's ScanResult still reports *per-scan*
+  /// hit/miss/eviction deltas (Stats snapshot taken at scan start). Share
+  /// between sequential scans; concurrent scans stay correct but blur the
+  /// per-scan attribution.
+  ScoreCache* cache = nullptr;
 };
 
 struct ScanHit {
@@ -150,13 +196,27 @@ struct ScanResult {
   double seconds = 0.0;
   /// Dedup only: windows served without a detector invocation — from a
   /// committed ScoreCache memo or from a pattern pending in the same
-  /// batch. hits + misses == one probe per deduped window.
+  /// batch. hits + misses == one probe per deduped window (under
+  /// `hierarchical`, replayed windows skip the probe, so only gathered
+  /// windows count).
   std::uint64_t cache_hits = 0;
   /// Dedup only: windows that forced a detector invocation (first
   /// occurrence of a pattern, capacity-0 re-scores, hash-collision
   /// overflow).
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;  ///< dedup only: ScoreCache evictions
+  /// Hierarchical only: windows served by replay — an identical replay key
+  /// was already memoized (shard-local or scan-wide) or still pending in
+  /// the current batch — so no geometry extraction, canonicalization, or
+  /// detector work happened for them.
+  std::uint64_t replay_hits = 0;
+  /// Hierarchical only: windows overlapping two or more instance bboxes —
+  /// the halo/stitch bands where instances abut or overlap loose geometry.
+  /// These windows' keys repeat only if the *combination* repeats, so they
+  /// bound the fresh-geometry work the hierarchy cannot elide.
+  std::uint64_t stitch_windows = 0;
+  std::size_t instances = 0;       ///< hierarchical only: placements scanned
+  std::size_t distinct_cells = 0;  ///< hierarchical only: distinct structures
   std::vector<ScanHit> hits;
   /// One entry per shard, in shard (row-major) order; size() is the shard
   /// count actually used. Timing fields vary run to run; window counts are
@@ -166,7 +226,9 @@ struct ScanResult {
 
 /// Single-stage scan: classify every (non-empty) window. Runs on
 /// ThreadPool::global() when config.threads != 1; the detector's score()
-/// must be thread-safe (true for every in-tree detector).
+/// must be thread-safe (true for every in-tree detector). Rejects
+/// config.hierarchical (a flattened ChipIndex has no hierarchy left) —
+/// use scan_library() for the hierarchical path.
 ScanResult scan_chip(const ChipIndex& chip, const Detector& detector,
                      const ScanConfig& config);
 
@@ -185,5 +247,22 @@ ScanResult scan_chip_two_stage(const ChipIndex& chip,
                                const Detector& prefilter,
                                const Detector& refiner,
                                const ScanConfig& config, ThreadPool& pool);
+
+/// Scan `top`'s `layer` straight from the GDS library. With
+/// config.hierarchical the layer is never flattened: instances are
+/// enumerated from the structure tree, each distinct cell is indexed once,
+/// and per-window scores replay across repeated placements (see the @file
+/// notes); windows_classified shrinks to O(distinct geometry + stitch
+/// bands) detector invocations. Without the flag this is a convenience
+/// wrapper over ChipIndex::from_library + scan_chip — the reference the
+/// parity property compares against. The grid, window order, and merged
+/// hit list match the flattened scan exactly.
+ScanResult scan_library(const gds::Library& lib, const std::string& top,
+                        std::int16_t layer, const Detector& detector,
+                        const ScanConfig& config);
+
+ScanResult scan_library(const gds::Library& lib, const std::string& top,
+                        std::int16_t layer, const Detector& detector,
+                        const ScanConfig& config, ThreadPool& pool);
 
 }  // namespace lhd::core

@@ -29,12 +29,23 @@ namespace lhd::core {
 class ScoreCache {
  public:
   /// Monotonic totals since construction (or the last reset_stats()).
+  /// Totals are *cumulative*: a cache serving several scans keeps counting
+  /// across them. Consumers that need per-scan numbers (the scan's
+  /// ScanResult does) must snapshot before and report the difference —
+  /// that is what operator- / delta_since() are for.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
 
     friend bool operator==(const Stats&, const Stats&) = default;
+    /// Component-wise difference: `stats() - snapshot` is the activity
+    /// since `snapshot` was taken (valid when no reset_stats() intervened
+    /// and, for an exact attribution, no concurrent user ran in between).
+    friend Stats operator-(const Stats& a, const Stats& b) {
+      return {a.hits - b.hits, a.misses - b.misses,
+              a.evictions - b.evictions};
+    }
   };
 
   /// `capacity` bounds the total entry count across all shards (rounded

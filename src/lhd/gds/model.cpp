@@ -63,6 +63,28 @@ Rect Transform::apply(const Rect& r) const {
               std::max(a.y, b.y));
 }
 
+Transform Transform::inverse() const {
+  // T(p) = R p + o with R = rot(angle) ∘ mirror(m), so T⁻¹(p) =
+  // R⁻¹ p + R⁻¹(-o). R⁻¹ keeps the mirror bit (reflections are
+  // involutions) and negates the rotation — except that expressing
+  // M·rot(-a) back in GDS order (mirror first, rotate second) flips the
+  // negation again: M·rot(-a) == rot(a)·M.
+  Transform inv;
+  inv.mirror_x = mirror_x;
+  inv.angle_deg = mirror_x ? angle_deg : (360 - angle_deg) % 360;
+  Transform rot = inv;  // rotation/mirror part only
+  rot.origin = {0, 0};
+  // -origin stays in range: |coord| <= 2^31 - 1 implies the negation fits
+  // unless origin is exactly INT32_MIN, which apply()'s int64 math plus
+  // fits_coord check rejects rather than overflowing.
+  const std::int64_t nx = -static_cast<std::int64_t>(origin.x);
+  const std::int64_t ny = -static_cast<std::int64_t>(origin.y);
+  LHD_CHECK(fits_coord(nx) && fits_coord(ny),
+            "transform origin negation overflows 32-bit range");
+  inv.origin = rot.apply(Point{static_cast<Coord>(nx), static_cast<Coord>(ny)});
+  return inv;
+}
+
 Transform Transform::compose(const Transform& inner) const {
   Transform out;
   // Mirror composition in the dihedral group D4: outer ∘ inner.
@@ -122,6 +144,21 @@ void Structure::add(Element element) {
 #pragma GCC diagnostic pop
 #endif
 
+std::vector<Rect> structure_layer_rects(const Structure& s,
+                                        std::int16_t layer) {
+  std::vector<Rect> out;
+  for (const Element& el : s.elements) {
+    if (const auto* b = std::get_if<Boundary>(&el)) {
+      if (b->layer != layer) continue;
+      for (const Rect& r : b->polygon.decompose()) out.push_back(r);
+    } else if (const auto* p = std::get_if<Path>(&el)) {
+      if (p->layer != layer) continue;
+      for (const Rect& r : p->to_rects()) out.push_back(r);
+    }
+  }
+  return out;
+}
+
 Structure& Library::add_structure(const std::string& structure_name) {
   LHD_CHECK_MSG(index_.find(structure_name) == index_.end(),
                 "duplicate structure " << structure_name);
@@ -151,13 +188,117 @@ std::vector<Rect> Library::flatten_layer(const std::string& top,
 
 geom::Rect Library::layer_bbox(const std::string& top,
                                std::int16_t layer) const {
-  Rect box;
-  bool first = true;
-  for (const Rect& r : flatten_layer(top, layer)) {
-    box = first ? r : box.unite(r);
-    first = false;
+  const auto it = index_.find(top);
+  LHD_CHECK_MSG(it != index_.end(), "unknown top structure " << top);
+  std::vector<char> state(structures_.size(), 0);
+  std::vector<char> own(structures_.size(), 0);
+  std::vector<Rect> memo(structures_.size());
+  return subtree_bbox(it->second, layer, 0, state, memo, own);
+}
+
+std::vector<LayerInstance> Library::layer_instances(const std::string& top,
+                                                    std::int16_t layer) const {
+  const auto it = index_.find(top);
+  LHD_CHECK_MSG(it != index_.end(), "unknown top structure " << top);
+  // One bbox pass validates every reachable reference and memoizes which
+  // subtrees carry layer geometry; the placement walk then prunes empty
+  // subtrees without descending into them.
+  std::vector<char> state(structures_.size(), 0);
+  std::vector<char> own(structures_.size(), 0);
+  std::vector<Rect> memo(structures_.size());
+  subtree_bbox(it->second, layer, 0, state, memo, own);
+  std::vector<LayerInstance> out;
+  collect_instances(it->second, layer, Transform{}, 0, own, memo, out);
+  return out;
+}
+
+geom::Rect Library::subtree_bbox(std::size_t index, std::int16_t layer,
+                                 int depth, std::vector<char>& state,
+                                 std::vector<geom::Rect>& memo,
+                                 std::vector<char>& own_nonempty) const {
+  LHD_CHECK(depth < 64, "reference depth exceeds 64 — likely a cycle");
+  if (state[index]) return memo[index];
+  const Structure& s = structures_[index];
+  Rect own;
+  for (const Rect& r : structure_layer_rects(s, layer)) own = own.unite(r);
+  Rect box = own;
+  for (const Element& el : s.elements) {
+    if (const auto* sr = std::get_if<SRef>(&el)) {
+      const auto it = index_.find(sr->structure);
+      LHD_CHECK_MSG(it != index_.end(), "SREF to unknown " << sr->structure);
+      const Rect child =
+          subtree_bbox(it->second, layer, depth + 1, state, memo,
+                       own_nonempty);
+      if (!child.empty()) box = box.unite(sr->transform.apply(child));
+    } else if (const auto* ar = std::get_if<ARef>(&el)) {
+      const auto it = index_.find(ar->structure);
+      LHD_CHECK_MSG(it != index_.end(), "AREF to unknown " << ar->structure);
+      const Rect child =
+          subtree_bbox(it->second, layer, depth + 1, state, memo,
+                       own_nonempty);
+      if (child.empty() || ar->rows <= 0 || ar->cols <= 0) continue;
+      // Cell origins are linear in (row, col), so the union over the whole
+      // grid of translated child boxes — and the coordinate extremes the
+      // flatten path range-checks cell by cell — are attained at the four
+      // corner cells. Uniting just those is exact and O(1) per AREF.
+      for (const int r : {0, ar->rows - 1}) {
+        for (const int c : {0, ar->cols - 1}) {
+          Transform cell = ar->transform;
+          const std::int64_t ox = static_cast<std::int64_t>(cell.origin.x) +
+                                  static_cast<std::int64_t>(c) * ar->col_step.x +
+                                  static_cast<std::int64_t>(r) * ar->row_step.x;
+          const std::int64_t oy = static_cast<std::int64_t>(cell.origin.y) +
+                                  static_cast<std::int64_t>(c) * ar->col_step.y +
+                                  static_cast<std::int64_t>(r) * ar->row_step.y;
+          LHD_CHECK(fits_coord(ox) && fits_coord(oy),
+                    "AREF cell origin overflows 32-bit range");
+          cell.origin = {static_cast<Coord>(ox), static_cast<Coord>(oy)};
+          box = box.unite(cell.apply(child));
+        }
+      }
+    }
   }
-  return first ? Rect{} : box;
+  state[index] = 1;
+  own_nonempty[index] = own.empty() ? 0 : 1;
+  memo[index] = box;
+  return box;
+}
+
+void Library::collect_instances(std::size_t index, std::int16_t layer,
+                                const Transform& t, int depth,
+                                const std::vector<char>& own_nonempty,
+                                const std::vector<geom::Rect>& tree_bbox,
+                                std::vector<LayerInstance>& out) const {
+  LHD_CHECK(depth < 64, "reference depth exceeds 64 — likely a cycle");
+  if (tree_bbox[index].empty()) return;  // nothing on the layer below here
+  if (own_nonempty[index]) out.push_back({index, t});
+  const Structure& s = structures_[index];
+  for (const Element& el : s.elements) {
+    if (const auto* sr = std::get_if<SRef>(&el)) {
+      collect_instances(index_.at(sr->structure), layer,
+                        t.compose(sr->transform), depth + 1, own_nonempty,
+                        tree_bbox, out);
+    } else if (const auto* ar = std::get_if<ARef>(&el)) {
+      const std::size_t child = index_.at(ar->structure);
+      if (tree_bbox[child].empty()) continue;  // skip the grid expansion too
+      for (int r = 0; r < ar->rows; ++r) {
+        for (int c = 0; c < ar->cols; ++c) {
+          Transform cell = ar->transform;
+          const std::int64_t ox = static_cast<std::int64_t>(cell.origin.x) +
+                                  static_cast<std::int64_t>(c) * ar->col_step.x +
+                                  static_cast<std::int64_t>(r) * ar->row_step.x;
+          const std::int64_t oy = static_cast<std::int64_t>(cell.origin.y) +
+                                  static_cast<std::int64_t>(c) * ar->col_step.y +
+                                  static_cast<std::int64_t>(r) * ar->row_step.y;
+          LHD_CHECK(fits_coord(ox) && fits_coord(oy),
+                    "AREF cell origin overflows 32-bit range");
+          cell.origin = {static_cast<Coord>(ox), static_cast<Coord>(oy)};
+          collect_instances(child, layer, t.compose(cell), depth + 1,
+                            own_nonempty, tree_bbox, out);
+        }
+      }
+    }
+  }
 }
 
 void Library::flatten_into(const Structure& s, std::int16_t layer,

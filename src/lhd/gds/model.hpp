@@ -27,9 +27,19 @@ struct Transform {
 
   geom::Point apply(const geom::Point& p) const;
   /// Axis-aligned rectangles stay axis-aligned under this transform group.
+  /// Maps the *cell set* [xlo,xhi)×[ylo,yhi) exactly: the image of a
+  /// half-open rect under any D4 element is again half-open with the
+  /// mapped corners reordered, so apply(a.intersect(b)) ==
+  /// apply(a).intersect(apply(b)) holds exactly.
   geom::Rect apply(const geom::Rect& r) const;
   /// Composition: (this ∘ inner)(p) == this.apply(inner.apply(p)).
   Transform compose(const Transform& inner) const;
+  /// Group inverse: inverse().apply(apply(p)) == p. Like apply(), the
+  /// int64 intermediates are range-checked, so inverting a transform whose
+  /// origin magnitude approaches the coordinate cap stays exact or throws.
+  Transform inverse() const;
+
+  friend bool operator==(const Transform&, const Transform&) = default;
 };
 
 struct Boundary {
@@ -77,6 +87,23 @@ struct Structure {
   void add(Element element);
 };
 
+/// A structure's *own* shapes (BOUNDARY/PATH, no reference expansion) on
+/// `layer`, decomposed into rectangles in the structure's local frame —
+/// the per-cell geometry the hierarchical scan indexes once per distinct
+/// structure. flatten_layer() emits exactly these rects (transformed), so
+/// the two views of a cell's geometry can never diverge.
+std::vector<geom::Rect> structure_layer_rects(const Structure& s,
+                                              std::int16_t layer);
+
+/// One placement of a structure's own geometry in top-level coordinates:
+/// the unit the hierarchical scan replays. `structure` indexes into
+/// Library::structures(); `transform` maps the structure's local frame to
+/// the top frame (every SREF/AREF hop composed, AREF cells expanded).
+struct LayerInstance {
+  std::size_t structure = 0;
+  Transform transform;
+};
+
 class Library {
  public:
   std::string name = "LHD";
@@ -99,12 +126,37 @@ class Library {
                                         std::int16_t layer) const;
 
   /// Bounding box of the flattened layer (empty rect if no shapes).
+  /// Computed hierarchically from memoized per-structure bounding boxes —
+  /// O(structures + references), *not* O(flattened rects): the layer is
+  /// never materialized. Axis-aligned transforms commute with bounding
+  /// boxes and an AREF's cell origins are linear in (row, col), so the
+  /// result is exactly the bbox flatten_layer() would produce (asserted by
+  /// the LayerBboxMatchesFlattenedReference test).
   geom::Rect layer_bbox(const std::string& top, std::int16_t layer) const;
+
+  /// Every placement of own-geometry on `layer` reachable from `top`:
+  /// SREF/AREF hops composed into one local→top transform per visit,
+  /// structures with no own shapes on the layer omitted, subtrees whose
+  /// memoized bbox is empty on the layer pruned without descending.
+  /// flatten_layer(top, layer) equals the union over these instances of
+  /// `instance.transform.apply(structure_layer_rects(structure, layer))`.
+  /// Throws lhd::Error on unknown references or reference cycles.
+  std::vector<LayerInstance> layer_instances(const std::string& top,
+                                             std::int16_t layer) const;
 
  private:
   void flatten_into(const Structure& s, std::int16_t layer,
                     const Transform& t, int depth,
                     std::vector<geom::Rect>& out) const;
+  geom::Rect subtree_bbox(std::size_t index, std::int16_t layer, int depth,
+                          std::vector<char>& state,
+                          std::vector<geom::Rect>& memo,
+                          std::vector<char>& own_nonempty) const;
+  void collect_instances(std::size_t index, std::int16_t layer,
+                         const Transform& t, int depth,
+                         const std::vector<char>& own_nonempty,
+                         const std::vector<geom::Rect>& tree_bbox,
+                         std::vector<LayerInstance>& out) const;
 
   std::deque<Structure> structures_;
   std::map<std::string, std::size_t> index_;

@@ -228,6 +228,57 @@ void expect_dedup_scan_parity(const core::ChipIndex& chip,
   }
 }
 
+void expect_hierarchical_scan_parity(
+    const gds::Library& lib, const std::string& top, std::int16_t layer,
+    const core::Detector& detector, core::ScanConfig config,
+    const std::vector<std::size_t>& thread_counts, ThreadPool& pool) {
+  config.hierarchical = false;
+  config.dedup = false;
+  config.threads = 1;
+  const auto chip = core::ChipIndex::from_library(lib, top, layer);
+  const auto naive = core::scan_chip(chip, detector, config);
+  config.hierarchical = true;
+  for (const std::size_t threads : thread_counts) {
+    for (const bool dedup : {false, true}) {
+      config.threads = threads;
+      config.dedup = dedup;
+      const auto hier =
+          core::scan_library(lib, top, layer, detector, config, pool);
+      std::ostringstream os;
+      os << "hierarchical scan(threads=" << threads << ", dedup=" << dedup
+         << ") vs flattened naive scan: ";
+      if (hier.windows_total != naive.windows_total ||
+          hier.flagged != naive.flagged) {
+        os << "window counts diverge (total " << hier.windows_total << "/"
+           << naive.windows_total << ", flagged " << hier.flagged << "/"
+           << naive.flagged << ")";
+        oracle_fail(os.str());
+      }
+      if (hier.windows_classified > naive.windows_classified) {
+        os << "hierarchical scan classified MORE windows than naive ("
+           << hier.windows_classified << " vs " << naive.windows_classified
+           << ")";
+        oracle_fail(os.str());
+      }
+      if (hier.hits.size() != naive.hits.size()) {
+        os << "hit count " << hier.hits.size() << " vs "
+           << naive.hits.size();
+        oracle_fail(os.str());
+      }
+      for (std::size_t i = 0; i < naive.hits.size(); ++i) {
+        if (!(hier.hits[i] == naive.hits[i])) {
+          const auto& h = hier.hits[i];
+          const auto& n = naive.hits[i];
+          os << "hit " << i << " differs: window (" << h.window.xlo << ","
+             << h.window.ylo << ") score " << h.score << " vs ("
+             << n.window.xlo << "," << n.window.ylo << ") score " << n.score;
+          oracle_fail(os.str());
+        }
+      }
+    }
+  }
+}
+
 namespace {
 
 void compare_bytes(const std::vector<std::uint8_t>& a,

@@ -89,6 +89,20 @@ void expect_dedup_scan_parity(const core::ChipIndex& chip,
                               const std::vector<std::size_t>& batch_sizes,
                               ThreadPool& pool);
 
+/// Hierarchical-vs-flattened scan equality: flattens `top`/`layer` once
+/// and runs the naive scan (threads=1, dedup off) as the baseline, then
+/// requires bit-identical hits / flagged / windows_total from the
+/// hierarchical scan (scan_library with ScanConfig::hierarchical) across
+/// every (thread count, dedup on/off) combination. Same detector
+/// precondition as dedup parity: the score must be invariant under rect
+/// order and whole-pattern translation (DensityCutDetector is).
+/// windows_classified — detector invocations — must never exceed the
+/// naive count: replay plus dedup can only shrink the detector work.
+void expect_hierarchical_scan_parity(
+    const gds::Library& lib, const std::string& top, std::int16_t layer,
+    const core::Detector& detector, core::ScanConfig config,
+    const std::vector<std::size_t>& thread_counts, ThreadPool& pool);
+
 // --- serialization fixpoints ------------------------------------------------
 
 /// write → read → write must reproduce the exact byte stream (the writer

@@ -3,10 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <limits>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "lhd/core/cnn_detector.hpp"
 #include "lhd/core/ensemble.hpp"
@@ -16,6 +18,7 @@
 #include "lhd/core/score_cache.hpp"
 #include "lhd/core/shallow_detector.hpp"
 #include "lhd/data/clip_hash.hpp"
+#include "lhd/gds/model.hpp"
 #include "lhd/ml/naive_bayes.hpp"
 #include "lhd/synth/chip_gen.hpp"
 #include "lhd/testkit/testkit.hpp"
@@ -709,6 +712,202 @@ TEST(Scan, DedupClassifiesRepeatedPatternOnce) {
   EXPECT_EQ(batched.cache_hits, 15u);
   EXPECT_EQ(batched.cache_misses, 1u);
   EXPECT_EQ(batched.hits, result.hits);
+}
+
+TEST(Scan, ShardSplitIsBalancedWhenRowsDoNotDivide) {
+  // Regression: the shard loop used ceil-division row ranges, so with R
+  // rows over S shards the trailing shards could get zero rows yet still
+  // push (empty) accums — shards.size() contradicted the documented
+  // "shard count actually used" and the last shards sat idle.
+  const ThresholdedDensityDetector det(0.05f);
+  ThreadPool pool(4);
+  // One rect spanning the whole extent: every row has exactly one window
+  // column (width 512 = one stride), so per-shard window counts equal row
+  // counts and the split is directly observable.
+  for (const auto& [rows, threads] : std::vector<std::pair<int, std::size_t>>{
+           {5, 4}, {7, 3}, {5, 8}, {3, 2}, {1, 4}, {6, 4}}) {
+    const ChipIndex index({Rect(0, 0, 512, rows * 512)});
+    ScanConfig cfg;
+    cfg.window_nm = 512;
+    cfg.stride_nm = 512;
+    cfg.threads = threads;
+    const auto result = scan_chip(index, det, cfg, pool);
+    const auto expected_shards =
+        std::min<std::size_t>(threads, static_cast<std::size_t>(rows));
+    EXPECT_EQ(result.shards.size(), expected_shards)
+        << rows << " rows / " << threads << " threads";
+    std::size_t sum = 0;
+    std::size_t smallest = result.windows_total;
+    std::size_t largest = 0;
+    for (const auto& shard : result.shards) {
+      EXPECT_GT(shard.windows, 0u)
+          << "idle shard reported for " << rows << " rows / " << threads
+          << " threads";
+      sum += shard.windows;
+      smallest = std::min(smallest, shard.windows);
+      largest = std::max(largest, shard.windows);
+    }
+    EXPECT_EQ(sum, result.windows_total);
+    EXPECT_LE(largest - smallest, 1u)
+        << "unbalanced split for " << rows << " rows / " << threads
+        << " threads";
+  }
+}
+
+TEST(Scan, SharedCacheReportsPerScanDeltas) {
+  // Regression: ScoreCache totals are cumulative, so a cache serving two
+  // scans used to double-count the first scan's hits/misses in the second
+  // scan's ScanResult. With the snapshot/delta fix, the second scan over
+  // identical geometry reports only its own activity: every window a hit,
+  // zero misses, zero detector invocations.
+  synth::StyleConfig style;
+  const auto lib = synth::build_chip(style, 4, 4, 45);
+  const auto index = ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
+  const ThresholdedDensityDetector det(0.05f);
+  ScoreCache cache(1 << 14);
+  ScanConfig cfg;
+  cfg.window_nm = 1024;
+  cfg.stride_nm = 512;
+  cfg.dedup = true;
+  cfg.cache = &cache;
+  const auto first = scan_chip(index, det, cfg);
+  ASSERT_GT(first.cache_misses, 0u);
+  const auto second = scan_chip(index, det, cfg);
+  EXPECT_EQ(second.windows_total, first.windows_total);
+  EXPECT_EQ(second.hits, first.hits);
+  // The warm cache serves every probe; per-scan deltas must say so instead
+  // of re-reporting the first scan's misses.
+  EXPECT_EQ(second.cache_misses, 0u);
+  EXPECT_EQ(second.windows_classified, 0u);
+  EXPECT_EQ(second.cache_hits, first.cache_hits + first.cache_misses);
+  // The cache's own cumulative view spans both scans.
+  const auto totals = cache.stats();
+  EXPECT_EQ(totals.hits + totals.misses,
+            first.cache_hits + first.cache_misses + second.cache_hits +
+                second.cache_misses);
+}
+
+// ------------------------------------------------------- hierarchical scan --
+
+TEST(HierScan, MatchesFlattenedScanOnSynthChip) {
+  synth::StyleConfig style;
+  const auto lib = synth::build_chip(style, 4, 4, 51, /*tile_variants=*/1);
+  const auto index = ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
+  const ThresholdedDensityDetector det(0.05f);
+  ScanConfig cfg;
+  cfg.window_nm = 1024;
+  cfg.stride_nm = 512;
+  const auto naive = scan_chip(index, det, cfg);
+  ASSERT_GT(naive.flagged, 0u);
+  cfg.hierarchical = true;
+  const auto hier =
+      core::scan_library(lib, "TOP", synth::kChipLayer, det, cfg);
+  EXPECT_EQ(hier.windows_total, naive.windows_total);
+  EXPECT_EQ(hier.flagged, naive.flagged);
+  EXPECT_EQ(hier.hits, naive.hits);
+  // One distinct tile placed 16 times: the interior of 15 placements
+  // replays, so detector work collapses far below the flattened count.
+  EXPECT_EQ(hier.instances, 16u);
+  EXPECT_EQ(hier.distinct_cells, 1u);
+  EXPECT_GT(hier.replay_hits, 0u);
+  EXPECT_GT(hier.stitch_windows, 0u);  // stride straddles tile seams
+  ASSERT_GT(naive.windows_classified, 0u);
+  EXPECT_LE(hier.windows_classified, naive.windows_classified / 2)
+      << "cell reuse should collapse detector invocations";
+}
+
+TEST(HierScan, RotatedAndMirroredRefsMatchFlattened) {
+  // Hand-built library covering every D4 orientation plus an AREF grid —
+  // each placement's window offsets differ, so replay must key on the
+  // full (cell, mirror, angle, offset) tuple to stay exact.
+  gds::Library lib;
+  gds::Structure& cell = lib.add_structure("CELL");
+  gds::Boundary b;
+  b.layer = 1;
+  b.polygon = geom::Polygon::from_rect(Rect(0, 0, 700, 300));
+  cell.add(b);
+  gds::Boundary c;
+  c.layer = 1;
+  c.polygon = geom::Polygon::from_rect(Rect(100, 400, 250, 900));
+  cell.add(c);
+  gds::Structure& top = lib.add_structure("TOP");
+  int placed = 0;
+  for (const bool mirror : {false, true}) {
+    for (int angle = 0; angle < 360; angle += 90) {
+      gds::SRef ref;
+      ref.structure = "CELL";
+      ref.transform.mirror_x = mirror;
+      ref.transform.angle_deg = angle;
+      ref.transform.origin = {placed * 1500, (placed % 3) * 1100};
+      top.add(ref);
+      ++placed;
+    }
+  }
+  gds::ARef arr;
+  arr.structure = "CELL";
+  arr.transform.origin = {-3000, -2500};
+  arr.cols = 3;
+  arr.rows = 2;
+  arr.col_step = {1200, 0};
+  arr.row_step = {0, 1300};
+  top.add(arr);
+
+  const auto index = ChipIndex::from_library(lib, "TOP", 1);
+  const ThresholdedDensityDetector det(0.02f);
+  ScanConfig cfg;
+  cfg.window_nm = 1024;
+  cfg.stride_nm = 512;
+  const auto naive = scan_chip(index, det, cfg);
+  ASSERT_GT(naive.flagged, 0u);
+  ThreadPool pool(4);
+  for (const std::size_t threads : {1u, 4u}) {
+    for (const bool dedup : {false, true}) {
+      cfg.hierarchical = true;
+      cfg.threads = threads;
+      cfg.dedup = dedup;
+      const auto hier = core::scan_library(lib, "TOP", 1, det, cfg, pool);
+      EXPECT_EQ(hier.windows_total, naive.windows_total)
+          << threads << "/" << dedup;
+      EXPECT_EQ(hier.hits, naive.hits) << threads << "/" << dedup;
+      EXPECT_EQ(hier.instances, 14u);  // 8 SREFs + 3x2 AREF cells
+      EXPECT_EQ(hier.distinct_cells, 1u);
+    }
+  }
+}
+
+TEST(HierScan, FlatConfigDelegatesToFlattenedScan) {
+  synth::StyleConfig style;
+  const auto lib = synth::build_chip(style, 2, 2, 52);
+  const auto index = ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
+  const ThresholdedDensityDetector det(0.05f);
+  ScanConfig cfg;  // hierarchical = false
+  const auto flat = scan_chip(index, det, cfg);
+  const auto via_lib =
+      core::scan_library(lib, "TOP", synth::kChipLayer, det, cfg);
+  EXPECT_EQ(via_lib.hits, flat.hits);
+  EXPECT_EQ(via_lib.windows_total, flat.windows_total);
+  EXPECT_EQ(via_lib.instances, 0u);  // hierarchical-only counter
+}
+
+TEST(HierScan, ChipScanRejectsHierarchicalFlag) {
+  const ChipIndex index({Rect(0, 0, 100, 100)});
+  const ThresholdedDensityDetector det(0.1f);
+  ScanConfig cfg;
+  cfg.hierarchical = true;
+  EXPECT_THROW(scan_chip(index, det, cfg), Error);
+  EXPECT_THROW(scan_chip_two_stage(index, det, det, cfg), Error);
+}
+
+TEST(HierScan, EmptyLayerScansZeroWindows) {
+  gds::Library lib;
+  lib.add_structure("TOP");
+  const ThresholdedDensityDetector det(0.1f);
+  ScanConfig cfg;
+  cfg.hierarchical = true;
+  const auto result = core::scan_library(lib, "TOP", 1, det, cfg);
+  EXPECT_EQ(result.windows_total, 0u);
+  EXPECT_EQ(result.instances, 0u);
+  EXPECT_TRUE(result.hits.empty());
 }
 
 // ------------------------------------------------------------ score batch --

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <tuple>
 
 #include "lhd/gds/reader.hpp"
 #include "lhd/gds/writer.hpp"
@@ -320,6 +322,135 @@ TEST(Flatten, LayerBbox) {
   const Library lib = demo_library();
   EXPECT_EQ(lib.layer_bbox("CELL", 1), Rect(0, 0, 100, 50));
   EXPECT_TRUE(lib.layer_bbox("CELL", 99).empty());
+}
+
+// The slow reference layer_bbox used to be: flatten the whole layer, unite
+// every rect. The production path now folds memoized per-structure bboxes
+// through the reference tree without materializing the flattened geometry;
+// this pins the two to the same answer.
+Rect flattened_layer_bbox(const Library& lib, const std::string& top,
+                          std::int16_t layer) {
+  Rect bbox;
+  for (const auto& r : lib.flatten_layer(top, layer)) bbox = bbox.unite(r);
+  return bbox;
+}
+
+TEST(Flatten, LayerBboxMatchesFlattenedReference) {
+  // Hand-built hierarchy: nested SREFs with every D4 orientation and an
+  // AREF, so the bbox fold has to handle rotation/mirror of child extents
+  // (the 4-corner trick) and not just translated copies.
+  Library lib;
+  Structure& leaf = lib.add_structure("LEAF");
+  Boundary b;
+  b.layer = 1;
+  b.polygon = geom::Polygon::from_rect(Rect(10, -20, 310, 80));
+  leaf.add(b);
+  Boundary b2;
+  b2.layer = 3;
+  b2.polygon = geom::Polygon::from_rect(Rect(-50, 0, 0, 400));
+  leaf.add(b2);
+
+  Structure& mid = lib.add_structure("MID");
+  int placed = 0;
+  for (const bool mirror : {false, true}) {
+    for (int angle = 0; angle < 360; angle += 90) {
+      SRef ref;
+      ref.structure = "LEAF";
+      ref.transform.mirror_x = mirror;
+      ref.transform.angle_deg = angle;
+      ref.transform.origin = {placed * 700, -placed * 300};
+      mid.add(ref);
+      ++placed;
+    }
+  }
+
+  Structure& top = lib.add_structure("TOP");
+  SRef rotated_mid;
+  rotated_mid.structure = "MID";
+  rotated_mid.transform.angle_deg = 270;
+  rotated_mid.transform.origin = {-1234, 5678};
+  top.add(rotated_mid);
+  ARef arr;
+  arr.structure = "LEAF";
+  arr.transform.mirror_x = true;
+  arr.transform.angle_deg = 90;
+  arr.transform.origin = {4000, 4000};
+  arr.cols = 4;
+  arr.rows = 3;
+  arr.col_step = {600, 0};
+  arr.row_step = {0, 800};
+  top.add(arr);
+
+  for (const auto& name : {"LEAF", "MID", "TOP"}) {
+    for (const std::int16_t layer : {std::int16_t{1}, std::int16_t{3},
+                                     std::int16_t{99}}) {
+      EXPECT_EQ(lib.layer_bbox(name, layer),
+                flattened_layer_bbox(lib, name, layer))
+          << name << " layer " << layer;
+    }
+  }
+
+  const Library demo = demo_library();
+  for (const auto& name : {"CELL", "TOP"}) {
+    for (const std::int16_t layer : {std::int16_t{1}, std::int16_t{2}}) {
+      EXPECT_EQ(demo.layer_bbox(name, layer),
+                flattened_layer_bbox(demo, name, layer))
+          << name << " layer " << layer;
+    }
+  }
+}
+
+TEST(Flatten, LayerInstancesCoverFlattenedGeometry) {
+  // Replaying each instance's local cell geometry through its placement
+  // transform must reproduce exactly the flattened layer (as a multiset —
+  // traversal order differs from flatten_layer's).
+  const Library lib = demo_library();
+  const auto instances = lib.layer_instances("TOP", 1);
+  ASSERT_EQ(instances.size(), 7u);  // 1 SREF + 3x2 AREF
+  std::vector<Rect> replayed;
+  for (const auto& inst : instances) {
+    for (const auto& r :
+         structure_layer_rects(lib.structures()[inst.structure], 1)) {
+      replayed.push_back(inst.transform.apply(r));
+    }
+  }
+  auto flattened = lib.flatten_layer("TOP", 1);
+  const auto rect_less = [](const Rect& a, const Rect& b) {
+    return std::tie(a.xlo, a.ylo, a.xhi, a.yhi) <
+           std::tie(b.xlo, b.ylo, b.xhi, b.yhi);
+  };
+  std::sort(replayed.begin(), replayed.end(), rect_less);
+  std::sort(flattened.begin(), flattened.end(), rect_less);
+  EXPECT_EQ(replayed, flattened);
+}
+
+TEST(Flatten, LayerInstancesSkipLayerlessBranches) {
+  Library lib;
+  lib.add_structure("EMPTY");
+  Structure& top = lib.add_structure("TOP");
+  SRef ref;
+  ref.structure = "EMPTY";
+  top.add(ref);
+  EXPECT_TRUE(lib.layer_instances("TOP", 1).empty());
+  EXPECT_THROW(lib.layer_instances("MISSING", 1), Error);
+}
+
+TEST(Transform, InverseRoundTripsPointsAndRects) {
+  for (const bool mirror : {false, true}) {
+    for (int angle = 0; angle < 360; angle += 90) {
+      Transform t;
+      t.mirror_x = mirror;
+      t.angle_deg = angle;
+      t.origin = {137, -4096};
+      const Transform inv = t.inverse();
+      for (const Point p : {Point{0, 0}, Point{53, 81}, Point{-900, 17}}) {
+        EXPECT_EQ(inv.apply(t.apply(p)), p);
+        EXPECT_EQ(t.apply(inv.apply(p)), p);
+      }
+      const Rect r(-30, 12, 44, 90);
+      EXPECT_EQ(inv.apply(t.apply(r)), r);
+    }
+  }
 }
 
 // ----------------------------------------------------------- parse errors --

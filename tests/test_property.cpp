@@ -10,8 +10,10 @@
 #include "lhd/core/scan.hpp"
 #include "lhd/data/dataset.hpp"
 #include "lhd/feature/dct.hpp"
+#include "lhd/gds/model.hpp"
 #include "lhd/geom/polygon.hpp"
 #include "lhd/geom/raster.hpp"
+#include "lhd/synth/chip_gen.hpp"
 #include "lhd/testkit/testkit.hpp"
 #include "lhd/util/thread_pool.hpp"
 
@@ -55,6 +57,138 @@ TEST(Property, DedupScanParityAcrossThreadsCapacitiesAndBatches) {
     cfg.skip_empty = rng.next_bool();
     expect_dedup_scan_parity(chip, detector, cfg, {1, 2, 8}, {0, 1, 4096},
                              {1, 32}, pool);
+  });
+}
+
+TEST(Property, HierarchicalScanParityOnSynthChips) {
+  ThreadPool pool(4);
+  const DensityCutDetector detector(0.05f);
+  // The synth generator's tile_variants knob is the honest testbed: 0 makes
+  // every tile a distinct cell (no reuse — replay degenerates to the
+  // stitch bands), 1 makes the chip one repeated cell (maximal reuse), 4
+  // repeats a small macro. Parity must hold bit for bit in all regimes,
+  // across thread counts and dedup on/off (the oracle's inner matrix).
+  CHECK_PROPERTY("hier-scan-parity-synth", 12, [&](Rng& rng,
+                                                   std::size_t size) {
+    synth::StyleConfig style;
+    const int tiles = 2 + static_cast<int>(size % 3);
+    static constexpr int kVariants[] = {0, 1, 4};
+    const int variants = kVariants[rng.next_below(3)];
+    const auto lib = synth::build_chip(style, tiles, tiles,
+                                       rng.next_below(1u << 20), variants);
+    core::ScanConfig cfg;
+    cfg.window_nm = 1024;
+    cfg.stride_nm = 512;
+    cfg.skip_empty = rng.next_bool();
+    expect_hierarchical_scan_parity(lib, "TOP", synth::kChipLayer, detector,
+                                    cfg, {1, 2, 8}, pool);
+  });
+}
+
+TEST(Property, HierarchicalScanParityOnRandomLibraries) {
+  ThreadPool pool(4);
+  const DensityCutDetector detector(0.05f);
+  // random_library places leaves through every mirror × angle combination
+  // and through AREF grids — the transform/replay paths a tiled synth chip
+  // (identity transforms only) never exercises. Loose TOP-level geometry
+  // is added on the scanned layer so windows mix instance geometry with
+  // top-frame shapes (TOP itself becomes one more "instance" at identity).
+  CHECK_PROPERTY("hier-scan-parity-gds", 16, [&](Rng& rng,
+                                                 std::size_t size) {
+    auto lib = random_library(rng, 4 + size);
+    gds::Structure* top = lib.find("TOP");
+    const std::size_t loose = rng.next_below(3);
+    for (std::size_t i = 0; i < loose; ++i) {
+      gds::Boundary b;
+      b.layer = 1;
+      b.polygon = geom::Polygon::from_rect(
+          random_rect(rng, 8000, 16, 900).shifted(-4000, -4000));
+      top->add(b);
+    }
+    core::ScanConfig cfg;
+    cfg.window_nm = 1024;
+    cfg.stride_nm = 512;
+    cfg.skip_empty = rng.next_bool();
+    expect_hierarchical_scan_parity(lib, "TOP", 1, detector, cfg, {1, 3},
+                                    pool);
+  });
+}
+
+// ------------------------------------------------------ transform algebra
+
+TEST(Property, TransformComposeMatchesSequentialApplication) {
+  // Exhaustive over the D4 × D4 orientation pairs (the mirrored-inner
+  // rotation flip in compose() is easy to get wrong and only shows up when
+  // outer.mirror_x && inner.angle != 0), randomized over origins/points.
+  CHECK_PROPERTY("transform-compose", 48, [](Rng& rng, std::size_t) {
+    const auto coord = [&rng](std::int64_t lo, std::int64_t hi) {
+      return static_cast<geom::Coord>(rng.next_int(lo, hi));
+    };
+    for (const bool outer_mirror : {false, true}) {
+      for (int outer_angle = 0; outer_angle < 360; outer_angle += 90) {
+        for (const bool inner_mirror : {false, true}) {
+          for (int inner_angle = 0; inner_angle < 360; inner_angle += 90) {
+            gds::Transform outer;
+            outer.mirror_x = outer_mirror;
+            outer.angle_deg = outer_angle;
+            outer.origin = {coord(-20000, 20000), coord(-20000, 20000)};
+            gds::Transform inner;
+            inner.mirror_x = inner_mirror;
+            inner.angle_deg = inner_angle;
+            inner.origin = {coord(-20000, 20000), coord(-20000, 20000)};
+            const gds::Transform composed = outer.compose(inner);
+            for (int k = 0; k < 4; ++k) {
+              const geom::Point p{coord(-30000, 30000), coord(-30000, 30000)};
+              const geom::Point want = outer.apply(inner.apply(p));
+              const geom::Point got = composed.apply(p);
+              if (!(got == want)) {
+                std::ostringstream os;
+                os << "compose(outer{m=" << outer_mirror
+                   << ",a=" << outer_angle << "}, inner{m=" << inner_mirror
+                   << ",a=" << inner_angle << "}) maps (" << p.x << "," << p.y
+                   << ") to (" << got.x << "," << got.y << "), sequential "
+                   << "application gives (" << want.x << "," << want.y << ")";
+                throw PropertyFailure(os.str());
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+TEST(Property, TransformInverseRoundTripsPoints) {
+  CHECK_PROPERTY("transform-inverse", 48, [](Rng& rng, std::size_t) {
+    const auto coord = [&rng](std::int64_t lo, std::int64_t hi) {
+      return static_cast<geom::Coord>(rng.next_int(lo, hi));
+    };
+    for (const bool mirror : {false, true}) {
+      for (int angle = 0; angle < 360; angle += 90) {
+        gds::Transform t;
+        t.mirror_x = mirror;
+        t.angle_deg = angle;
+        t.origin = {coord(-20000, 20000), coord(-20000, 20000)};
+        const gds::Transform inv = t.inverse();
+        for (int k = 0; k < 4; ++k) {
+          const geom::Point p{coord(-30000, 30000), coord(-30000, 30000)};
+          if (!(inv.apply(t.apply(p)) == p) || !(t.apply(inv.apply(p)) == p)) {
+            std::ostringstream os;
+            os << "inverse round-trip failed for {m=" << mirror
+               << ",a=" << angle << "} at (" << p.x << "," << p.y << ")";
+            throw PropertyFailure(os.str());
+          }
+          // Rects round-trip too: D4 maps half-open cell sets exactly.
+          const Rect r(p.x, p.y, p.x + coord(1, 500), p.y + coord(1, 500));
+          if (!(inv.apply(t.apply(r)) == r)) {
+            std::ostringstream os;
+            os << "rect inverse round-trip failed for {m=" << mirror
+               << ",a=" << angle << "}";
+            throw PropertyFailure(os.str());
+          }
+        }
+      }
+    }
   });
 }
 
