@@ -1,0 +1,40 @@
+#pragma once
+// google-benchmark → obs::RunReport bridge for the micro-measurement
+// harnesses (table3_throughput, micro_kernels): a ConsoleReporter that also
+// lands every finished run as one report phase, so BENCH_*.json carries the
+// benchmark name, real/CPU ns per iteration and iteration count next to the
+// captured obs registry totals.
+
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "lhd/obs/obs.hpp"
+
+namespace lhd::bench {
+
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(obs::RunReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      obs::Json extra = obs::Json::object();
+      extra["iterations"] = static_cast<long long>(run.iterations);
+      extra["ns_per_iter"] = 1e9 * run.real_accumulated_time / iters;
+      extra["cpu_ns_per_iter"] = 1e9 * run.cpu_accumulated_time / iters;
+      report_->add_phase(run.benchmark_name(), run.real_accumulated_time,
+                        std::move(extra));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  obs::RunReport* report_;
+};
+
+}  // namespace lhd::bench

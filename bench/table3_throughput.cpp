@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "benchmark_report.hpp"
 #include "common.hpp"
 #include "lhd/core/cnn_detector.hpp"
 #include "lhd/core/factory.hpp"
@@ -198,32 +199,6 @@ BENCHMARK(BM_ScanChipPatternMatch)
     ->Args({4, 1})
     ->Unit(benchmark::kMillisecond);
 
-/// Console reporter that also captures each finished run into a RunReport
-/// phase, so the bench emits the same machine-readable BENCH_*.json shape
-/// as the table/figure harnesses.
-class CaptureReporter : public benchmark::ConsoleReporter {
- public:
-  explicit CaptureReporter(obs::RunReport* report) : report_(report) {}
-
-  void ReportRuns(const std::vector<Run>& runs) override {
-    for (const auto& run : runs) {
-      if (run.error_occurred) continue;
-      const double iters =
-          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
-      obs::Json extra = obs::Json::object();
-      extra["iterations"] = static_cast<long long>(run.iterations);
-      extra["ns_per_iter"] = 1e9 * run.real_accumulated_time / iters;
-      extra["cpu_ns_per_iter"] = 1e9 * run.cpu_accumulated_time / iters;
-      report_->add_phase(run.benchmark_name(), run.real_accumulated_time,
-                         std::move(extra));
-    }
-    ConsoleReporter::ReportRuns(runs);
-  }
-
- private:
-  obs::RunReport* report_;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -233,7 +208,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   lhd::obs::RunReport report("table3_throughput", "B2");
   report.set_config("obs_enabled", lhd::obs::enabled());
-  CaptureReporter reporter(&report);
+  lhd::bench::CaptureReporter reporter(&report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   lhd::bench::write_report(report, cli, "table3_throughput");
   return 0;

@@ -5,7 +5,9 @@
 #   2. a public header in src/lhd/core/ or src/lhd/obs/ lacks a Doxygen
 #      @file file-header comment (the place thread-safety guarantees live), or
 #   3. an LHD_* CMake knob declared in CMakeLists.txt is missing from
-#      README.md's "Build & run knobs" table.
+#      README.md's "Build & run knobs" table, or
+#   4. docs/PERFORMANCE.md (the nn kernel contract) is missing, or an
+#      LHD_NN_* kernel knob is not documented in it.
 # Run from anywhere: paths resolve relative to this script's repo root.
 
 check_name="check_docs"
@@ -45,4 +47,22 @@ for knob in $knobs; do
   fi
 done
 
-finish "update README.md's module map / knobs table or add the missing @file header comments"
+# --- 4. every LHD_NN_* kernel knob is documented in docs/PERFORMANCE.md ----
+# The performance-kernel contract must exist and cover each kernel knob
+# (same backticked-mention rule as the README knobs table above).
+perf_doc="$root/docs/PERFORMANCE.md"
+if [ ! -f "$perf_doc" ]; then
+  fail "docs/PERFORMANCE.md (the nn performance-kernel contract) is missing"
+else
+  for knob in $knobs; do
+    case "$knob" in
+      LHD_NN_*)
+        if ! grep -q "\`$knob\`" "$perf_doc"; then
+          fail "kernel knob '$knob' is not documented in docs/PERFORMANCE.md"
+        fi
+        ;;
+    esac
+  done
+fi
+
+finish "update README.md's module map / knobs table, docs/PERFORMANCE.md's kernel-knob coverage, or add the missing @file header comments"

@@ -44,9 +44,12 @@ class CnnDetector final : public Detector {
   void train(const data::Dataset& train_set) override;
   /// Score = P(hotspot) - 0.5 - threshold, so 0 keeps the natural 0.5 cut.
   float score(const data::Clip& clip) const override;
-  /// Real batched forward pass: one feature-extraction + Network::infer()
-  /// sweep per chunk instead of per clip. Per-sample arithmetic inside the
-  /// network is independent, so each element matches score() bit-for-bit.
+  /// Real batched forward pass: one feature-extraction +
+  /// Network::forward_batch() sweep per chunk instead of per clip, so the
+  /// fast kernel path runs one batched im2col+GEMM per layer. Batching only
+  /// changes the GEMM's n/m extent, never the per-element accumulation
+  /// order, so each element matches score() bit-for-bit under either
+  /// kernel path (see docs/PERFORMANCE.md).
   std::vector<float> score_batch(
       const std::vector<data::Clip>& clips) const override;
   bool predict(const data::Clip& clip) const override;

@@ -3,7 +3,48 @@
 #include <algorithm>
 #include <cmath>
 
+#include "lhd/nn/gemm.hpp"
+
 namespace lhd::nn {
+
+namespace {
+
+inline std::size_t uz(int v) { return static_cast<std::size_t>(v); }
+
+/// Scratch budget (floats) for one batched im2col chunk: bounds the col
+/// matrix at 1 MiB so the chunk's scratch stays cache-resident and the
+/// lowering never balloons memory on big batches (measured flat vs larger
+/// budgets on the hotspot-CNN shapes).
+constexpr std::size_t kConvColBudget = std::size_t{1} << 18;
+
+/// The original per-element im2col gather, kept verbatim as part of the
+/// reference kernel path (same output bits as Conv2d::im2col, produced the
+/// slow branchy way).
+void im2col_naive(const float* src, int in_c, int k, int pad, int h, int w,
+                  float* col, std::size_t pitch) {
+  const int oh = h + 2 * pad - k + 1;
+  const int ow = w + 2 * pad - k + 1;
+  std::size_t row = 0;
+  for (int c = 0; c < in_c; ++c) {
+    const float* plane = src + static_cast<std::size_t>(c) * h * w;
+    for (int ky = 0; ky < k; ++ky) {
+      for (int kx = 0; kx < k; ++kx, ++row) {
+        float* dst = col + row * pitch;
+        for (int y = 0; y < oh; ++y) {
+          const int sy = y + ky - pad;
+          for (int x = 0; x < ow; ++x) {
+            const int sx = x + kx - pad;
+            dst[y * ow + x] = (sy < 0 || sy >= h || sx < 0 || sx >= w)
+                                  ? 0.0f
+                                  : plane[sy * w + sx];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- Conv2d --
 
@@ -26,25 +67,69 @@ void Conv2d::init(Rng& rng) {
   std::fill(bias_.begin(), bias_.end(), 0.0f);
 }
 
-void Conv2d::im2col(const float* src, int h, int w, float* col) const {
-  // col layout: [in_c*k*k][h*w] — output spatial size equals input size
-  // because stride 1 with symmetric padding keeps H, W when pad = (k-1)/2.
+void Conv2d::im2col(const float* src, int h, int w, float* col,
+                    std::size_t pitch) const {
+  // col layout: [in_c*k*k] rows of `pitch` floats each (row r at
+  // col + r*pitch; this sample's oh*ow entries start at col). Output
+  // spatial size equals input size because stride 1 with symmetric
+  // padding keeps H, W when pad = (k-1)/2.
+  //
+  // Bit-identical to the naive per-element gather the reference path
+  // keeps, but structured as bulk copies: when ow == w (the same-pad
+  // case every hotspot CNN layer hits), destination lines and source
+  // lines share the same stride, so ALL in-range y lines of one
+  // (c, ky, kx) row form one contiguous copy — the ≤pad elements per
+  // line that wrap across a row boundary are re-zeroed afterwards.
+  // That turns the 8-float lines of the pooled grids into a single
+  // multi-KB memcpy instead of hundreds of tiny ones.
   const int oh = h + 2 * pad_ - k_ + 1;
   const int ow = w + 2 * pad_ - k_ + 1;
   std::size_t row = 0;
   for (int c = 0; c < in_c_; ++c) {
     const float* plane = src + static_cast<std::size_t>(c) * h * w;
     for (int ky = 0; ky < k_; ++ky) {
+      // y + ky - pad_ lands in [0, h) for y in [ylo, yhi).
+      const int ylo = std::clamp(pad_ - ky, 0, oh);
+      const int yhi = std::clamp(h + pad_ - ky, ylo, oh);
       for (int kx = 0; kx < k_; ++kx, ++row) {
-        float* dst = col + row * static_cast<std::size_t>(oh) * ow;
-        for (int y = 0; y < oh; ++y) {
-          const int sy = y + ky - pad_;
-          for (int x = 0; x < ow; ++x) {
-            const int sx = x + kx - pad_;
-            dst[y * ow + x] =
-                (sy < 0 || sy >= h || sx < 0 || sx >= w)
-                    ? 0.0f
-                    : plane[sy * w + sx];
+        float* dst = col + row * pitch;
+        // x + kx - pad_ lands in [0, w) for x in [xlo, xhi).
+        const int xlo = std::clamp(pad_ - kx, 0, ow);
+        const int xhi = std::clamp(w + pad_ - kx, xlo, ow);
+        const int shift = kx - pad_;
+        // Whole top/bottom padding lines.
+        std::fill_n(dst, uz(ylo) * uz(ow), 0.0f);
+        std::fill_n(dst + uz(yhi) * uz(ow), uz(oh - yhi) * uz(ow), 0.0f);
+        if (ow == w && yhi > ylo) {
+          // One flat copy for rows [ylo, yhi): dst[y*ow + x] reads
+          // plane[(y+ky-pad)*w + x+shift], and with ow == w both sides
+          // advance by w per line. Trim the head/tail so every read
+          // stays inside the plane, then re-zero the margin columns
+          // (which the flat copy filled with wrapped neighbours).
+          const std::ptrdiff_t base =
+              static_cast<std::ptrdiff_t>(ylo + ky - pad_) * w + shift;
+          const std::size_t lead = uz(shift < 0 ? xlo : 0);
+          const std::size_t tail = uz(shift > 0 ? ow - xhi : 0);
+          const std::size_t block = uz(yhi - ylo) * uz(ow);
+          std::copy_n(plane + (base + static_cast<std::ptrdiff_t>(lead)),
+                      block - lead - tail, dst + uz(ylo) * uz(ow) + lead);
+          if (xlo > 0 || xhi < ow) {
+            for (int y = ylo; y < yhi; ++y) {
+              float* line = dst + static_cast<std::size_t>(y) * uz(ow);
+              for (int x = 0; x < xlo; ++x) line[x] = 0.0f;
+              for (int x = xhi; x < ow; ++x) line[x] = 0.0f;
+            }
+          }
+        } else {
+          // General (non-same-pad) shape: per-line prefix zeros, one
+          // run copied from the source row, suffix zeros.
+          for (int y = ylo; y < yhi; ++y) {
+            float* line = dst + static_cast<std::size_t>(y) * uz(ow);
+            const float* srow =
+                plane + static_cast<std::size_t>(y + ky - pad_) * uz(w);
+            for (int x = 0; x < xlo; ++x) line[x] = 0.0f;
+            for (int x = xlo; x < xhi; ++x) line[x] = srow[x + shift];
+            for (int x = xhi; x < ow; ++x) line[x] = 0.0f;
           }
         }
       }
@@ -84,15 +169,83 @@ Tensor Conv2d::infer(const Tensor& input) const { return apply(input); }
 
 Tensor Conv2d::apply(const Tensor& input) const {
   LHD_CHECK(input.rank() == 4, "conv expects NCHW");
-  const int n = input.dim(0);
   LHD_CHECK_MSG(input.dim(1) == in_c_, "conv channel mismatch: got "
                                            << input.dim(1) << ", want "
                                            << in_c_);
+  const int oh = input.dim(2) + 2 * pad_ - k_ + 1;
+  const int ow = input.dim(3) + 2 * pad_ - k_ + 1;
+  LHD_CHECK(oh > 0 && ow > 0, "conv output collapsed to zero");
+  return active_kernel_path() == KernelPath::kFast ? apply_gemm(input)
+                                                   : apply_reference(input);
+}
+
+Tensor Conv2d::apply_gemm(const Tensor& input) const {
+  const int n = input.dim(0);
   const int h = input.dim(2);
   const int w = input.dim(3);
   const int oh = h + 2 * pad_ - k_ + 1;
   const int ow = w + 2 * pad_ - k_ + 1;
-  LHD_CHECK(oh > 0 && ow > 0, "conv output collapsed to zero");
+  const int krows = in_c_ * k_ * k_;
+  const std::size_t spatial = uz(oh) * uz(ow);
+  const std::size_t sample = uz(in_c_) * uz(h) * uz(w);
+  Tensor out({n, out_c_, oh, ow});
+
+  // Batched lowering: one shared col matrix [krows × chunk*spatial] and
+  // ONE blocked GEMM per chunk of samples (the whole batch when it fits
+  // kConvColBudget), instead of an im2col+matmul per sample. The GEMM
+  // lands in [out_c][sample][spatial] scratch, then contiguous planes are
+  // scattered back to NCHW.
+  const std::size_t per_sample = uz(krows) * spatial;
+  const int chunk = static_cast<int>(std::clamp<std::size_t>(
+      kConvColBudget / std::max<std::size_t>(per_sample, 1), 1, uz(n)));
+
+  thread_local AlignedVec col;
+  thread_local AlignedVec gemm_out;
+  for (int s0 = 0; s0 < n; s0 += chunk) {
+    const int cn = std::min(chunk, n - s0);
+    const std::size_t cols = uz(cn) * spatial;
+    col.resize(uz(krows) * cols);
+    for (int s = 0; s < cn; ++s) {
+      im2col(input.data() + uz(s0 + s) * sample, h, w,
+             col.data() + uz(s) * spatial, cols);
+    }
+    // A single-sample chunk's [out_c][spatial] GEMM result IS that
+    // sample's CHW plane, so the GEMM writes the output tensor directly;
+    // multi-sample chunks land in [out_c][s][spatial] scratch and scatter
+    // planes back to NCHW.
+    float* gdst;
+    if (cn == 1) {
+      gdst = out.data() + uz(s0) * uz(out_c_) * spatial;
+    } else {
+      gemm_out.resize(uz(out_c_) * cols);
+      gdst = gemm_out.data();
+    }
+    // Seed every output row with its bias; gemm() accumulates on top.
+    for (int oc = 0; oc < out_c_; ++oc) {
+      std::fill_n(gdst + uz(oc) * cols, cols, bias_[uz(oc)]);
+    }
+    gemm(out_c_, static_cast<int>(cols), krows, weight_.data(), krows,
+         col.data(), static_cast<int>(cols), /*trans_b=*/false, gdst,
+         static_cast<int>(cols));
+    if (cn > 1) {
+      for (int s = 0; s < cn; ++s) {
+        float* dst = out.data() + uz(s0 + s) * uz(out_c_) * spatial;
+        for (int oc = 0; oc < out_c_; ++oc) {
+          std::copy_n(gemm_out.data() + uz(oc) * cols + uz(s) * spatial,
+                      spatial, dst + uz(oc) * spatial);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::apply_reference(const Tensor& input) const {
+  const int n = input.dim(0);
+  const int h = input.dim(2);
+  const int w = input.dim(3);
+  const int oh = h + 2 * pad_ - k_ + 1;
+  const int ow = w + 2 * pad_ - k_ + 1;
 
   Tensor out({n, out_c_, oh, ow});
   const int krows = in_c_ * k_ * k_;
@@ -100,8 +253,8 @@ Tensor Conv2d::apply(const Tensor& input) const {
   const std::size_t spatial = static_cast<std::size_t>(oh) * ow;
 
   for (int s = 0; s < n; ++s) {
-    im2col(input.data() + static_cast<std::size_t>(s) * in_c_ * h * w, h, w,
-           col.data());
+    im2col_naive(input.data() + static_cast<std::size_t>(s) * in_c_ * h * w,
+                 in_c_, k_, pad_, h, w, col.data(), spatial);
     float* dst = out.data() + static_cast<std::size_t>(s) * out_c_ * spatial;
     // Process output channels four at a time so each col row is read once
     // per group instead of once per channel (the loop is memory-bound).
@@ -160,7 +313,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
 
   for (int s = 0; s < n; ++s) {
     im2col(input_.data() + static_cast<std::size_t>(s) * in_c_ * h * w, h, w,
-           col.data());
+           col.data(), spatial);
     const float* gout =
         grad_output.data() + static_cast<std::size_t>(s) * out_c_ * spatial;
 
@@ -360,7 +513,26 @@ Tensor Linear::apply(const Tensor& input) const {
   LHD_CHECK_MSG(input.size() == static_cast<std::size_t>(n) * in_f_,
                 "linear expects " << in_f_ << " features, got "
                                   << input.size() / static_cast<std::size_t>(n));
+  return active_kernel_path() == KernelPath::kFast ? apply_gemm(input)
+                                                   : apply_reference(input);
+}
 
+Tensor Linear::apply_gemm(const Tensor& input) const {
+  // out[n × out_f] = x[n × in_f] · Wᵀ + b; the GEMM's packing reads the
+  // row-major [out_f × in_f] weights through their transpose directly.
+  const int n = input.dim(0);
+  Tensor out({n, out_f_});
+  for (int s = 0; s < n; ++s) {
+    std::copy(bias_.begin(), bias_.end(),
+              out.data() + static_cast<std::size_t>(s) * uz(out_f_));
+  }
+  gemm(n, out_f_, in_f_, input.data(), in_f_, weight_.data(), in_f_,
+       /*trans_b=*/true, out.data(), out_f_);
+  return out;
+}
+
+Tensor Linear::apply_reference(const Tensor& input) const {
+  const int n = input.dim(0);
   Tensor out({n, out_f_});
   for (int s = 0; s < n; ++s) {
     const float* x = input.data() + static_cast<std::size_t>(s) * in_f_;

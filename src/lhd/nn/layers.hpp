@@ -1,7 +1,11 @@
 #pragma once
 // Neural-network layers with explicit forward/backward passes. Batched
 // NCHW tensors; convolution is im2col + matmul, the standard CPU route.
+// Conv2d and Linear forwards run through the blocked GEMM in gemm.hpp by
+// default and keep their original naive loops as a selectable reference
+// path (`LHD_NN_KERNEL`); see docs/PERFORMANCE.md for the contract.
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,8 +63,17 @@ class Conv2d final : public Layer {
   int out_channels() const { return out_c_; }
 
  private:
+  /// Shape checks, then dispatch on the active kernel path.
   Tensor apply(const Tensor& input) const;
-  void im2col(const float* src, int h, int w, float* col) const;
+  /// The original per-sample naive loops — the differential oracle.
+  Tensor apply_reference(const Tensor& input) const;
+  /// Batched im2col+GEMM: one col matrix and one blocked GEMM per chunk
+  /// of samples (the whole batch when it fits the scratch budget).
+  Tensor apply_gemm(const Tensor& input) const;
+  /// Writes the im2col row r for this sample at col + r*pitch (pitch ≥
+  /// oh*ow; the batched path interleaves samples with a larger pitch).
+  void im2col(const float* src, int h, int w, float* col,
+              std::size_t pitch) const;
   void col2im(const float* col, int h, int w, float* dst) const;
 
   int in_c_, out_c_, k_, pad_;
@@ -108,7 +121,10 @@ class Linear final : public Layer {
   void init(Rng& rng) override;
 
  private:
+  /// Shape checks, then dispatch on the active kernel path.
   Tensor apply(const Tensor& input) const;
+  Tensor apply_reference(const Tensor& input) const;
+  Tensor apply_gemm(const Tensor& input) const;
 
   int in_f_, out_f_;
   std::vector<float> weight_, weight_grad_;  // [out_f][in_f]

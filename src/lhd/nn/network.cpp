@@ -22,6 +22,21 @@ Tensor Network::infer(const Tensor& input) const {
   return t;
 }
 
+Tensor Network::forward_batch(std::span<const std::vector<float>> rows,
+                              const std::array<int, 3>& sample_shape) const {
+  LHD_CHECK(!rows.empty(), "empty batch");
+  const std::size_t sample = static_cast<std::size_t>(sample_shape[0]) *
+                             static_cast<std::size_t>(sample_shape[1]) *
+                             static_cast<std::size_t>(sample_shape[2]);
+  Tensor in({static_cast<int>(rows.size()), sample_shape[0], sample_shape[1],
+             sample_shape[2]});
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    LHD_CHECK(rows[s].size() == sample, "row size != input shape");
+    std::copy(rows[s].begin(), rows[s].end(), in.data() + s * sample);
+  }
+  return infer(in);
+}
+
 void Network::backward(const Tensor& grad_output) {
   Tensor g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

@@ -4,13 +4,18 @@
 // conv blocks with pooling, then two fully connected layers over the
 // DCT tensor input).
 
+#include <array>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "lhd/nn/layers.hpp"
 #include "lhd/nn/loss.hpp"
 
 namespace lhd::nn {
+
+/// Flat CHW sample rows, the lingua franca of the trainer and detectors.
+using Rows = std::vector<std::vector<float>>;
 
 class Network {
  public:
@@ -33,6 +38,16 @@ class Network {
   /// safe to call concurrently from many threads on the same network, and
   /// bit-identical to forward(input, /*training=*/false).
   Tensor infer(const Tensor& input) const;
+
+  /// Batched evaluation forward over flat CHW rows of `sample_shape`
+  /// ({channels, height, width}): assembles ONE [N,C,H,W] tensor and runs
+  /// infer() on it, so on the fast kernel path every conv/linear layer
+  /// executes a single batched im2col+GEMM for the whole batch instead of
+  /// N per-sample forwards. Returns the [N, out] logits in row order.
+  /// Same thread-safety and bit-identity guarantees as infer(); callers
+  /// bound N (the trainer chunks) to cap activation memory.
+  Tensor forward_batch(std::span<const std::vector<float>> rows,
+                       const std::array<int, 3>& sample_shape) const;
 
   /// Backprop from dL/d(output); accumulates parameter gradients.
   void backward(const Tensor& grad_output);

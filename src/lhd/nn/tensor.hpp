@@ -1,14 +1,61 @@
 #pragma once
 // Dense float tensor with dynamic shape (row-major). Deliberately minimal:
 // the layers below need shape bookkeeping and raw storage, nothing more.
+// Storage is 32-byte aligned (kTensorAlignment) so the blocked GEMM and
+// the compiler's autovectorizer get aligned base pointers on every tensor
+// and scratch buffer; the element layout itself is dense — logical shape
+// and size() are never padded, padding happens only inside the kernels'
+// packed scratch panels (docs/PERFORMANCE.md spells out the contract).
 
+#include <cstddef>
 #include <initializer_list>
+#include <new>
 #include <numeric>
 #include <vector>
 
 #include "lhd/util/check.hpp"
 
 namespace lhd::nn {
+
+/// Byte alignment of all tensor (and kernel scratch) storage: one AVX2
+/// float lane. Power of two, ≥ alignof(float).
+inline constexpr std::size_t kTensorAlignment = 32;
+
+/// Minimal aligned allocator so tensor storage stays a std::vector (copy,
+/// resize and comparison semantics unchanged) while data() is guaranteed
+/// kTensorAlignment-aligned.
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment power of 2");
+  static_assert(Alignment >= alignof(T), "alignment below natural");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t /*n*/) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// Aligned float buffer: tensor storage and kernel packing scratch.
+using AlignedVec = std::vector<float, AlignedAllocator<float, kTensorAlignment>>;
 
 class Tensor {
  public:
@@ -28,8 +75,8 @@ class Tensor {
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  std::vector<float>& storage() { return data_; }
-  const std::vector<float>& storage() const { return data_; }
+  AlignedVec& storage() { return data_; }
+  const AlignedVec& storage() const { return data_; }
 
   float& operator[](std::size_t i) { return data_[i]; }
   float operator[](std::size_t i) const { return data_[i]; }
@@ -44,7 +91,7 @@ class Tensor {
 
  private:
   std::vector<int> shape_;
-  std::vector<float> data_;
+  AlignedVec data_;
 };
 
 }  // namespace lhd::nn

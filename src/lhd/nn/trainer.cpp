@@ -186,20 +186,15 @@ float Trainer::predict_proba(const std::vector<float>& row) const {
 std::vector<float> Trainer::predict_proba_batch(const Rows& rows) const {
   std::vector<float> out;
   out.reserve(rows.size());
-  // Batch through the network in chunks for cache friendliness.
+  // Chunked batched inference: each chunk is ONE Network::forward_batch —
+  // a single batched im2col+GEMM per conv/linear layer on the fast kernel
+  // path. The chunk bound caps activation memory, not GEMM granularity.
   constexpr std::size_t kChunk = 64;
-  const std::size_t sample =
-      static_cast<std::size_t>(shape_[0]) * shape_[1] * shape_[2];
+  const std::span<const std::vector<float>> all(rows);
   for (std::size_t start = 0; start < rows.size(); start += kChunk) {
     const std::size_t end = std::min(rows.size(), start + kChunk);
-    Tensor in({static_cast<int>(end - start), shape_[0], shape_[1],
-               shape_[2]});
-    for (std::size_t s = start; s < end; ++s) {
-      LHD_CHECK(rows[s].size() == sample, "row size != input shape");
-      std::copy(rows[s].begin(), rows[s].end(),
-                in.data() + (s - start) * sample);
-    }
-    const Tensor probs = softmax(net_->infer(in));
+    const Tensor probs = softmax(
+        net_->forward_batch(all.subspan(start, end - start), shape_));
     for (std::size_t s = 0; s < end - start; ++s) {
       out.push_back(probs[s * 2 + 1]);
     }

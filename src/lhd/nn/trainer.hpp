@@ -21,7 +21,7 @@
 
 namespace lhd::nn {
 
-using Rows = std::vector<std::vector<float>>;
+// Rows (flat CHW sample rows) lives in network.hpp next to forward_batch.
 
 struct TrainConfig {
   int epochs = 25;

@@ -1,7 +1,9 @@
 #include "lhd/testkit/oracle.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -10,6 +12,8 @@
 #include "lhd/gds/reader.hpp"
 #include "lhd/gds/writer.hpp"
 #include "lhd/geom/polygon.hpp"
+#include "lhd/nn/gemm.hpp"
+#include "lhd/nn/layers.hpp"
 #include "lhd/nn/serialize.hpp"
 #include "lhd/testkit/property.hpp"
 #include "lhd/util/check.hpp"
@@ -276,6 +280,106 @@ void expect_hierarchical_scan_parity(
         }
       }
     }
+  }
+}
+
+namespace {
+
+/// Clears the programmatic kernel-path override on scope exit, so a
+/// throwing comparison never leaks a forced path into later tests.
+struct KernelPathOverrideGuard {
+  KernelPathOverrideGuard() = default;
+  KernelPathOverrideGuard(const KernelPathOverrideGuard&) = delete;
+  KernelPathOverrideGuard& operator=(const KernelPathOverrideGuard&) = delete;
+  ~KernelPathOverrideGuard() { nn::clear_kernel_path_override(); }
+};
+
+std::size_t zu(int v) { return static_cast<std::size_t>(v); }
+
+void fill_uniform(Rng& rng, float* dst, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    dst[i] = static_cast<float>(rng.next_double(-1.0, 1.0));
+  }
+}
+
+void compare_close(const float* fast, const float* ref, std::size_t count,
+                   double tol, const char* what) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double f = fast[i];
+    const double r = ref[i];
+    const double diff = std::abs(f - r);
+    const double bound = tol * (1.0 + std::max(std::abs(f), std::abs(r)));
+    if (!(diff <= bound)) {
+      std::ostringstream os;
+      os << what << ": element " << i << " differs by " << diff << " (bound "
+         << bound << "): fast " << f << " vs reference " << r;
+      oracle_fail(os.str());
+    }
+  }
+}
+
+}  // namespace
+
+void expect_nn_kernel_parity(Rng& rng, std::size_t size, double tol) {
+  KernelPathOverrideGuard guard;
+
+  // 1. Raw GEMM, blocked vs naive. The bounds keep shapes small enough to
+  //    shrink well while still crossing the microkernel sliver edges
+  //    (and, at large sizes, the kKC panel edge) so tail handling is hit.
+  {
+    const int m = static_cast<int>(1 + rng.next_below(6 + size / 4));
+    const int n = static_cast<int>(1 + rng.next_below(20 + size));
+    const int k = static_cast<int>(1 + rng.next_below(12 + 4 * size));
+    const bool trans_b = rng.next_bool();
+    std::vector<float> a(zu(m) * zu(k));
+    std::vector<float> b(zu(k) * zu(n));
+    fill_uniform(rng, a.data(), a.size());
+    fill_uniform(rng, b.data(), b.size());
+    std::vector<float> c_fast(zu(m) * zu(n));
+    fill_uniform(rng, c_fast.data(), c_fast.size());
+    std::vector<float> c_ref = c_fast;
+    const int ldb = trans_b ? k : n;
+    nn::gemm(m, n, k, a.data(), k, b.data(), ldb, trans_b, c_fast.data(), n);
+    nn::gemm_reference(m, n, k, a.data(), k, b.data(), ldb, trans_b,
+                       c_ref.data(), n);
+    std::ostringstream what;
+    what << "blocked GEMM vs reference (m=" << m << " n=" << n << " k=" << k
+         << " trans_b=" << trans_b << ")";
+    compare_close(c_fast.data(), c_ref.data(), c_fast.size(), tol,
+                  what.str().c_str());
+  }
+
+  // 2. A random conv→relu→pool→linear stack, fast vs reference infer().
+  //    Channel counts deliberately include values that are not multiples
+  //    of any sliver width.
+  {
+    const int batch = static_cast<int>(1 + rng.next_below(3 + size / 8));
+    const int grid = 4 * static_cast<int>(1 + rng.next_below(2));
+    const int in_c = static_cast<int>(1 + rng.next_below(4));
+    const int mid_c = static_cast<int>(1 + rng.next_below(12));
+    const int out_f = static_cast<int>(1 + rng.next_below(8));
+    nn::Network net;
+    net.add(std::make_unique<nn::Conv2d>(in_c, mid_c, 3, 1));
+    net.add(std::make_unique<nn::Relu>());
+    net.add(std::make_unique<nn::MaxPool2>());
+    net.add(std::make_unique<nn::Linear>(mid_c * (grid / 2) * (grid / 2),
+                                         out_f));
+    Rng winit(rng.next_u64());
+    net.init(winit);
+
+    nn::Tensor in({batch, in_c, grid, grid});
+    fill_uniform(rng, in.data(), in.size());
+
+    nn::set_kernel_path(nn::KernelPath::kFast);
+    const nn::Tensor fast = net.infer(in);
+    nn::set_kernel_path(nn::KernelPath::kReference);
+    const nn::Tensor ref = net.infer(in);
+    std::ostringstream what;
+    what << "conv/linear stack fast vs reference (batch=" << batch
+         << " grid=" << grid << " in_c=" << in_c << " mid_c=" << mid_c
+         << " out_f=" << out_f << ")";
+    compare_close(fast.data(), ref.data(), fast.size(), tol,
+                  what.str().c_str());
   }
 }
 

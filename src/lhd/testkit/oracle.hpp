@@ -13,6 +13,7 @@
 #include "lhd/data/dataset.hpp"
 #include "lhd/gds/model.hpp"
 #include "lhd/nn/network.hpp"
+#include "lhd/util/rng.hpp"
 
 namespace lhd {
 class ThreadPool;
@@ -102,6 +103,22 @@ void expect_hierarchical_scan_parity(
     const gds::Library& lib, const std::string& top, std::int16_t layer,
     const core::Detector& detector, core::ScanConfig config,
     const std::vector<std::size_t>& thread_counts, ThreadPool& pool);
+
+// --- nn kernels -------------------------------------------------------------
+
+/// Fast-vs-reference nn kernel parity, two checks per call:
+///   1. the blocked GEMM vs the naive triple loop on a random (m, n, k)
+///      straddling the packing sliver edges, both B orientations, with C
+///      seeded non-zero to verify the accumulate (+=) semantics;
+///   2. a random conv→relu→pool→linear stack with random (odd-friendly)
+///      channel counts, weights and batch, run through Network::infer()
+///      under KernelPath::kFast and KernelPath::kReference.
+/// Agreement is tolerance-based — |fast - ref| ≤ tol·(1 + max magnitude)
+/// per element — because the two paths accumulate in different orders and
+/// precisions; bit equality is deliberately NOT the contract (see
+/// docs/PERFORMANCE.md). Clears the programmatic kernel-path override on
+/// exit, even when throwing, so a failure never leaks a forced path.
+void expect_nn_kernel_parity(Rng& rng, std::size_t size, double tol = 1e-3);
 
 // --- serialization fixpoints ------------------------------------------------
 

@@ -305,5 +305,13 @@ TEST(Property, DatasetSaveLoadSaveFixpoint) {
   });
 }
 
+// ------------------------------------------------------------- nn kernels
+
+TEST(Property, NnKernelParityFastVsReference) {
+  CHECK_PROPERTY("nn-kernel-parity", 32, [](Rng& rng, std::size_t size) {
+    expect_nn_kernel_parity(rng, size);
+  });
+}
+
 }  // namespace
 }  // namespace lhd::testkit
