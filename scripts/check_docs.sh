@@ -7,7 +7,10 @@
 #   3. an LHD_* CMake knob declared in CMakeLists.txt is missing from
 #      README.md's "Build & run knobs" table, or
 #   4. docs/PERFORMANCE.md (the nn kernel contract) is missing, or an
-#      LHD_NN_* kernel knob is not documented in it.
+#      LHD_NN_* kernel knob is not documented in it, or
+#   5. a lint rule id shipped in src/lhd/lint/rules.hpp (the kAllRuleIds
+#      registry) has no backticked mention in docs/STATIC_ANALYSIS.md's
+#      triage guide.
 # Run from anywhere: paths resolve relative to this script's repo root.
 
 check_name="check_docs"
@@ -65,4 +68,25 @@ else
   done
 fi
 
-finish "update README.md's module map / knobs table, docs/PERFORMANCE.md's kernel-knob coverage, or add the missing @file header comments"
+# --- 5. every shipped lint rule id is documented in the triage guide -------
+# The single source of truth is the kAllRuleIds block in rules.hpp; each id
+# listed there must appear backticked in docs/STATIC_ANALYSIS.md so a
+# finding's rule id always leads to a written remedy.
+rules_hpp="$root/src/lhd/lint/rules.hpp"
+sa_doc="$root/docs/STATIC_ANALYSIS.md"
+if [ -f "$rules_hpp" ]; then
+  if [ ! -f "$sa_doc" ]; then
+    fail "docs/STATIC_ANALYSIS.md is missing but src/lhd/lint ships rules"
+  else
+    rule_ids="$(sed -n '/kAllRuleIds\[\]/,/};/p' "$rules_hpp" |
+      grep -oE '"[a-z][a-z0-9-]*"' | tr -d '"' | sort -u)"
+    [ -n "$rule_ids" ] || fail "could not extract any rule ids from $rules_hpp (kAllRuleIds block)"
+    for rule_id in $rule_ids; do
+      if ! grep -q "\`$rule_id\`" "$sa_doc"; then
+        fail "lint rule '$rule_id' (kAllRuleIds) is not documented in docs/STATIC_ANALYSIS.md"
+      fi
+    done
+  fi
+fi
+
+finish "update README.md's module map / knobs table, docs/PERFORMANCE.md's kernel-knob coverage, docs/STATIC_ANALYSIS.md's rule-id coverage, or add the missing @file header comments"

@@ -4,7 +4,6 @@
 #include <compare>
 #include <functional>
 #include <optional>
-#include <thread>
 #include <unordered_map>
 
 #include "lhd/core/score_cache.hpp"
@@ -143,7 +142,7 @@ struct ShardAccum {
 
 std::size_t resolve_threads(std::size_t requested) {
   if (requested != 0) return requested;
-  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return hardware_threads();
 }
 
 data::Clip make_clip(std::vector<geom::Rect> rects, geom::Coord window_nm) {

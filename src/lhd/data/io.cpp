@@ -1,9 +1,9 @@
 #include "lhd/data/io.hpp"
 
-#include <algorithm>
 #include <cstring>
 #include <fstream>
 
+#include "lhd/util/bounded.hpp"
 #include "lhd/util/check.hpp"
 
 namespace lhd::data {
@@ -73,7 +73,7 @@ Dataset load_dataset(std::istream& in) {
   // Count fields drive allocations, so never trust them further than the
   // bytes that actually arrive: reserve a bounded amount up front and let
   // push_back grow the rest as the stream proves it holds the data.
-  ds.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(count, 1u << 16)));
+  lhd::bounded_reserve(ds, count, 1u << 16);
   for (std::uint64_t i = 0; i < count; ++i) {
     Clip c;
     c.window_nm = read_pod<std::int32_t>(in);
@@ -83,7 +83,7 @@ Dataset load_dataset(std::istream& in) {
     c.label = static_cast<Label>(raw_label);
     const auto n_rects = read_pod<std::uint32_t>(in);
     LHD_CHECK(n_rects < (1u << 24), "unreasonable rect count");
-    c.rects.reserve(std::min<std::uint32_t>(n_rects, 4096));
+    lhd::bounded_reserve(c.rects, n_rects, 4096);
     for (std::uint32_t r = 0; r < n_rects; ++r) {
       geom::Rect rect;
       rect.xlo = read_pod<geom::Coord>(in);

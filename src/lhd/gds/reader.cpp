@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "lhd/util/bounded.hpp"
 #include "lhd/util/check.hpp"
 
 namespace lhd::gds {
@@ -69,7 +70,10 @@ std::vector<geom::Point> parse_xy(const Record& r) {
     throw ParseError("XY payload not a multiple of 8 bytes");
   }
   std::vector<geom::Point> pts;
-  pts.reserve(r.payload.size() / 8);
+  // A GDS record length is 16-bit, so a well-formed XY payload can never
+  // claim more than 2^16 / 8 points — cap the allocation there.
+  constexpr std::uint64_t kMaxXYPoints = (1u << 16) / 8;
+  lhd::bounded_reserve(pts, r.payload.size() / 8, kMaxXYPoints);
   for (std::size_t i = 0; i + 8 <= r.payload.size(); i += 8) {
     const geom::Point p{read_i32(r.payload.data() + i),
                         read_i32(r.payload.data() + i + 4)};

@@ -1,0 +1,230 @@
+#include "lhd/lint/analyzer.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <istream>
+#include <set>
+#include <sstream>
+
+namespace lhd::lint {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Pull rule ids out of one comment's text: everything between the
+/// parentheses of `lhd-lint: allow( ... )`, comma-separated. Returns an
+/// empty list when the comment carries no (well-formed) marker.
+std::vector<std::string> parse_allow_marker(std::string_view comment) {
+  std::vector<std::string> ids;
+  const std::size_t tag = comment.find("lhd-lint:");
+  if (tag == std::string_view::npos) return ids;
+  const std::size_t open = comment.find("allow(", tag);
+  if (open == std::string_view::npos) return ids;
+  const std::size_t begin = open + 6;
+  const std::size_t close = comment.find(')', begin);
+  if (close == std::string_view::npos) return ids;
+  std::string_view list = comment.substr(begin, close - begin);
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    const std::string id = trim(list.substr(0, comma));
+    if (!id.empty()) ids.push_back(id);
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+  return ids;
+}
+
+void escape_json(std::string_view s, std::string& out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Baseline parse_baseline(std::istream& in) {
+  Baseline b;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    std::istringstream fields(t);
+    std::string rule, path;
+    int count = 1;
+    fields >> rule >> path;
+    if (rule.empty() || path.empty()) continue;
+    if (!(fields >> count) || count < 1) count = 1;
+    b.allowed[{rule, path}] += count;
+  }
+  return b;
+}
+
+FileContext make_file_context(std::string path, std::string_view source) {
+  FileContext f;
+  f.path = std::move(path);
+  f.is_header = f.path.size() >= 4 &&
+                f.path.compare(f.path.size() - 4, 4, ".hpp") == 0;
+  if (f.path.rfind("src/lhd/", 0) == 0) {
+    const std::size_t begin = std::string("src/lhd/").size();
+    const std::size_t slash = f.path.find('/', begin);
+    if (slash != std::string::npos) {
+      f.module = f.path.substr(begin, slash - begin);
+    }
+  }
+  f.tokens = lex(source);
+
+  // Which lines carry code? A comment sharing a line with code is a
+  // trailing marker for that line; a comment alone on its line(s) covers
+  // the first line after it ends.
+  std::set<int> code_lines;
+  for (const Token& t : f.tokens) {
+    if (t.kind != TokKind::Comment) code_lines.insert(t.line);
+  }
+  for (const Token& t : f.tokens) {
+    if (t.kind != TokKind::Comment) continue;
+    const std::vector<std::string> ids = parse_allow_marker(t.text);
+    if (ids.empty()) continue;
+    const int end_line =
+        t.line + static_cast<int>(std::count(t.text.begin(), t.text.end(), '\n'));
+    f.allow[t.line].insert(ids.begin(), ids.end());
+    if (code_lines.count(t.line) == 0) {
+      f.allow[end_line + 1].insert(ids.begin(), ids.end());
+    }
+  }
+  return f;
+}
+
+std::vector<std::string> collect_sources(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  for (const char* top : {"src", "tools"}) {
+    std::error_code ec;
+    const fs::path base = fs::path(root) / top;
+    fs::recursive_directory_iterator it(base, ec), end;
+    if (ec) continue;  // a missing tree is fine (partial checkouts)
+    for (; it != end; it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file(ec)) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp") continue;
+      out.push_back(
+          fs::relative(it->path(), root, ec).generic_string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Summary run_rules(const RepoContext& repo,
+                  const std::vector<std::unique_ptr<Rule>>& rules,
+                  const Baseline& baseline) {
+  std::vector<Finding> raw;
+  for (const auto& rule : rules) rule->check(repo, raw);
+  std::sort(raw.begin(), raw.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+
+  std::map<std::string, const FileContext*> by_path;
+  for (const FileContext& f : repo.files) by_path[f.path] = &f;
+
+  Summary s;
+  s.files = repo.files.size();
+  auto remaining = baseline.allowed;  // mutable budget per (rule, file)
+  for (Finding& f : raw) {
+    const FileContext* ctx = by_path.count(f.file) ? by_path[f.file] : nullptr;
+    if (ctx) {
+      const auto it = ctx->allow.find(f.line);
+      if (it != ctx->allow.end() && it->second.count(f.rule)) {
+        ++s.suppressed_inline;
+        continue;
+      }
+    }
+    const auto budget = remaining.find({f.rule, f.file});
+    if (budget != remaining.end() && budget->second > 0) {
+      --budget->second;
+      ++s.suppressed_baseline;
+      continue;
+    }
+    s.findings.push_back(std::move(f));
+  }
+  return s;
+}
+
+std::string render_human(const Summary& s) {
+  std::ostringstream out;
+  for (const Finding& f : s.findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  out << "lhd_lint: " << s.findings.size() << " finding(s) across " << s.files
+      << " file(s)";
+  if (s.suppressed_inline || s.suppressed_baseline) {
+    out << " (" << s.suppressed_inline << " inline-suppressed, "
+        << s.suppressed_baseline << " baselined)";
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::string render_json(const Summary& s) {
+  std::string out = "{\"schema\":\"lhd.lint/1\",\"files\":";
+  out += std::to_string(s.files);
+  out += ",\"suppressed_inline\":";
+  out += std::to_string(s.suppressed_inline);
+  out += ",\"suppressed_baseline\":";
+  out += std::to_string(s.suppressed_baseline);
+  out += ",\"findings\":[";
+  bool first = true;
+  for (const Finding& f : s.findings) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"rule\":\"";
+    escape_json(f.rule, out);
+    out += "\",\"file\":\"";
+    escape_json(f.file, out);
+    out += "\",\"line\":";
+    out += std::to_string(f.line);
+    out += ",\"message\":\"";
+    escape_json(f.message, out);
+    out += "\"}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string render_baseline(const Summary& s) {
+  std::map<std::pair<std::string, std::string>, int> counts;
+  for (const Finding& f : s.findings) ++counts[{f.rule, f.file}];
+  std::ostringstream out;
+  out << "# lhd_lint baseline — accepted debt, one `rule-id path count` per\n"
+         "# line. New findings beyond these counts still fail; shrink this\n"
+         "# file as violations are fixed. Regenerate: lhd_lint "
+         "--write-baseline=.lhd-lint-baseline\n";
+  for (const auto& [key, count] : counts) {
+    out << key.first << " " << key.second << " " << count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lhd::lint

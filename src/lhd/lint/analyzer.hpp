@@ -1,0 +1,62 @@
+#pragma once
+// The lhd::lint runner: turns sources into FileContexts (lexing + inline
+// suppression mining), applies the rule set, filters findings through
+// inline `// lhd-lint: allow(<rule>)` markers and the checked-in baseline
+// (.lhd-lint-baseline at the repo root), and renders human / JSON /
+// baseline output. tools/lhd_lint is a thin flag parser over this header;
+// tests/test_lint.cpp drives the same entry points on in-memory fixtures.
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lhd/lint/rules.hpp"
+
+namespace lhd::lint {
+
+/// Debt we have agreed to carry: (rule id, file) -> number of findings of
+/// that rule tolerated in that file. The analyzer drops the first N such
+/// findings (in line order) and reports the rest — so *new* violations in
+/// a baselined file still fail, and fixing one lets the baseline shrink.
+struct Baseline {
+  std::map<std::pair<std::string, std::string>, int> allowed;
+};
+
+/// Parse the baseline format: '#' comments and blank lines ignored,
+/// otherwise `rule-id path [count]` (count defaults to 1). Unknown rule
+/// ids are kept verbatim — they become stale entries, not errors.
+Baseline parse_baseline(std::istream& in);
+
+/// Lex `source` and mine its comments for `lhd-lint: allow(a, b)` markers.
+/// A marker suppresses the listed rules on its own line; a *standalone*
+/// comment (no code on its line) also covers the first line after the
+/// comment ends, so the idiomatic form reads:
+///     // lhd-lint: allow(determinism)  -- why this one is fine
+///     auto t = time(nullptr);
+FileContext make_file_context(std::string path, std::string_view source);
+
+/// Repo-relative '/'-separated paths of every *.hpp / *.cpp under
+/// `root`/src and `root`/tools, sorted. (Tests and scripts are linted by
+/// other layers of the gate; see docs/STATIC_ANALYSIS.md.)
+std::vector<std::string> collect_sources(const std::string& root);
+
+struct Summary {
+  std::vector<Finding> findings;  ///< unsuppressed, sorted (file, line, rule)
+  std::size_t files = 0;
+  std::size_t suppressed_inline = 0;
+  std::size_t suppressed_baseline = 0;
+};
+
+/// Run `rules` over `repo`, apply inline suppressions and `baseline`.
+Summary run_rules(const RepoContext& repo,
+                  const std::vector<std::unique_ptr<Rule>>& rules,
+                  const Baseline& baseline);
+
+std::string render_human(const Summary& s);
+std::string render_json(const Summary& s);
+/// Render s.findings back in baseline format (for --write-baseline).
+std::string render_baseline(const Summary& s);
+
+}  // namespace lhd::lint

@@ -1,0 +1,317 @@
+#include "lhd/lint/lexer.hpp"
+
+#include <cctype>
+
+namespace lhd::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Character cursor with line/column tracking and backslash-newline
+/// splicing. peek()/get() never expose a spliced line break, so every
+/// higher-level scanner is continuation-transparent for free.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) { splice(); }
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek() const { return done() ? '\0' : src_[pos_]; }
+  char peek2() const {
+    // Second character after the current one, skipping a splice between
+    // them (good enough for the two-char lookaheads used below).
+    std::size_t p = pos_ + 1;
+    while (p + 1 < src_.size() && src_[p] == '\\' &&
+           (src_[p + 1] == '\n' || (src_[p + 1] == '\r' && p + 2 < src_.size() &&
+                                    src_[p + 2] == '\n'))) {
+      p += src_[p + 1] == '\n' ? 2 : 3;
+    }
+    return p < src_.size() ? src_[p] : '\0';
+  }
+
+  char get() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    splice();
+    return c;
+  }
+
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+ private:
+  void splice() {
+    while (pos_ + 1 < src_.size() && src_[pos_] == '\\') {
+      if (src_[pos_ + 1] == '\n') {
+        pos_ += 2;
+      } else if (src_[pos_ + 1] == '\r' && pos_ + 2 < src_.size() &&
+                 src_[pos_ + 2] == '\n') {
+        pos_ += 3;
+      } else {
+        break;
+      }
+      ++line_;
+      col_ = 1;
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : cur_(src) {}
+
+  std::vector<Token> run() {
+    while (!cur_.done()) {
+      const char c = cur_.peek();
+      if (c == '\n') {
+        cur_.get();
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        cur_.get();
+        continue;
+      }
+      if (c == '/' && cur_.peek2() == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && cur_.peek2() == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (ident_start(c)) {
+        identifier_or_prefixed_literal();
+      } else if (digit(c) || (c == '.' && digit(cur_.peek2()))) {
+        number();
+      } else if (c == '"') {
+        string_literal(/*raw=*/false);
+      } else if (c == '\'') {
+        char_literal();
+      } else {
+        punct();
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void emit(TokKind kind, std::string text, int line, int col) {
+    out_.push_back(Token{kind, std::move(text), line, col});
+  }
+
+  void line_comment() {
+    const int line = cur_.line(), col = cur_.col();
+    std::string text;
+    while (!cur_.done() && cur_.peek() != '\n') text.push_back(cur_.get());
+    emit(TokKind::Comment, std::move(text), line, col);
+    // Comments are whitespace to the preprocessor: `   // x` + `#if` on
+    // the next line still sees the '#' at line start.
+  }
+
+  void block_comment() {
+    const int line = cur_.line(), col = cur_.col();
+    std::string text;
+    text.push_back(cur_.get());  // '/'
+    text.push_back(cur_.get());  // '*'
+    while (!cur_.done()) {
+      const char c = cur_.get();
+      text.push_back(c);
+      if (c == '*' && cur_.peek() == '/') {
+        text.push_back(cur_.get());
+        break;
+      }
+    }
+    emit(TokKind::Comment, std::move(text), line, col);
+  }
+
+  void directive() {
+    const int line = cur_.line(), col = cur_.col();
+    cur_.get();  // '#'
+    at_line_start_ = false;
+    while (!cur_.done() &&
+           (cur_.peek() == ' ' || cur_.peek() == '\t')) {
+      cur_.get();
+    }
+    std::string name;
+    while (!cur_.done() && ident_char(cur_.peek())) name.push_back(cur_.get());
+    emit(TokKind::Directive, name, line, col);
+    if (name != "include") return;  // rest of the line lexes normally
+    while (!cur_.done() && (cur_.peek() == ' ' || cur_.peek() == '\t')) {
+      cur_.get();
+    }
+    const char open = cur_.peek();
+    if (open != '"' && open != '<') return;  // computed include — give up
+    const char close = open == '<' ? '>' : '"';
+    const int hline = cur_.line(), hcol = cur_.col();
+    std::string text;
+    text.push_back(cur_.get());
+    while (!cur_.done() && cur_.peek() != close && cur_.peek() != '\n') {
+      text.push_back(cur_.get());
+    }
+    if (!cur_.done() && cur_.peek() == close) text.push_back(cur_.get());
+    emit(TokKind::HeaderName, std::move(text), hline, hcol);
+  }
+
+  void identifier_or_prefixed_literal() {
+    const int line = cur_.line(), col = cur_.col();
+    std::string text;
+    while (!cur_.done() && ident_char(cur_.peek())) text.push_back(cur_.get());
+    // Encoding/raw prefixes glue onto the literal that follows: R"(..)",
+    // u8"x", L'x', ... — the prefix must not leak out as an identifier.
+    const bool raw = !text.empty() && text.back() == 'R';
+    const bool prefix =
+        text == "R" || text == "L" || text == "u" || text == "U" ||
+        text == "u8" || text == "LR" || text == "uR" || text == "UR" ||
+        text == "u8R";
+    if (prefix && cur_.peek() == '"') {
+      string_literal(raw, text, line, col);
+      return;
+    }
+    if (prefix && !raw && cur_.peek() == '\'') {
+      char_literal(text, line, col);
+      return;
+    }
+    emit(TokKind::Identifier, std::move(text), line, col);
+  }
+
+  void number() {
+    const int line = cur_.line(), col = cur_.col();
+    std::string text;
+    text.push_back(cur_.get());
+    // pp-number: identifier chars, '.', digit separators, and exponent
+    // signs after e/E/p/P. Deliberately greedy — exact numeric grammar
+    // does not matter to any rule, not splitting mid-literal does.
+    while (!cur_.done()) {
+      const char c = cur_.peek();
+      if (ident_char(c) || c == '.') {
+        text.push_back(cur_.get());
+      } else if (c == '\'' && ident_char(cur_.peek2())) {
+        text.push_back(cur_.get());
+      } else if ((c == '+' || c == '-') && !text.empty() &&
+                 (text.back() == 'e' || text.back() == 'E' ||
+                  text.back() == 'p' || text.back() == 'P')) {
+        text.push_back(cur_.get());
+      } else {
+        break;
+      }
+    }
+    emit(TokKind::Number, std::move(text), line, col);
+  }
+
+  void string_literal(bool raw, std::string text = {}, int line = -1,
+                      int col = -1) {
+    if (line < 0) {
+      line = cur_.line();
+      col = cur_.col();
+    }
+    text.push_back(cur_.get());  // opening '"'
+    if (raw) {
+      // R"delim( ... )delim" — no escapes inside, find the exact closer.
+      std::string delim;
+      while (!cur_.done() && cur_.peek() != '(' && cur_.peek() != '\n' &&
+             delim.size() < 16) {
+        delim.push_back(cur_.get());
+      }
+      if (!cur_.done() && cur_.peek() == '(') text += delim, text.push_back(cur_.get());
+      const std::string closer = ")" + delim + "\"";
+      std::string tail;
+      while (!cur_.done()) {
+        tail.push_back(cur_.get());
+        if (tail.size() >= closer.size() &&
+            tail.compare(tail.size() - closer.size(), closer.size(),
+                         closer) == 0) {
+          break;
+        }
+      }
+      text += tail;
+    } else {
+      while (!cur_.done()) {
+        const char c = cur_.get();
+        text.push_back(c);
+        if (c == '\\' && !cur_.done()) {
+          text.push_back(cur_.get());
+        } else if (c == '"' && text.size() > 1) {
+          break;
+        } else if (c == '\n') {
+          break;  // unterminated — close at the line end, keep going
+        }
+      }
+    }
+    emit(TokKind::String, std::move(text), line, col);
+  }
+
+  void char_literal(std::string text = {}, int line = -1, int col = -1) {
+    if (line < 0) {
+      line = cur_.line();
+      col = cur_.col();
+    }
+    text.push_back(cur_.get());  // opening '\''
+    while (!cur_.done()) {
+      const char c = cur_.get();
+      text.push_back(c);
+      if (c == '\\' && !cur_.done()) {
+        text.push_back(cur_.get());
+      } else if (c == '\'' && text.size() > 1) {
+        break;
+      } else if (c == '\n') {
+        break;
+      }
+    }
+    emit(TokKind::CharLit, std::move(text), line, col);
+  }
+
+  void punct() {
+    const int line = cur_.line(), col = cur_.col();
+    const char c = cur_.get();
+    // Only the two punctuators the rules dispatch on are merged: `::`
+    // (qualified names) and `->` (member access). Everything else is one
+    // char — rules never need to distinguish `<<` from `<` `<`.
+    if (c == ':' && cur_.peek() == ':') {
+      cur_.get();
+      emit(TokKind::Punct, "::", line, col);
+      return;
+    }
+    if (c == '-' && cur_.peek() == '>') {
+      cur_.get();
+      emit(TokKind::Punct, "->", line, col);
+      return;
+    }
+    emit(TokKind::Punct, std::string(1, c), line, col);
+  }
+
+  Cursor cur_;
+  std::vector<Token> out_;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace lhd::lint

@@ -1,0 +1,55 @@
+#pragma once
+// A small, honest C++ lexer for the in-repo static analyzer (lhd::lint).
+//
+// It is NOT a compiler front end: it produces a flat token stream with no
+// preprocessing, no keyword table and no parse tree. What it does get
+// right — and what the grep rules it replaces could not — is the lexical
+// grammar that decides whether text is *code* at all:
+//
+//   * `//` line comments and `/* ... */` block comments become single
+//     Comment tokens (so prose mentioning `std::mutex` is inert, but the
+//     framework can still mine them for `lhd-lint: allow(...)` markers);
+//   * string literals (including raw strings `R"delim(...)delim"` and
+//     encoding prefixes), character literals and digit separators are
+//     consumed as single tokens, so their *contents* never look like
+//     identifiers;
+//   * preprocessor lines are recognized: the directive name is emitted as
+//     a Directive token and an #include's target as a HeaderName token
+//     (quoted or angled, delimiters kept), while the rest of the line is
+//     tokenized normally — macro bodies are code and rules see them;
+//   * backslash-newline continuations splice everywhere;
+//   * every token carries its 1-based line and column for findings.
+//
+// Lexing never fails: unterminated constructs are closed at end of file
+// and stray bytes become single-character Punct tokens. A linter must
+// degrade gracefully on code it does not fully understand.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lhd::lint {
+
+enum class TokKind {
+  Identifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  Number,      ///< pp-number: digits, hex, exponents, digit separators
+  String,      ///< "..." or R"d(...)d", any encoding prefix, one token
+  CharLit,     ///< '...' with escapes
+  Punct,       ///< one punctuation char, except `::` which is one token
+  Comment,     ///< // to end of line, or a whole /* ... */ block
+  Directive,   ///< the NAME of a preprocessor directive (`include`, ...)
+  HeaderName,  ///< an #include target, delimiters kept: "lhd/x.hpp" or <vector>
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character
+  int col = 0;   ///< 1-based column of the token's first character
+};
+
+/// Tokenize one translation unit (or header). See the header comment for
+/// exactly how much C++ this understands.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace lhd::lint

@@ -1,0 +1,76 @@
+#pragma once
+// The lhd::lint rule framework: what a rule is, what it reports, and the
+// registry of shipped rules. Rules operate on lexed token streams
+// (lexer.hpp) grouped into a RepoContext, so they see code the way the
+// compiler does — comments, string literals and macro bodies are already
+// classified — and repo-wide rules (the include-graph layering check) get
+// every file at once.
+//
+// The shipped rules machine-enforce the invariants the codebase's
+// correctness story rests on; docs/STATIC_ANALYSIS.md carries the
+// rule-by-rule triage guide, and scripts/check_docs.sh fails if a rule id
+// listed in kAllRuleIds below is missing from that document.
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lhd/lint/lexer.hpp"
+
+namespace lhd::lint {
+
+/// One reported violation. `file` is repo-relative with '/' separators;
+/// `line` is 1-based.
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+/// A lexed source file plus the path-derived facts rules scope on.
+struct FileContext {
+  std::string path;    ///< repo-relative, '/' separators (src/lhd/core/scan.cpp)
+  std::string module;  ///< "core" for src/lhd/core/..., "" outside src/lhd/
+  bool is_header = false;
+  std::vector<Token> tokens;  ///< full stream, comments included
+  /// line -> rule ids suppressed there by `// lhd-lint: allow(rule)`
+  /// comments (same line, or a standalone comment on the line above).
+  std::map<int, std::set<std::string>> allow;
+};
+
+struct RepoContext {
+  std::vector<FileContext> files;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual const char* id() const = 0;
+  virtual const char* description() const = 0;
+  /// Append findings for the whole repo context. Per-file rules loop over
+  /// context.files themselves — one uniform entry point keeps the runner
+  /// trivial and lets any rule become repo-wide later.
+  virtual void check(const RepoContext& repo,
+                     std::vector<Finding>& out) const = 0;
+};
+
+/// Every shipped rule id, in severity-of-surprise order. This is the
+/// single source of truth: default_rules() is asserted (tests/test_lint)
+/// to ship exactly these, and scripts/check_docs.sh greps this block to
+/// require each id documented in docs/STATIC_ANALYSIS.md.
+inline constexpr const char* kAllRuleIds[] = {
+    "mutex-guards",        // R1: a mutex member must guard annotated state
+    "raw-sync-primitive",  // R2: std sync primitives only via the lhd shim
+    "layering",            // R3: module includes must follow the DAG down
+    "determinism",         // R4: no entropy/wall-clock in scan-result code
+    "decoder-bounds",      // R5: decoder reserve/resize via bounded_* only
+    "header-hygiene",      // R6: #pragma once; std::thread only in the pool
+};
+
+/// The shipped rule set, in kAllRuleIds order.
+std::vector<std::unique_ptr<Rule>> default_rules();
+
+}  // namespace lhd::lint

@@ -7,6 +7,7 @@
 
 #include "lhd/nn/tensor.hpp"
 #include "lhd/util/check.hpp"
+#include "lhd/util/log.hpp"
 
 namespace lhd::nn {
 
@@ -25,14 +26,13 @@ KernelPath parse_kernel_name(const std::string& name, const char* source) {
                                        << "' (want 'fast' or 'reference')");
 }
 
-/// Env (then compiled) default, resolved once on first use.
+/// Env (then compiled) default, resolved once on first use. The compiled
+/// default still *throws* on an unknown name — that is a build
+/// misconfiguration, not a deployment typo.
 KernelPath env_default_path() {
-  static const KernelPath path = [] {
-    if (const char* v = std::getenv("LHD_NN_KERNEL")) {
-      return parse_kernel_name(v, "LHD_NN_KERNEL");
-    }
-    return parse_kernel_name(LHD_NN_KERNEL_DEFAULT, "compiled-default");
-  }();
+  static const KernelPath path = parse_kernel_override(
+      std::getenv("LHD_NN_KERNEL"),
+      parse_kernel_name(LHD_NN_KERNEL_DEFAULT, "compiled-default"));
   return path;
 }
 
@@ -40,6 +40,17 @@ KernelPath env_default_path() {
 std::atomic<int> g_path_override{-1};
 
 }  // namespace
+
+KernelPath parse_kernel_override(const char* value, KernelPath fallback) {
+  if (value == nullptr) return fallback;
+  const std::string name(value);
+  if (name == "fast") return KernelPath::kFast;
+  if (name == "reference") return KernelPath::kReference;
+  LHD_LOG(Warn) << "unrecognized LHD_NN_KERNEL value '" << name
+                << "' (want 'fast' or 'reference') — falling back to the "
+                << "compiled default '" << kernel_path_name(fallback) << "'";
+  return fallback;
+}
 
 KernelPath active_kernel_path() {
   const int o = g_path_override.load(std::memory_order_relaxed);
@@ -197,6 +208,53 @@ void micro_kernel_direct_b(int kc, const float* apanel, const float* b,
   }
 }
 
+/// Single-row C += a · Bᵀ — the batch-1 Linear shape (m = 1, trans_b).
+/// The blocked path is pure overhead here: it packs a 1 × k A block into
+/// kMR-row slivers that are 5/6 zeros and transpose-packs the whole weight
+/// matrix into scratch to feed a microkernel computing 6 rows of which 5
+/// are discarded. Instead, gather each p-row of the kNR-column tile into a
+/// stack-local `btile` as it is consumed — the only "packing" left is one
+/// register-resident row, never written to memory scratch.
+///
+/// Bit-equality contract (docs/PERFORMANCE.md): batched and per-sample
+/// scores must agree bit-for-bit. Matching the accumulation *order* (kKC
+/// chunks ascending, p ascending within a chunk, one chunk total added to
+/// c[j] at a time) is necessary but NOT sufficient: the accumulator loop
+/// must also have the same shape as micro_kernel's inner loop, so the
+/// compiler makes the same FMA-contraction choice for both. A plain
+/// single-float dot-product chain here measurably diverges — GCC -O3
+/// vectorizes that reduction in-order *without* contracting, while the
+/// microkernel's independent fixed-width accumulators contract to FMA,
+/// and fma(a,b,acc) rounds once where a*b+acc rounds twice. Hence the
+/// fixed kNR-wide `acc[] += av * btile[]` below, structurally identical
+/// to micro_kernel's q-loop, zero-padded tail and all. Covered by
+/// Gemm.BatchOneRowDirectBitEqualsBlockedRow and the nn-kernel-parity
+/// oracle's memcmp case.
+void gemm_row_direct(int n, int k, const float* a, const float* b, int ldb,
+                     float* c) {
+  for (int p0 = 0; p0 < k; p0 += kKC) {
+    const int kc = std::min(kKC, k - p0);
+    for (int j0 = 0; j0 < n; j0 += kNR) {
+      const int cols = std::min(kNR, n - j0);
+      float acc[kNR] = {};
+      for (int p = 0; p < kc; ++p) {
+        const float av = a[uz(p0 + p)];
+        float btile[kNR];
+        for (int q = 0; q < kNR; ++q) {
+          btile[q] =
+              q < cols ? b[uz(j0 + q) * uz(ldb) + uz(p0 + p)] : 0.0f;
+        }
+        for (int q = 0; q < kNR; ++q) {
+          acc[q] += av * btile[q];
+        }
+      }
+      for (int q = 0; q < cols; ++q) {
+        c[j0 + q] += acc[q];
+      }
+    }
+  }
+}
+
 void gemm_blocked(int m, int n, int k, const float* a, int lda,
                   const float* b, int ldb, bool trans_b, float* c, int ldc) {
   thread_local AlignedVec apack;
@@ -256,6 +314,10 @@ void gemm(int m, int n, int k, const float* a, int lda, const float* b,
           int ldb, bool trans_b, float* c, int ldc) {
   if (m <= 0 || n <= 0) return;
   if (k <= 0) return;  // C += A*B with empty K is a no-op
+  if (m == 1 && trans_b) {
+    gemm_row_direct(n, k, a, b, ldb, c);
+    return;
+  }
   gemm_blocked(m, n, k, a, lda, b, ldb, trans_b, c, ldc);
 }
 

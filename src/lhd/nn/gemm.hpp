@@ -14,11 +14,20 @@ enum class KernelPath { kFast, kReference };
 
 /// The path in effect: a process-wide programmatic override if one was
 /// set, else the `LHD_NN_KERNEL` environment variable (`fast` or
-/// `reference`, parsed once), else the compiled default (CMake cache
-/// variable `LHD_NN_KERNEL`, normally `fast`). Throws lhd::Error on an
-/// unrecognized environment value — a typo must not silently select a
-/// kernel. Thread-safe to read concurrently.
+/// `reference`, parsed once via parse_kernel_override), else the compiled
+/// default (CMake cache variable `LHD_NN_KERNEL`, normally `fast`). An
+/// unrecognized environment value logs a warning and falls back to the
+/// compiled default — a typo in deployment config must degrade to the
+/// shipped kernel, not abort the process. Thread-safe to read
+/// concurrently.
 KernelPath active_kernel_path();
+
+/// Parse one override string: "fast" / "reference" map to their paths;
+/// nullptr (variable unset) silently returns `fallback`; any other value
+/// logs a warning naming the bad value and returns `fallback`. Exposed
+/// for tests; active_kernel_path() routes the LHD_NN_KERNEL environment
+/// variable through here.
+KernelPath parse_kernel_override(const char* value, KernelPath fallback);
 
 /// Programmatic override of the kernel path (tests and benches compare
 /// both paths in one process). Takes effect for subsequent forwards; do

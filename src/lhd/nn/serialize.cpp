@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "lhd/util/bounded.hpp"
 #include "lhd/util/check.hpp"
 
 namespace lhd::nn {
@@ -98,7 +99,9 @@ void load_weights(Network& net, std::istream& in) {
          << ", network wants " << params[i].value->size();
       fail_at(field_at, os.str());
     }
-    staged[i].resize(static_cast<std::size_t>(n));
+    // n == params[i].value->size() was just validated, so the cap is the
+    // network's own parameter size — the stream cannot out-allocate it.
+    lhd::bounded_resize(staged[i], n, params[i].value->size());
     r.read_exact(staged[i].data(),
                  static_cast<std::size_t>(n) * sizeof(float),
                  "parameter data");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -380,6 +381,51 @@ void expect_nn_kernel_parity(Rng& rng, std::size_t size, double tol) {
          << " out_f=" << out_f << ")";
     compare_close(fast.data(), ref.data(), fast.size(), tol,
                   what.str().c_str());
+  }
+
+  // 3. The batch-1 Linear shape (m = 1, trans_b): gemm() takes the
+  //    no-packing row-direct path. Checked two ways: close to the naive
+  //    reference, and — the property the per-sample vs batched score
+  //    contract rests on — bit-identical to the same row computed by the
+  //    blocked multi-row path. k deliberately straddles the kKC = 256
+  //    panel edge so the chunked accumulation order is exercised.
+  {
+    const int n = static_cast<int>(1 + rng.next_below(20 + size));
+    const int k = static_cast<int>(200 + rng.next_below(120 + 4 * size));
+    const int rows = static_cast<int>(2 + rng.next_below(3));
+    std::vector<float> a(zu(rows) * zu(k));
+    std::vector<float> b(zu(n) * zu(k));  // n×k weight matrix, used as Bᵀ
+    std::vector<float> bias(zu(n));
+    fill_uniform(rng, a.data(), a.size());
+    fill_uniform(rng, b.data(), b.size());
+    fill_uniform(rng, bias.data(), bias.size());
+
+    std::vector<float> c_direct = bias;  // C seeded with the bias, as Linear does
+    nn::gemm(1, n, k, a.data(), k, b.data(), k, /*trans_b=*/true,
+             c_direct.data(), n);
+    std::vector<float> c_batch(zu(rows) * zu(n));
+    for (int r = 0; r < rows; ++r) {
+      std::copy(bias.begin(), bias.end(), c_batch.begin() + zu(r) * zu(n));
+    }
+    nn::gemm(rows, n, k, a.data(), k, b.data(), k, /*trans_b=*/true,
+             c_batch.data(), n);
+    std::vector<float> c_ref = bias;
+    nn::gemm_reference(1, n, k, a.data(), k, b.data(), k, /*trans_b=*/true,
+                       c_ref.data(), n);
+
+    std::ostringstream what;
+    what << "batch-1 row-direct GEMM (n=" << n << " k=" << k << ")";
+    compare_close(c_direct.data(), c_ref.data(), zu(n), tol,
+                  what.str().c_str());
+    if (std::memcmp(c_direct.data(), c_batch.data(),
+                    zu(n) * sizeof(float)) != 0) {
+      std::ostringstream os;
+      os << what.str()
+         << ": row 0 is not bit-identical to the blocked multi-row path "
+            "(rows="
+         << rows << ") — the per-sample vs batched score contract is broken";
+      oracle_fail(os.str());
+    }
   }
 }
 

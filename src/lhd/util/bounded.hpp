@@ -1,0 +1,35 @@
+#pragma once
+// Allocation discipline for the binary decoders (GDS records, weight
+// streams, dataset files): a size field read from the stream must never
+// drive an allocation on its own. These helpers force the call site to
+// name the bound, and the lhd_lint `decoder-bounds` rule bans raw
+// .reserve()/.resize() in the decoder files so the discipline cannot
+// silently erode. See docs/STATIC_ANALYSIS.md.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd {
+
+/// reserve() capped at `cap`: a *hint*, safe to clamp. A stream claiming
+/// a billion elements pre-allocates at most `cap`; if the data really
+/// arrives, push_back growth takes over from there — the attacker has to
+/// send the bytes to make us hold them.
+template <class Container>
+void bounded_reserve(Container& c, std::uint64_t claimed, std::uint64_t cap) {
+  c.reserve(static_cast<std::size_t>(claimed < cap ? claimed : cap));
+}
+
+/// resize() validated against `cap`: a *commitment*, so an over-cap claim
+/// is a hard parse failure (lhd::Error), never a clamp — silently reading
+/// fewer elements than the header promised would desynchronize the stream.
+template <class Container>
+void bounded_resize(Container& c, std::uint64_t claimed, std::uint64_t cap) {
+  LHD_CHECK_MSG(claimed <= cap, "stream claims " << claimed
+                                                 << " elements, cap is " << cap);
+  c.resize(static_cast<std::size_t>(claimed));
+}
+
+}  // namespace lhd

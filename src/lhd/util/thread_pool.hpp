@@ -20,6 +20,11 @@
 
 namespace lhd {
 
+/// Hardware thread count, never 0. The sanctioned query point: lhd_lint's
+/// header-hygiene rule bans touching std::thread anywhere outside this
+/// module, so thread sizing stays decided in one place.
+std::size_t hardware_threads();
+
 class ThreadPool {
  public:
   /// threads == 0 picks std::thread::hardware_concurrency().

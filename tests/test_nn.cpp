@@ -214,6 +214,69 @@ TEST(Gemm, BlockedMatchesReferenceAcrossTailShapes) {
   }
 }
 
+TEST(Gemm, BatchOneRowDirectBitEqualsBlockedRow) {
+  // m = 1 with trans_b dispatches to the no-packing row-direct path; the
+  // per-sample vs batched score contract requires its output to be
+  // bit-identical to the same row computed by the blocked multi-row path.
+  // k values straddle the KC=256 panel edge (the direct path must chunk
+  // its accumulation by the same KC), n values cross the 8-wide j-tile.
+  Rng rng(76);
+  const int rows = 4;
+  for (const int n : {1, 8, 9, 33}) {
+    for (const int k : {7, 256, 300, 1000}) {
+      const auto zn = static_cast<std::size_t>(n);
+      const auto zk = static_cast<std::size_t>(k);
+      std::vector<float> a(static_cast<std::size_t>(rows) * zk), b(zn * zk);
+      std::vector<float> bias(zn);
+      fill_random(rng, a);
+      fill_random(rng, b);
+      fill_random(rng, bias);
+      std::vector<float> c_one = bias;
+      gemm(1, n, k, a.data(), k, b.data(), k, /*trans_b=*/true, c_one.data(),
+           n);
+      std::vector<float> c_all(static_cast<std::size_t>(rows) * zn);
+      for (int r = 0; r < rows; ++r) {
+        std::copy(bias.begin(), bias.end(),
+                  c_all.begin() + static_cast<std::size_t>(r) * zn);
+      }
+      gemm(rows, n, k, a.data(), k, b.data(), k, /*trans_b=*/true,
+           c_all.data(), n);
+      for (std::size_t j = 0; j < zn; ++j) {
+        ASSERT_EQ(c_one[j], c_all[j])
+            << "n=" << n << " k=" << k << " element " << j;
+      }
+    }
+  }
+}
+
+TEST(Gemm, ParseKernelOverrideRecognizesValidNames) {
+  EXPECT_EQ(parse_kernel_override("fast", KernelPath::kReference),
+            KernelPath::kFast);
+  EXPECT_EQ(parse_kernel_override("reference", KernelPath::kFast),
+            KernelPath::kReference);
+  // nullptr means "variable unset": silent fallback, no warning.
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_kernel_override(nullptr, KernelPath::kFast),
+            KernelPath::kFast);
+  EXPECT_EQ(parse_kernel_override(nullptr, KernelPath::kReference),
+            KernelPath::kReference);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Gemm, ParseKernelOverrideInvalidValueWarnsAndFallsBack) {
+  // A typo'd LHD_NN_KERNEL must not abort the process or silently pick a
+  // kernel: it falls back to the compiled default and says so.
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_kernel_override("turbo", KernelPath::kFast),
+            KernelPath::kFast);
+  EXPECT_EQ(parse_kernel_override("", KernelPath::kReference),
+            KernelPath::kReference);
+  const std::string warnings = testing::internal::GetCapturedStderr();
+  EXPECT_NE(warnings.find("turbo"), std::string::npos) << warnings;
+  EXPECT_NE(warnings.find("LHD_NN_KERNEL"), std::string::npos) << warnings;
+  EXPECT_NE(warnings.find("falling back"), std::string::npos) << warnings;
+}
+
 TEST(Gemm, EmptyKLeavesSeededCUntouched) {
   std::vector<float> a, b;
   std::vector<float> c = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f};

@@ -1,0 +1,134 @@
+// lhd_lint — the in-repo static analyzer. See docs/STATIC_ANALYSIS.md for
+// the rule-by-rule triage guide.
+//
+//   lhd_lint --root=/path/to/repo              lint src/ + tools/, human output
+//   lhd_lint --root=. --json                   machine-readable findings
+//   lhd_lint --root=. --rule=layering          run a subset of rules
+//   lhd_lint --root=. --list-rules             print the shipped rule set
+//   lhd_lint --root=. --baseline=FILE          override .lhd-lint-baseline
+//   lhd_lint --root=. --write-baseline=FILE    accept current findings as debt
+//   lhd_lint --root=. src/lhd/core/scan.cpp    lint explicit repo-relative paths
+//
+// Exit status: 0 clean (or fully suppressed), 1 unsuppressed findings,
+// 2 usage or I/O error. Flags are hand-parsed: the tool must stay free of
+// lhd library dependencies so it can never be broken by the code it lints.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lhd/lint/analyzer.hpp"
+
+namespace {
+
+bool take_value(const std::string& arg, const char* flag, std::string& out) {
+  const std::string prefix = std::string(flag) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+int usage(const char* msg) {
+  std::cerr << "lhd_lint: " << msg << "\n"
+            << "usage: lhd_lint [--root=DIR] [--json] [--rule=ID]...\n"
+            << "                [--baseline=FILE | --write-baseline=FILE]\n"
+            << "                [--list-rules] [PATH...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;      // empty: default to <root>/.lhd-lint-baseline
+  std::string write_baseline_path;
+  std::vector<std::string> rule_filter;
+  std::vector<std::string> paths;
+  bool json = false, list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (take_value(arg, "--root", root)) {
+    } else if (take_value(arg, "--baseline", baseline_path)) {
+    } else if (take_value(arg, "--write-baseline", write_baseline_path)) {
+    } else if (take_value(arg, "--rule", value)) {
+      rule_filter.push_back(value);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(("unknown flag '" + arg + "'").c_str());
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  auto rules = lhd::lint::default_rules();
+  if (list_rules) {
+    for (const auto& r : rules) {
+      std::cout << r->id() << "  " << r->description() << "\n";
+    }
+    return 0;
+  }
+  if (!rule_filter.empty()) {
+    std::vector<std::unique_ptr<lhd::lint::Rule>> kept;
+    for (auto& r : rules) {
+      for (const std::string& want : rule_filter) {
+        if (want == r->id()) {
+          kept.push_back(std::move(r));
+          break;
+        }
+      }
+    }
+    if (kept.empty()) return usage("--rule matched no shipped rule id");
+    rules = std::move(kept);
+  }
+
+  if (paths.empty()) paths = lhd::lint::collect_sources(root);
+  lhd::lint::RepoContext repo;
+  for (const std::string& rel : paths) {
+    const std::filesystem::path full = std::filesystem::path(root) / rel;
+    std::ifstream in(full, std::ios::binary);
+    if (!in) return usage(("cannot read '" + full.string() + "'").c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    repo.files.push_back(lhd::lint::make_file_context(rel, buf.str()));
+  }
+
+  lhd::lint::Baseline baseline;
+  if (write_baseline_path.empty()) {
+    const std::filesystem::path bp =
+        baseline_path.empty()
+            ? std::filesystem::path(root) / ".lhd-lint-baseline"
+            : std::filesystem::path(baseline_path);
+    std::ifstream in(bp);
+    if (in) {
+      baseline = lhd::lint::parse_baseline(in);
+    } else if (!baseline_path.empty()) {
+      return usage(("cannot read baseline '" + bp.string() + "'").c_str());
+    }
+  }
+
+  const lhd::lint::Summary summary =
+      lhd::lint::run_rules(repo, rules, baseline);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      return usage(("cannot write '" + write_baseline_path + "'").c_str());
+    }
+    out << lhd::lint::render_baseline(summary);
+    std::cerr << "lhd_lint: wrote " << summary.findings.size()
+              << " finding(s) to " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  std::cout << (json ? lhd::lint::render_json(summary)
+                     : lhd::lint::render_human(summary));
+  return summary.findings.empty() ? 0 : 1;
+}
