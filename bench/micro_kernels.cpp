@@ -17,6 +17,8 @@
 
 #include "benchmark_report.hpp"
 #include "common.hpp"
+#include "lhd/exec/backend.hpp"
+#include "lhd/exec/registry.hpp"
 #include "lhd/feature/dct.hpp"
 #include "lhd/litho/oracle.hpp"
 #include "lhd/nn/gemm.hpp"
@@ -230,6 +232,68 @@ void BM_CnnForwardRef(benchmark::State& state) {
 BENCHMARK(BM_CnnForwardFast)->Arg(1)->Arg(32);
 BENCHMARK(BM_CnnForwardRef)->Arg(1)->Arg(32);
 
+// ------------------------------------------------- exec backends, gemm/conv --
+//
+// The same GEMM and conv workloads dispatched through each registered
+// lhd::exec backend, so BENCH_micro_kernels.json carries one timing row
+// per backend per shape (BM_ExecGemm/<backend>, BM_ExecConv/<backend>) —
+// the scheduling cost/benefit of each backend over the identical math.
+
+void run_exec_gemm(benchmark::State& state, const exec::ExecBackend* backend) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  const auto zm = static_cast<std::size_t>(m);
+  const auto zn = static_cast<std::size_t>(n);
+  const auto zk = static_cast<std::size_t>(k);
+  Rng rng(3);
+  std::vector<float> a(zm * zk), b(zk * zn), c(zm * zn);
+  for (auto& v : a) v = static_cast<float>(rng.next_double());
+  for (auto& v : b) v = static_cast<float>(rng.next_double());
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    backend->gemm(m, n, k, a.data(), k, b.data(), n, false, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["gflop_per_s"] = benchmark::Counter(
+      2.0 * m * n * k, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+
+void run_exec_conv(benchmark::State& state, const exec::ExecBackend* backend) {
+  const int in_c = static_cast<int>(state.range(0));
+  const int out_c = static_cast<int>(state.range(1));
+  const int side = static_cast<int>(state.range(2));
+  const int batch = static_cast<int>(state.range(3));
+  Rng rng(7);
+  nn::Tensor in({batch, in_c, side, side});
+  fill_tensor(rng, in);
+  std::vector<float> weight(
+      static_cast<std::size_t>(out_c * in_c * 9));
+  std::vector<float> bias(static_cast<std::size_t>(out_c));
+  for (auto& v : weight) v = static_cast<float>(rng.next_double());
+  for (auto& v : bias) v = static_cast<float>(rng.next_double());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend->conv2d_forward(in, weight, bias, out_c, 3, 1));
+  }
+}
+
+void register_exec_benchmarks() {
+  for (const std::string& name : lhd::exec::list_backends()) {
+    const exec::ExecBackend* backend = &exec::get_backend(name);
+    benchmark::RegisterBenchmark(("BM_ExecGemm/" + name).c_str(),
+                                 run_exec_gemm, backend)
+        ->Args({24, 8192, 144})
+        ->Args({256, 256, 256});
+    benchmark::RegisterBenchmark(("BM_ExecConv/" + name).c_str(),
+                                 run_exec_conv, backend)
+        ->Args({16, 24, 16, 32})
+        ->Args({24, 32, 8, 32});
+  }
+}
+
 void BM_CnnTrainStepBatch32(benchmark::State& state) {
   nn::Network net = nn::make_hotspot_cnn(16, 16);
   Rng rng(1);
@@ -254,6 +318,7 @@ int main(int argc, char** argv) {
   // both flag styles coexist on one command line.
   const lhd::Cli cli(argc, argv);
   benchmark::Initialize(&argc, argv);
+  register_exec_benchmarks();
   lhd::obs::RunReport report("micro_kernels", "");
   report.set_config("obs_enabled", lhd::obs::enabled());
   report.set_config("kernel_default",

@@ -10,7 +10,10 @@
 #      LHD_NN_* kernel knob is not documented in it, or
 #   5. a lint rule id shipped in src/lhd/lint/rules.hpp (the kAllRuleIds
 #      registry) has no backticked mention in docs/STATIC_ANALYSIS.md's
-#      triage guide.
+#      triage guide, or
+#   6. an exec backend registered in src/lhd/exec/registry.hpp (the
+#      kBackendNames block) has no backticked mention in docs/BACKENDS.md
+#      and README.md — every shipped backend must be documented.
 # Run from anywhere: paths resolve relative to this script's repo root.
 
 check_name="check_docs"
@@ -89,4 +92,30 @@ if [ -f "$rules_hpp" ]; then
   fi
 fi
 
-finish "update README.md's module map / knobs table, docs/PERFORMANCE.md's kernel-knob coverage, docs/STATIC_ANALYSIS.md's rule-id coverage, or add the missing @file header comments"
+# --- 6. every registered exec backend is documented ------------------------
+# The single source of truth is the kBackendNames block in
+# src/lhd/exec/registry.hpp; each name listed there must appear backticked
+# in docs/BACKENDS.md (the backend contract) and in README.md (the
+# LHD_EXEC_BACKEND knob row), so "add a backend" always includes writing
+# it down.
+registry_hpp="$root/src/lhd/exec/registry.hpp"
+backends_doc="$root/docs/BACKENDS.md"
+if [ -f "$registry_hpp" ]; then
+  if [ ! -f "$backends_doc" ]; then
+    fail "docs/BACKENDS.md is missing but src/lhd/exec registers backends"
+  else
+    backend_names="$(sed -n '/kBackendNames\[\]/,/};/p' "$registry_hpp" |
+      grep -oE '"[a-z][a-z0-9-]*"' | tr -d '"' | sort -u)"
+    [ -n "$backend_names" ] || fail "could not extract any backend names from $registry_hpp (kBackendNames block)"
+    for backend in $backend_names; do
+      if ! grep -q "\`$backend\`" "$backends_doc"; then
+        fail "exec backend '$backend' (kBackendNames) is not documented in docs/BACKENDS.md"
+      fi
+      if ! grep -q "\`$backend\`" "$readme"; then
+        fail "exec backend '$backend' (kBackendNames) is not mentioned in README.md"
+      fi
+    done
+  fi
+fi
+
+finish "update README.md's module map / knobs table, docs/PERFORMANCE.md's kernel-knob coverage, docs/STATIC_ANALYSIS.md's rule-id coverage, docs/BACKENDS.md's backend coverage, or add the missing @file header comments"

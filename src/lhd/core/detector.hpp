@@ -13,6 +13,7 @@
 /// rely on it, and every in-tree detector honors it.
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -40,10 +41,13 @@ class Detector {
   /// Batch scoring (default: loop over score). Implementations with a real
   /// batched forward path (the CNN) override this to amortize per-call
   /// overhead; the deduplicated scanner feeds each shard's cache misses
-  /// through it. Contract: element i is bit-identical to score(clips[i]) —
-  /// batching may change the cost, never the numbers.
-  virtual std::vector<float> score_batch(
-      const std::vector<data::Clip>& clips) const;
+  /// through it, sliced into sub-spans by the active exec backend.
+  /// Contract: element i is bit-identical to score(clips[i]) — batching
+  /// (any batch size, including the edge cases: an empty span returns an
+  /// empty vector, a one-clip span equals {score(clips[0])}) may change
+  /// the cost, never the numbers. This partition-invariance is what lets
+  /// exec backends split a batch arbitrarily.
+  virtual std::vector<float> score_batch(std::span<const data::Clip> clips) const;
 
   /// Batch prediction (default: loop over predict).
   virtual std::vector<bool> predict_all(const data::Dataset& ds) const;

@@ -1,9 +1,13 @@
 #include "lhd/core/pipeline.hpp"
 
+#include <algorithm>
+#include <span>
+
+#include "lhd/exec/backend.hpp"
+#include "lhd/exec/registry.hpp"
 #include "lhd/obs/registry.hpp"
 #include "lhd/obs/timer.hpp"
 #include "lhd/util/stopwatch.hpp"
-#include "lhd/util/thread_pool.hpp"
 
 namespace lhd::core {
 
@@ -48,13 +52,20 @@ std::vector<SweepPoint> threshold_sweep(
   points.reserve(thresholds.size());
   // Score once; thresholds are applied to the cached scores so the sweep
   // costs one inference pass regardless of its resolution. Scoring is
-  // side-effect-free for every in-tree detector, so clips fan out across
-  // the shared pool; each slot is written exactly once, keeping the sweep
+  // side-effect-free for every in-tree detector and score_batch is
+  // bit-identical to per-sample score() for any sub-span, so the active
+  // exec backend (LHD_EXEC_BACKEND) is free to batch or fan the clips
+  // out; each slot is written exactly once, keeping the sweep
   // deterministic.
   std::vector<float> scores(test.size());
-  ThreadPool::global().parallel_for(0, test.size(), [&](std::size_t i) {
-    scores[i] = detector.score(test[i]);
-  });
+  const exec::ExecBackend& backend = exec::resolve();
+  backend.submit_batches(
+      test.size(), exec::SubmitConfig{}, [&](std::size_t lo, std::size_t hi) {
+        const std::vector<float> scored = detector.score_batch(
+            std::span<const data::Clip>(test.clips()).subspan(lo, hi - lo));
+        std::copy(scored.begin(), scored.end(),
+                  scores.begin() + static_cast<std::ptrdiff_t>(lo));
+      });
   for (const float t : thresholds) {
     std::vector<bool> preds(test.size());
     for (std::size_t i = 0; i < test.size(); ++i) preds[i] = scores[i] > t;

@@ -61,6 +61,7 @@
 /// Scan.InstrumentedScanMatchesUninstrumented).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "lhd/core/detector.hpp"
@@ -164,6 +165,14 @@ struct ScanConfig {
   /// between sequential scans; concurrent scans stay correct but blur the
   /// per-scan attribution.
   ScoreCache* cache = nullptr;
+  /// Execution backend batched scoring dispatches through ("serial",
+  /// "threadpool", "simd"). Empty — the default — defers to
+  /// exec::resolve(): the process-wide override, then LHD_EXEC_BACKEND,
+  /// then the compiled default. Hit lists are bit-identical across
+  /// backends (the conformance suite's scan-parity group asserts it);
+  /// only scheduling and cost change. An unknown name warns and falls
+  /// back rather than aborting.
+  std::string backend;
 };
 
 struct ScanHit {

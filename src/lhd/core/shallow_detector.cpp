@@ -7,8 +7,7 @@
 
 namespace lhd::core {
 
-std::vector<float> Detector::score_batch(
-    const std::vector<data::Clip>& clips) const {
+std::vector<float> Detector::score_batch(std::span<const data::Clip> clips) const {
   std::vector<float> out;
   out.reserve(clips.size());
   for (const auto& clip : clips) out.push_back(score(clip));

@@ -1,0 +1,83 @@
+#pragma once
+// Execution-backend interface: the batched primitives behind every
+// scoring path. `core/scan`, `core/pipeline` and `CnnDetector` dispatch
+// GEMM, conv forwards and batch submission through an ExecBackend picked
+// at runtime (registry.hpp), so a new backend — a GPU offload, a remote
+// pool — lands by implementing this interface and passing the
+// conformance suite in tests/conformance/, without touching scan logic.
+// The contract (what must be bit-identical, what merely numerically
+// close) is written down in docs/BACKENDS.md.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "lhd/nn/tensor.hpp"
+
+namespace lhd::exec {
+
+/// One batch of work: process items [lo, hi). Submitted functions must
+/// write only state owned by their own range — batches may run
+/// concurrently — and their combined effect must not depend on how the
+/// backend partitions [0, count) (scoring qualifies: Detector::
+/// score_batch is bit-identical to per-sample score() by contract).
+using BatchFn = std::function<void(std::size_t lo, std::size_t hi)>;
+
+/// Tuning knobs for submit_batches. Zeros mean "backend chooses".
+struct SubmitConfig {
+  /// Upper bound on batches concurrently in flight (relevant to
+  /// pool-backed backends); 0 lets the backend scale with its pool.
+  std::size_t max_in_flight = 0;
+  /// Items per batch. Non-zero is a hard cap: no single call to the batch
+  /// function may span more than this many items, whatever the scheduling
+  /// (the conformance suite asserts it). 0 lets the backend choose — the
+  /// serial backend runs item-at-a-time (the reference loop), simd hands
+  /// out the widest batch possible.
+  std::size_t batch = 0;
+};
+
+class ExecBackend {
+ public:
+  virtual ~ExecBackend() = default;
+
+  /// Stable lowercase registry name ("serial", "threadpool", "simd").
+  const char* name() const { return name_; }
+
+  /// C (m×n, row-major, ldc) += A (m×k, row-major, lda) × B — exactly the
+  /// nn::gemm contract (trans_b reads B as n×k row-major used
+  /// transposed). Accumulates into C; callers seed C with the bias.
+  /// Results must match nn::gemm_reference within the tolerance in
+  /// docs/BACKENDS.md.
+  virtual void gemm(int m, int n, int k, const float* a, int lda,
+                    const float* b, int ldb, bool trans_b, float* c,
+                    int ldc) const = 0;
+
+  /// Batched NCHW convolution, stride 1, symmetric zero padding `pad`:
+  /// input [n, in_c, h, w], weight [out_c][in_c*kernel*kernel] row-major,
+  /// bias [out_c]; returns [n, out_c, h+2*pad-kernel+1, w+2*pad-kernel+1].
+  /// Must match the naive direct loops within tolerance.
+  virtual nn::Tensor conv2d_forward(const nn::Tensor& input,
+                                    std::span<const float> weight,
+                                    std::span<const float> bias,
+                                    int out_channels, int kernel,
+                                    int pad) const = 0;
+
+  /// Partition [0, count) into batches and invoke fn for each, keeping at
+  /// most a bounded number in flight, and return once every batch has
+  /// completed. If any invocation throws, no further batches are started,
+  /// every batch already in flight is drained, and the first exception is
+  /// rethrown — work completed before the fault stays completed, and the
+  /// backend remains usable. Safe to call from inside a pool worker
+  /// (backends must degrade to inline execution rather than deadlock).
+  virtual void submit_batches(std::size_t count, const SubmitConfig& config,
+                              const BatchFn& fn) const = 0;
+
+ protected:
+  explicit ExecBackend(const char* name) : name_(name) {}
+
+ private:
+  const char* name_;
+};
+
+}  // namespace lhd::exec

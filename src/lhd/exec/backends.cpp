@@ -1,0 +1,343 @@
+#include "lhd/exec/backends.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "lhd/nn/gemm.hpp"
+#include "lhd/util/check.hpp"
+#include "lhd/util/thread_pool.hpp"
+
+namespace lhd::exec {
+
+namespace {
+
+// ---------------------------------------------------------- conv common --
+
+struct ConvShape {
+  int n, in_c, h, w, oh, ow;
+  std::size_t krows;  // in_c * kernel * kernel
+};
+
+ConvShape conv_shape(const nn::Tensor& input, std::span<const float> weight,
+                     std::span<const float> bias, int out_channels,
+                     int kernel, int pad) {
+  LHD_CHECK(input.rank() == 4, "conv2d_forward wants NCHW input");
+  LHD_CHECK(out_channels > 0 && kernel > 0 && pad >= 0,
+            "conv2d_forward bad hyperparameters");
+  ConvShape s{};
+  s.n = input.dim(0);
+  s.in_c = input.dim(1);
+  s.h = input.dim(2);
+  s.w = input.dim(3);
+  s.oh = s.h + 2 * pad - kernel + 1;
+  s.ow = s.w + 2 * pad - kernel + 1;
+  LHD_CHECK(s.oh > 0 && s.ow > 0, "conv2d_forward kernel exceeds padded input");
+  s.krows = static_cast<std::size_t>(s.in_c) * static_cast<std::size_t>(kernel) *
+            static_cast<std::size_t>(kernel);
+  LHD_CHECK(weight.size() == static_cast<std::size_t>(out_channels) * s.krows,
+            "conv2d_forward weight size mismatch");
+  LHD_CHECK(bias.size() == static_cast<std::size_t>(out_channels),
+            "conv2d_forward bias size mismatch");
+  return s;
+}
+
+/// Direct convolution for one sample, accumulating in (c, ky, kx) order —
+/// the same order as the im2col row layout, so it doubles as the
+/// readable statement of what every backend must compute.
+void conv_sample_direct(const ConvShape& s, const float* src,
+                        std::span<const float> weight,
+                        std::span<const float> bias, int out_channels,
+                        int kernel, int pad, float* dst) {
+  const std::size_t plane = static_cast<std::size_t>(s.oh) * static_cast<std::size_t>(s.ow);
+  for (int oc = 0; oc < out_channels; ++oc) {
+    const float* wrow = weight.data() + static_cast<std::size_t>(oc) * s.krows;
+    float* orow = dst + static_cast<std::size_t>(oc) * plane;
+    for (int oy = 0; oy < s.oh; ++oy) {
+      for (int ox = 0; ox < s.ow; ++ox) {
+        float acc = bias[static_cast<std::size_t>(oc)];
+        for (int c = 0; c < s.in_c; ++c) {
+          const float* cplane =
+              src + static_cast<std::size_t>(c) * static_cast<std::size_t>(s.h) *
+                        static_cast<std::size_t>(s.w);
+          for (int ky = 0; ky < kernel; ++ky) {
+            const int iy = oy + ky - pad;
+            if (iy < 0 || iy >= s.h) continue;
+            for (int kx = 0; kx < kernel; ++kx) {
+              const int ix = ox + kx - pad;
+              if (ix < 0 || ix >= s.w) continue;
+              acc += cplane[static_cast<std::size_t>(iy) *
+                                static_cast<std::size_t>(s.w) +
+                            static_cast<std::size_t>(ix)] *
+                     wrow[static_cast<std::size_t>((c * kernel + ky) * kernel +
+                                                   kx)];
+            }
+          }
+        }
+        orow[static_cast<std::size_t>(oy) * static_cast<std::size_t>(s.ow) +
+             static_cast<std::size_t>(ox)] = acc;
+      }
+    }
+  }
+}
+
+/// Gather-style im2col for one sample: row r = (c*k + ky)*k + kx holds the
+/// input value under kernel tap (c, ky, kx) for each output position,
+/// zero where the tap falls into padding. col is [krows][oh*ow].
+void im2col_gather(const ConvShape& s, const float* src, int kernel, int pad,
+                   float* col) {
+  const std::size_t pitch = static_cast<std::size_t>(s.oh) * static_cast<std::size_t>(s.ow);
+  std::size_t r = 0;
+  for (int c = 0; c < s.in_c; ++c) {
+    const float* cplane = src + static_cast<std::size_t>(c) *
+                                    static_cast<std::size_t>(s.h) *
+                                    static_cast<std::size_t>(s.w);
+    for (int ky = 0; ky < kernel; ++ky) {
+      for (int kx = 0; kx < kernel; ++kx, ++r) {
+        float* out = col + r * pitch;
+        for (int oy = 0; oy < s.oh; ++oy) {
+          const int iy = oy + ky - pad;
+          for (int ox = 0; ox < s.ow; ++ox) {
+            const int ix = ox + kx - pad;
+            const bool inside = iy >= 0 && iy < s.h && ix >= 0 && ix < s.w;
+            out[static_cast<std::size_t>(oy) * static_cast<std::size_t>(s.ow) +
+                static_cast<std::size_t>(ox)] =
+                inside ? cplane[static_cast<std::size_t>(iy) *
+                                    static_cast<std::size_t>(s.w) +
+                                static_cast<std::size_t>(ix)]
+                       : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// im2col + blocked GEMM for one sample: seed the output plane with the
+/// bias, then accumulate weight [out_c × krows] times col [krows × oh*ow].
+void conv_sample_gemm(const ConvShape& s, const float* src,
+                      std::span<const float> weight,
+                      std::span<const float> bias, int out_channels,
+                      int kernel, int pad, float* dst) {
+  const std::size_t plane = static_cast<std::size_t>(s.oh) * static_cast<std::size_t>(s.ow);
+  nn::AlignedVec col(s.krows * plane);
+  im2col_gather(s, src, kernel, pad, col.data());
+  for (int oc = 0; oc < out_channels; ++oc) {
+    std::fill_n(dst + static_cast<std::size_t>(oc) * plane, plane,
+                bias[static_cast<std::size_t>(oc)]);
+  }
+  nn::gemm(out_channels, static_cast<int>(plane), static_cast<int>(s.krows),
+           weight.data(), static_cast<int>(s.krows), col.data(),
+           static_cast<int>(plane), /*trans_b=*/false, dst,
+           static_cast<int>(plane));
+}
+
+// --------------------------------------------------------------- serial --
+
+class SerialBackend final : public ExecBackend {
+ public:
+  SerialBackend() : ExecBackend("serial") {}
+
+  void gemm(int m, int n, int k, const float* a, int lda, const float* b,
+            int ldb, bool trans_b, float* c, int ldc) const override {
+    nn::gemm_reference(m, n, k, a, lda, b, ldb, trans_b, c, ldc);
+  }
+
+  nn::Tensor conv2d_forward(const nn::Tensor& input,
+                            std::span<const float> weight,
+                            std::span<const float> bias, int out_channels,
+                            int kernel, int pad) const override {
+    const ConvShape s = conv_shape(input, weight, bias, out_channels, kernel, pad);
+    nn::Tensor out({s.n, out_channels, s.oh, s.ow});
+    const std::size_t in_stride = static_cast<std::size_t>(s.in_c) *
+                                  static_cast<std::size_t>(s.h) *
+                                  static_cast<std::size_t>(s.w);
+    const std::size_t out_stride = static_cast<std::size_t>(out_channels) *
+                                   static_cast<std::size_t>(s.oh) *
+                                   static_cast<std::size_t>(s.ow);
+    for (int i = 0; i < s.n; ++i) {
+      conv_sample_direct(s, input.data() + static_cast<std::size_t>(i) * in_stride,
+                         weight, bias, out_channels, kernel, pad,
+                         out.data() + static_cast<std::size_t>(i) * out_stride);
+    }
+    return out;
+  }
+
+  void submit_batches(std::size_t count, const SubmitConfig& /*config*/,
+                      const BatchFn& fn) const override {
+    // The reference loop: one item per batch, in order, on the calling
+    // thread. A fault stops the loop with earlier items completed.
+    for (std::size_t i = 0; i < count; ++i) fn(i, i + 1);
+  }
+};
+
+// ----------------------------------------------------------- threadpool --
+
+class ThreadPoolBackend final : public ExecBackend {
+ public:
+  ThreadPoolBackend() : ExecBackend("threadpool") {}
+
+  void gemm(int m, int n, int k, const float* a, int lda, const float* b,
+            int ldb, bool trans_b, float* c, int ldc) const override {
+    // Row-band the packed GEMM across the pool: each band is an
+    // independent nn::gemm over a contiguous block of A/C rows, so the
+    // per-element accumulation order (and hence the bits) match the
+    // unsharded kernel. One A-panel (96 rows = kMC) per band keeps the
+    // per-task packing cost identical to the monolithic call.
+    constexpr int kRowBand = 96;
+    ThreadPool& pool = ThreadPool::global();
+    if (m <= kRowBand || pool.size() <= 1 || ThreadPool::on_worker()) {
+      nn::gemm(m, n, k, a, lda, b, ldb, trans_b, c, ldc);
+      return;
+    }
+    const std::size_t bands =
+        (static_cast<std::size_t>(m) + kRowBand - 1) / kRowBand;
+    pool.parallel_for(0, bands, [&](std::size_t band) {
+      const int i0 = static_cast<int>(band) * kRowBand;
+      const int rows = std::min(kRowBand, m - i0);
+      nn::gemm(rows, n, k,
+               a + static_cast<std::size_t>(i0) * static_cast<std::size_t>(lda),
+               lda, b, ldb, trans_b,
+               c + static_cast<std::size_t>(i0) * static_cast<std::size_t>(ldc),
+               ldc);
+    });
+  }
+
+  nn::Tensor conv2d_forward(const nn::Tensor& input,
+                            std::span<const float> weight,
+                            std::span<const float> bias, int out_channels,
+                            int kernel, int pad) const override {
+    const ConvShape s = conv_shape(input, weight, bias, out_channels, kernel, pad);
+    nn::Tensor out({s.n, out_channels, s.oh, s.ow});
+    const std::size_t in_stride = static_cast<std::size_t>(s.in_c) *
+                                  static_cast<std::size_t>(s.h) *
+                                  static_cast<std::size_t>(s.w);
+    const std::size_t out_stride = static_cast<std::size_t>(out_channels) *
+                                   static_cast<std::size_t>(s.oh) *
+                                   static_cast<std::size_t>(s.ow);
+    const auto sample = [&](std::size_t i) {
+      conv_sample_gemm(s, input.data() + i * in_stride, weight, bias,
+                       out_channels, kernel, pad, out.data() + i * out_stride);
+    };
+    ThreadPool& pool = ThreadPool::global();
+    if (pool.size() <= 1 || ThreadPool::on_worker()) {
+      for (std::size_t i = 0; i < static_cast<std::size_t>(s.n); ++i) sample(i);
+    } else {
+      pool.parallel_for(0, static_cast<std::size_t>(s.n), sample);
+    }
+    return out;
+  }
+
+  void submit_batches(std::size_t count, const SubmitConfig& config,
+                      const BatchFn& fn) const override {
+    if (count == 0) return;
+    ThreadPool& pool = ThreadPool::global();
+    // On a pool worker, fan-out would have this worker block on futures
+    // only other (possibly equally blocked) workers can drain — run the
+    // batches inline instead, still chunked by the caller's batch size (an
+    // explicit SubmitConfig::batch bounds every span the function sees,
+    // parallel or not). Partition-invariance of fn makes the result
+    // identical.
+    if (pool.size() <= 1 || ThreadPool::on_worker()) {
+      const std::size_t batch = config.batch != 0 ? config.batch : count;
+      for (std::size_t lo = 0; lo < count; lo += batch) {
+        fn(lo, std::min(count, lo + batch));
+      }
+      return;
+    }
+    const std::size_t cap = std::max<std::size_t>(
+        1, config.max_in_flight != 0 ? config.max_in_flight : 2 * pool.size());
+    std::size_t batch = config.batch;
+    if (batch == 0) batch = (count + 2 * pool.size() - 1) / (2 * pool.size());
+    batch = std::max<std::size_t>(1, batch);
+
+    // Sliding window: at most `cap` batches in flight. On a fault, stop
+    // submitting, drain what is in flight, rethrow the first exception.
+    std::deque<std::future<void>> in_flight;
+    std::exception_ptr first_error;
+    const auto reap = [&](std::future<void>& f) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    };
+    for (std::size_t lo = 0; lo < count && !first_error; lo += batch) {
+      const std::size_t hi = std::min(count, lo + batch);
+      if (in_flight.size() >= cap) {
+        reap(in_flight.front());
+        in_flight.pop_front();
+        if (first_error) break;
+      }
+      in_flight.push_back(pool.submit([lo, hi, &fn] { fn(lo, hi); }));
+    }
+    for (auto& f : in_flight) reap(f);
+    if (first_error) std::rethrow_exception(first_error);
+  }
+};
+
+// ----------------------------------------------------------------- simd --
+
+class SimdBackend final : public ExecBackend {
+ public:
+  SimdBackend() : ExecBackend("simd") {}
+
+  void gemm(int m, int n, int k, const float* a, int lda, const float* b,
+            int ldb, bool trans_b, float* c, int ldc) const override {
+    nn::gemm(m, n, k, a, lda, b, ldb, trans_b, c, ldc);
+  }
+
+  nn::Tensor conv2d_forward(const nn::Tensor& input,
+                            std::span<const float> weight,
+                            std::span<const float> bias, int out_channels,
+                            int kernel, int pad) const override {
+    const ConvShape s = conv_shape(input, weight, bias, out_channels, kernel, pad);
+    nn::Tensor out({s.n, out_channels, s.oh, s.ow});
+    const std::size_t in_stride = static_cast<std::size_t>(s.in_c) *
+                                  static_cast<std::size_t>(s.h) *
+                                  static_cast<std::size_t>(s.w);
+    const std::size_t out_stride = static_cast<std::size_t>(out_channels) *
+                                   static_cast<std::size_t>(s.oh) *
+                                   static_cast<std::size_t>(s.ow);
+    for (int i = 0; i < s.n; ++i) {
+      conv_sample_gemm(s, input.data() + static_cast<std::size_t>(i) * in_stride,
+                       weight, bias, out_channels, kernel, pad,
+                       out.data() + static_cast<std::size_t>(i) * out_stride);
+    }
+    return out;
+  }
+
+  void submit_batches(std::size_t count, const SubmitConfig& config,
+                      const BatchFn& fn) const override {
+    if (count == 0) return;
+    // Maximal spans: the batched kernels downstream (forward_batch,
+    // im2col+GEMM) are what this backend exists for, so hand them the
+    // widest batch the caller allows.
+    const std::size_t batch = config.batch != 0 ? config.batch : count;
+    for (std::size_t lo = 0; lo < count; lo += batch) {
+      fn(lo, std::min(count, lo + batch));
+    }
+  }
+};
+
+}  // namespace
+
+const ExecBackend& serial_backend() {
+  static const SerialBackend backend;
+  return backend;
+}
+
+const ExecBackend& threadpool_backend() {
+  static const ThreadPoolBackend backend;
+  return backend;
+}
+
+const ExecBackend& simd_backend() {
+  static const SimdBackend backend;
+  return backend;
+}
+
+}  // namespace lhd::exec

@@ -1,0 +1,25 @@
+#pragma once
+// Internal: the concrete backend singletons behind the registry. Code
+// outside exec selects backends through registry.hpp by name; these
+// accessors exist so registry.cpp can build its table without owning the
+// implementations.
+
+#include "lhd/exec/backend.hpp"
+
+namespace lhd::exec {
+
+/// Reference loops: nn::gemm_reference, direct conv loops, item-at-a-time
+/// submission. The oracle every other backend is conformance-tested
+/// against.
+const ExecBackend& serial_backend();
+
+/// ThreadPool-sharded batching: row-banded packed GEMM, sample-parallel
+/// conv, bounded-in-flight batch submission on ThreadPool::global().
+/// Degrades to inline execution on pool workers (no nested fan-out).
+const ExecBackend& threadpool_backend();
+
+/// The PR 7 vectorized path: packed cache-blocked nn::gemm, im2col+GEMM
+/// conv, whole-span submission so batched kernels see maximal batches.
+const ExecBackend& simd_backend();
+
+}  // namespace lhd::exec

@@ -1,0 +1,79 @@
+#include "lhd/exec/registry.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "lhd/exec/backends.hpp"
+#include "lhd/util/check.hpp"
+#include "lhd/util/log.hpp"
+
+namespace lhd::exec {
+
+namespace {
+
+/// nullptr = no programmatic override.
+std::atomic<const ExecBackend*> g_backend_override{nullptr};
+
+/// Env (then compiled) default, resolved once on first use — the same
+/// warn-and-fallback shape as LHD_NN_KERNEL: a deployment typo degrades
+/// to the shipped backend instead of aborting.
+const ExecBackend& env_default_backend() {
+  static const ExecBackend* const backend = [] {
+    const char* value = std::getenv("LHD_EXEC_BACKEND");
+    if (value == nullptr) return &get_backend(kDefaultBackendName);
+    if (const ExecBackend* found = find_backend(value)) return found;
+    LHD_LOG(Warn) << "unrecognized LHD_EXEC_BACKEND value '" << value
+                  << "' (want 'serial', 'threadpool' or 'simd') — falling "
+                  << "back to the compiled default '" << kDefaultBackendName
+                  << "'";
+    return &get_backend(kDefaultBackendName);
+  }();
+  return *backend;
+}
+
+}  // namespace
+
+std::vector<std::string> list_backends() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kBackendNames));
+  for (const std::string_view name : kBackendNames) names.emplace_back(name);
+  return names;
+}
+
+const ExecBackend* find_backend(std::string_view name) {
+  if (name == "serial") return &serial_backend();
+  if (name == "threadpool") return &threadpool_backend();
+  if (name == "simd") return &simd_backend();
+  return nullptr;
+}
+
+const ExecBackend& get_backend(std::string_view name) {
+  const ExecBackend* backend = find_backend(name);
+  LHD_CHECK_MSG(backend != nullptr, "unknown exec backend '"
+                                        << name
+                                        << "' (see exec::list_backends())");
+  return *backend;
+}
+
+const ExecBackend& resolve(std::string_view requested) {
+  if (!requested.empty()) {
+    if (const ExecBackend* backend = find_backend(requested)) return *backend;
+    LHD_LOG(Warn) << "unknown exec backend '" << requested
+                  << "' requested — falling back to the configured default";
+  }
+  if (const ExecBackend* backend =
+          g_backend_override.load(std::memory_order_relaxed)) {
+    return *backend;
+  }
+  return env_default_backend();
+}
+
+void set_backend_override(std::string_view name) {
+  g_backend_override.store(&get_backend(name), std::memory_order_relaxed);
+}
+
+void clear_backend_override() {
+  g_backend_override.store(nullptr, std::memory_order_relaxed);
+}
+
+}  // namespace lhd::exec

@@ -1,0 +1,55 @@
+#pragma once
+// Backend registry and runtime selection. Selection precedence, highest
+// first: an explicit per-call request (e.g. ScanConfig::backend), the
+// process-wide programmatic override (set_backend_override — tests and
+// benches), the LHD_EXEC_BACKEND environment variable (parsed once, with
+// warn-and-fallback semantics matching LHD_NN_KERNEL), then the compiled
+// default. Unknown names degrade with a warning instead of aborting — a
+// deployment typo must fall back to the shipped backend.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lhd/exec/backend.hpp"
+
+namespace lhd::exec {
+
+/// Every registered backend, in registration order. This block is the
+/// source of truth scripts/check_docs.sh greps: each name must appear
+/// backticked in docs/BACKENDS.md and README.md.
+inline constexpr std::string_view kBackendNames[] = {
+    "serial",
+    "threadpool",
+    "simd",
+};
+
+/// The compiled default ("simd" — the PR 7 packed-GEMM path, matching
+/// pre-exec behaviour of scan's batched scoring).
+inline constexpr std::string_view kDefaultBackendName = "simd";
+
+/// Registered backend names, in registration order (kBackendNames as
+/// strings — the conformance suite parameterizes over this).
+std::vector<std::string> list_backends();
+
+/// The named backend, or nullptr if no such backend is registered.
+const ExecBackend* find_backend(std::string_view name);
+
+/// The named backend; LHD_CHECKs that it exists (use find_backend or
+/// resolve when the name is untrusted).
+const ExecBackend& get_backend(std::string_view name);
+
+/// Resolve the backend to run on: `requested` if non-empty and known
+/// (unknown requests warn and fall through), else the programmatic
+/// override, else LHD_EXEC_BACKEND, else the compiled default.
+const ExecBackend& resolve(std::string_view requested = {});
+
+/// Process-wide programmatic override (highest precedence after explicit
+/// per-call requests). LHD_CHECKs the name; do not flip it while scans
+/// are in flight on other threads.
+void set_backend_override(std::string_view name);
+
+/// Drop the programmatic override and fall back to env/compiled default.
+void clear_backend_override();
+
+}  // namespace lhd::exec

@@ -6,6 +6,12 @@
 
 namespace lhd {
 
+namespace {
+// Set once at worker_loop entry, never cleared: the flag is per-thread
+// and worker threads run worker_loop for their whole lifetime.
+thread_local bool t_on_pool_worker = false;
+}  // namespace
+
 std::size_t hardware_threads() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
@@ -81,7 +87,10 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
+bool ThreadPool::on_worker() { return t_on_pool_worker; }
+
 void ThreadPool::worker_loop() {
+  t_on_pool_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -49,6 +49,13 @@ class ThreadPool {
   /// Process-wide shared pool.
   static ThreadPool& global();
 
+  /// True when the calling thread is a worker of *any* ThreadPool. Code
+  /// that fans work out to a pool from inside a task must check this and
+  /// run inline instead: a worker blocking on futures that only other
+  /// workers can drain deadlocks once every worker is blocked the same
+  /// way (nested parallel_for is the canonical instance).
+  static bool on_worker();
+
  private:
   void worker_loop();
 

@@ -1,0 +1,121 @@
+// Conformance group: ExecBackend::conv2d_forward. Tail shapes exercise
+// the im2col panel edges (odd plane sizes, 1x1 kernels, pad ≥ 1, plane
+// counts that don't divide the GEMM tiles). Oracle: double-precision
+// direct convolution (conv_oracle); a cross-check against nn::Conv2d
+// inference ties the exec primitive to the layer it replaces.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "lhd/nn/layers.hpp"
+
+namespace lhd::conformance {
+namespace {
+
+struct ConvShape {
+  int n, in_c, out_c, k, pad, h, w;
+};
+
+// Tail shapes: 1x1 degenerate, odd planes, k=5 with heavy padding, the
+// CNN's 16->24 channel block at full resolution, and a no-pad valid conv.
+constexpr ConvShape kConvShapes[] = {
+    {1, 1, 1, 1, 0, 1, 1},   {2, 3, 5, 3, 1, 7, 9}, {3, 2, 4, 5, 2, 8, 8},
+    {2, 16, 24, 3, 1, 16, 16}, {1, 3, 2, 3, 0, 5, 5},
+};
+
+nn::Tensor random_input(Rng& rng, const ConvShape& s) {
+  nn::Tensor input({s.n, s.in_c, s.h, s.w});
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(rng.next_double(-1.0, 1.0));
+  }
+  return input;
+}
+
+class ConvGroup : public BackendTest {};
+
+TEST_P(ConvGroup, TailShapesMatchDirectOracle) {
+  for (const ConvShape& s : kConvShapes) {
+    Rng rng(0xc0ffeeULL + static_cast<std::uint64_t>(s.in_c * 1000 + s.h));
+    const nn::Tensor input = random_input(rng, s);
+    const auto weight = random_floats(
+        rng, static_cast<std::size_t>(s.out_c * s.in_c * s.k * s.k));
+    const auto bias = random_floats(rng, static_cast<std::size_t>(s.out_c));
+    const nn::Tensor got =
+        backend().conv2d_forward(input, weight, bias, s.out_c, s.k, s.pad);
+    const std::vector<float> want =
+        conv_oracle(input, weight, bias, s.out_c, s.k, s.pad);
+    const int oh = s.h + 2 * s.pad - s.k + 1;
+    const int ow = s.w + 2 * s.pad - s.k + 1;
+    ASSERT_EQ(got.rank(), 4u);
+    ASSERT_EQ(got.dim(0), s.n);
+    ASSERT_EQ(got.dim(1), s.out_c);
+    ASSERT_EQ(got.dim(2), oh);
+    ASSERT_EQ(got.dim(3), ow);
+    expect_allclose(std::span<const float>(got.data(), got.size()), want,
+                    1e-3,
+                    "conv n=" + std::to_string(s.n) +
+                        " c=" + std::to_string(s.in_c) + "->" +
+                        std::to_string(s.out_c) + " k=" + std::to_string(s.k) +
+                        " pad=" + std::to_string(s.pad) + " " +
+                        std::to_string(s.h) + "x" + std::to_string(s.w));
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_P(ConvGroup, MatchesLayerInference) {
+  // The exec primitive must agree with the nn::Conv2d layer it stands in
+  // for, using the layer's own initialized parameters.
+  const int in_c = 3, out_c = 6, k = 3, pad = 1, h = 10, w = 10;
+  nn::Conv2d layer(in_c, out_c, k, pad);
+  Rng rng(4242);
+  layer.init(rng);
+  // params() exposes {weight, bias} value vectors; identify them by size
+  // (the weight is out_c*in_c*k*k, the bias out_c — unambiguous here).
+  std::vector<float>* weight = nullptr;
+  std::vector<float>* bias = nullptr;
+  for (const nn::Param& p : layer.params()) {
+    if (p.value->size() ==
+        static_cast<std::size_t>(out_c * in_c * k * k)) {
+      weight = p.value;
+    } else if (p.value->size() == static_cast<std::size_t>(out_c)) {
+      bias = p.value;
+    }
+  }
+  ASSERT_NE(weight, nullptr);
+  ASSERT_NE(bias, nullptr);
+  nn::Tensor input({2, in_c, h, w});
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(rng.next_double(-1.0, 1.0));
+  }
+  const nn::Tensor got =
+      backend().conv2d_forward(input, *weight, *bias, out_c, k, pad);
+  const nn::Tensor want = layer.infer(input);
+  ASSERT_EQ(got.shape(), want.shape());
+  expect_allclose(std::span<const float>(got.data(), got.size()),
+                  std::span<const float>(want.data(), want.size()), 1e-3,
+                  "conv vs nn::Conv2d::infer");
+}
+
+TEST_P(ConvGroup, RepeatedRunsAreBitIdentical) {
+  const ConvShape s{2, 16, 24, 3, 1, 16, 16};
+  Rng rng(99);
+  const nn::Tensor input = random_input(rng, s);
+  const auto weight = random_floats(
+      rng, static_cast<std::size_t>(s.out_c * s.in_c * s.k * s.k));
+  const auto bias = random_floats(rng, static_cast<std::size_t>(s.out_c));
+  const nn::Tensor first =
+      backend().conv2d_forward(input, weight, bias, s.out_c, s.k, s.pad);
+  const nn::Tensor second =
+      backend().conv2d_forward(input, weight, bias, s.out_c, s.k, s.pad);
+  ASSERT_EQ(first.shape(), second.shape());
+  ASSERT_EQ(0, std::memcmp(first.data(), second.data(),
+                           first.size() * sizeof(float)))
+      << "conv2d_forward is not deterministic across repeated runs";
+}
+
+LHD_CONFORMANCE_SUITE(ConvGroup);
+
+}  // namespace
+}  // namespace lhd::conformance

@@ -1,0 +1,121 @@
+// Conformance group: fault injection during batch submission. The
+// ExecBackend contract on a throwing batch function: stop handing out new
+// batches, drain whatever is already in flight, rethrow the first error —
+// and the backend object stays fully usable afterwards. The same story
+// must hold one level up when a Detector throws mid-scan.
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "harness.hpp"
+#include "lhd/core/scan.hpp"
+#include "lhd/synth/chip_gen.hpp"
+#include "lhd/testkit/oracle.hpp"
+#include "lhd/util/check.hpp"
+#include "lhd/util/thread_pool.hpp"
+
+namespace lhd::conformance {
+namespace {
+
+/// Density detector whose score_batch throws on its Nth invocation
+/// (process-wide across threads); per-clip score() never throws, so the
+/// naive baseline path is unaffected.
+class FaultyDetector : public testkit::DensityCutDetector {
+ public:
+  explicit FaultyDetector(int fail_on_call) : fail_on_(fail_on_call) {}
+
+  std::vector<float> score_batch(
+      std::span<const data::Clip> clips) const override {
+    if (calls_.fetch_add(1) + 1 == fail_on_) {
+      throw Error("injected score_batch fault");
+    }
+    return DensityCutDetector::score_batch(clips);
+  }
+
+  int calls() const { return calls_.load(); }
+
+ private:
+  int fail_on_;
+  mutable std::atomic<int> calls_{0};
+};
+
+class FaultGroup : public BackendTest {};
+
+TEST_P(FaultGroup, ThrowingBatchPropagatesAndLeavesBackendUsable) {
+  // Fault at the first, a middle, and the last batch of a 32-item
+  // submission split into 4-item batches. Each index must be visited at
+  // most once even while the fault drains; the next clean submission must
+  // cover everything exactly once.
+  for (const std::size_t fault_index : {std::size_t{0}, std::size_t{17},
+                                        std::size_t{31}}) {
+    constexpr std::size_t kCount = 32;
+    std::vector<std::atomic<int>> visits(kCount);
+    for (auto& v : visits) v.store(0);
+    const auto faulty = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) visits[i].fetch_add(1);
+      if (lo <= fault_index && fault_index < hi) {
+        throw Error("injected batch fault");
+      }
+    };
+    EXPECT_THROW(backend().submit_batches(
+                     kCount, exec::SubmitConfig{0, 4}, faulty),
+                 Error)
+        << "fault at " << fault_index << " was swallowed";
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_LE(visits[i].load(), 1)
+          << "index " << i << " processed twice around a fault at "
+          << fault_index;
+    }
+    // The backend must not be poisoned: a clean follow-up submission
+    // covers the full range exactly once.
+    std::vector<std::atomic<int>> clean(kCount);
+    for (auto& v : clean) v.store(0);
+    backend().submit_batches(kCount, exec::SubmitConfig{0, 4},
+                             [&](std::size_t lo, std::size_t hi) {
+                               for (std::size_t i = lo; i < hi; ++i) {
+                                 clean[i].fetch_add(1);
+                               }
+                             });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(clean[i].load(), 1)
+          << "post-fault submission broken at index " << i;
+    }
+  }
+}
+
+TEST_P(FaultGroup, DetectorFaultMidScanPropagatesAndScansRecover) {
+  // A detector that throws on its second score_batch call inside a
+  // multi-threaded dedup scan: the scan must rethrow (not hang or
+  // deadlock), and a subsequent clean scan over the same chip through the
+  // same backend must match the naive baseline.
+  ThreadPool pool(4);
+  const gds::Library lib =
+      synth::build_chip(synth::StyleConfig{}, 2, 2, 555, 4);
+  const core::ChipIndex chip =
+      core::ChipIndex::from_library(lib, "TOP", synth::kChipLayer);
+  core::ScanConfig cfg;
+  cfg.window_nm = 1024;
+  cfg.stride_nm = 512;
+  cfg.dedup = true;
+  cfg.threads = 2;
+  cfg.batch = 8;
+
+  const FaultyDetector faulty(/*fail_on_call=*/2);
+  EXPECT_THROW(core::scan_chip(chip, faulty, cfg, pool), Error);
+
+  const testkit::DensityCutDetector clean(0.10f);
+  core::ScanConfig naive_cfg;
+  naive_cfg.window_nm = cfg.window_nm;
+  naive_cfg.stride_nm = cfg.stride_nm;
+  const core::ScanResult want = core::scan_chip(chip, clean, naive_cfg);
+  const core::ScanResult got = core::scan_chip(chip, clean, cfg, pool);
+  EXPECT_EQ(got.windows_total, want.windows_total);
+  EXPECT_EQ(got.flagged, want.flagged);
+  EXPECT_EQ(got.hits, want.hits);
+}
+
+LHD_CONFORMANCE_SUITE(FaultGroup);
+
+}  // namespace
+}  // namespace lhd::conformance

@@ -1,0 +1,142 @@
+// Conformance group: ExecBackend::gemm. Shapes deliberately straddle the
+// blocked kernel's register/cache tile edges (mr=6, nr=32, mc=96, kc=256,
+// nc=1024) so sliver and full-panel code paths both run on every backend.
+// Oracle: nn::gemm_reference with double-checked accumulate-into-C
+// semantics. The serial backend IS the reference loop, so it is
+// additionally held to bit-exactness.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "lhd/nn/gemm.hpp"
+
+namespace lhd::conformance {
+namespace {
+
+struct GemmShape {
+  int m, n, k;
+};
+
+// Tile-edge shapes: one-below / exactly-at / one-above each blocking
+// constant, plus a degenerate 1x1x1, a k=1 rank-one update, and the
+// im2col shape of the CNN's first conv layer (24 filters over 8192-pixel
+// planes with 16*3*3 patch rows).
+constexpr GemmShape kEdgeShapes[] = {
+    {1, 1, 1},       {5, 31, 255},   {6, 32, 256}, {7, 33, 257},
+    {11, 64, 300},   {96, 1024, 256}, {97, 1025, 257}, {95, 1023, 255},
+    {6, 32, 1},      {24, 1024, 144},
+};
+
+class GemmGroup : public BackendTest {
+ protected:
+  // Run backend gemm and the reference on independently-seeded copies of
+  // the same random problem; returns {got, want}. `want` is bit-reusable
+  // by the serial exactness test.
+  void run_case(const GemmShape& s, bool trans_b, int lda_pad, int ldb_pad,
+                int ldc_pad, double tol) {
+    Rng rng(0x9e3779b97f4a7c15ULL ^
+            (static_cast<std::uint64_t>(s.m) << 32) ^
+            (static_cast<std::uint64_t>(s.n) << 16) ^
+            static_cast<std::uint64_t>(s.k) ^
+            (trans_b ? 0xabcdULL : 0ULL));
+    const int lda = s.k + lda_pad;
+    const int ldb = (trans_b ? s.k : s.n) + ldb_pad;
+    const int ldc = s.n + ldc_pad;
+    const auto a = random_floats(rng, static_cast<std::size_t>(s.m) *
+                                          static_cast<std::size_t>(lda));
+    const auto b = random_floats(
+        rng, static_cast<std::size_t>(trans_b ? s.n : s.k) *
+                 static_cast<std::size_t>(ldb));
+    // Seed C with random values: gemm accumulates, so a backend that
+    // zero-initializes instead of adding fails this.
+    const auto c0 = random_floats(rng, static_cast<std::size_t>(s.m) *
+                                           static_cast<std::size_t>(ldc));
+    std::vector<float> got = c0;
+    std::vector<float> want = c0;
+    backend().gemm(s.m, s.n, s.k, a.data(), lda, b.data(), ldb, trans_b,
+                   got.data(), ldc);
+    nn::gemm_reference(s.m, s.n, s.k, a.data(), lda, b.data(), ldb, trans_b,
+                       want.data(), ldc);
+    const std::string what = "gemm m=" + std::to_string(s.m) +
+                             " n=" + std::to_string(s.n) +
+                             " k=" + std::to_string(s.k) +
+                             (trans_b ? " trans_b" : "");
+    expect_allclose(got, want, tol, what);
+    if (GetParam() == "serial") {
+      // The serial backend is documented as the reference loop itself —
+      // hold it to bit-exactness, not just tolerance.
+      ASSERT_EQ(0, std::memcmp(got.data(), want.data(),
+                               got.size() * sizeof(float)))
+          << what << ": serial backend diverged bitwise from gemm_reference";
+    }
+  }
+};
+
+TEST_P(GemmGroup, TileEdgeShapesMatchReference) {
+  for (const GemmShape& s : kEdgeShapes) {
+    run_case(s, /*trans_b=*/false, 0, 0, 0, 1e-3);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_P(GemmGroup, TransposedBMatchesReference) {
+  for (const GemmShape& s : kEdgeShapes) {
+    run_case(s, /*trans_b=*/true, 0, 0, 0, 1e-3);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_P(GemmGroup, StridedLeadingDimensions) {
+  // Non-minimal lda/ldb/ldc: rows embedded in wider buffers. A backend
+  // that assumes packed rows reads or clobbers the padding.
+  run_case({7, 33, 257}, /*trans_b=*/false, 3, 5, 2, 1e-3);
+  run_case({7, 33, 257}, /*trans_b=*/true, 3, 5, 2, 1e-3);
+  run_case({96, 32, 256}, /*trans_b=*/false, 1, 7, 9, 1e-3);
+}
+
+TEST_P(GemmGroup, DegenerateDimensionsAreNoOps) {
+  // m, n or k of zero: C must be untouched (k=0 means "add nothing").
+  Rng rng(77);
+  const auto a = random_floats(rng, 64);
+  const auto b = random_floats(rng, 64);
+  const auto c0 = random_floats(rng, 64);
+  for (const GemmShape& s :
+       {GemmShape{0, 8, 8}, GemmShape{8, 0, 8}, GemmShape{8, 8, 0}}) {
+    std::vector<float> c = c0;
+    backend().gemm(s.m, s.n, s.k, a.data(), 8, b.data(), 8, false, c.data(),
+                   8);
+    ASSERT_EQ(0, std::memcmp(c.data(), c0.data(), c.size() * sizeof(float)))
+        << "gemm with m=" << s.m << " n=" << s.n << " k=" << s.k
+        << " modified C";
+  }
+}
+
+TEST_P(GemmGroup, RepeatedRunsAreBitIdentical) {
+  // Same inputs twice through the same backend must agree bitwise —
+  // threading or scratch reuse must not introduce run-to-run drift.
+  const GemmShape s{97, 129, 300};
+  Rng rng(0xfeedULL);
+  const auto a = random_floats(rng, static_cast<std::size_t>(s.m) *
+                                        static_cast<std::size_t>(s.k));
+  const auto b = random_floats(rng, static_cast<std::size_t>(s.k) *
+                                        static_cast<std::size_t>(s.n));
+  const auto c0 = random_floats(rng, static_cast<std::size_t>(s.m) *
+                                         static_cast<std::size_t>(s.n));
+  std::vector<float> first = c0;
+  std::vector<float> second = c0;
+  backend().gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, false,
+                 first.data(), s.n);
+  backend().gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, false,
+                 second.data(), s.n);
+  ASSERT_EQ(0,
+            std::memcmp(first.data(), second.data(),
+                        first.size() * sizeof(float)))
+      << "gemm is not deterministic across repeated runs";
+}
+
+LHD_CONFORMANCE_SUITE(GemmGroup);
+
+}  // namespace
+}  // namespace lhd::conformance

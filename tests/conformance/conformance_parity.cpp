@@ -1,0 +1,133 @@
+// Satellite: the `backend-parity` testkit property. Random
+// conv-relu-pool-linear stacks are pushed through every backend's
+// primitives and compared against the serial reference backend, with the
+// property runner's shrinking + LHD_PROPERTY_SEED replay on divergence.
+// Relu and pooling are computed by shared plain loops so a failure can
+// only implicate the backend's gemm/conv — the primitives under test.
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "harness.hpp"
+#include "lhd/testkit/property.hpp"
+
+namespace lhd::conformance {
+namespace {
+
+// Throwing allclose so the property runner can shrink on divergence.
+void require_allclose(std::span<const float> got, std::span<const float> want,
+                      double tol, const char* what) {
+  if (got.size() != want.size()) {
+    throw testkit::PropertyFailure(std::string(what) + ": size mismatch");
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double g = got[i];
+    const double w = want[i];
+    if (std::abs(g - w) >
+        tol * (1.0 + std::max(std::abs(g), std::abs(w)))) {
+      std::ostringstream os;
+      os << what << ": element " << i << " diverges (got " << g << ", want "
+         << w << ")";
+      throw testkit::PropertyFailure(os.str());
+    }
+  }
+}
+
+std::vector<float> relu(std::vector<float> v) {
+  for (float& x : v) x = std::max(0.0f, x);
+  return v;
+}
+
+// 2x2 stride-2 max pool over [n][c][h][w] (h, w even).
+std::vector<float> maxpool2(const std::vector<float>& v, int n, int c, int h,
+                            int w) {
+  const int oh = h / 2, ow = w / 2;
+  std::vector<float> out(static_cast<std::size_t>(n * c * oh * ow));
+  std::size_t idx = 0;
+  for (int plane = 0; plane < n * c; ++plane) {
+    const float* src = v.data() + static_cast<std::size_t>(plane) *
+                                      static_cast<std::size_t>(h * w);
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        const float a = src[(2 * y) * w + 2 * x];
+        const float b = src[(2 * y) * w + 2 * x + 1];
+        const float cc = src[(2 * y + 1) * w + 2 * x];
+        const float d = src[(2 * y + 1) * w + 2 * x + 1];
+        out[idx++] = std::max(std::max(a, b), std::max(cc, d));
+      }
+    }
+  }
+  return out;
+}
+
+// Run the full stack through one backend's primitives.
+std::vector<float> run_stack(const exec::ExecBackend& backend,
+                             const nn::Tensor& input,
+                             std::span<const float> conv_w,
+                             std::span<const float> conv_b, int out_c, int k,
+                             int pad, std::span<const float> lin_w,
+                             std::span<const float> lin_b, int out_f) {
+  const nn::Tensor conv = backend.conv2d_forward(
+      input, conv_w, conv_b, out_c, k, pad);
+  const int n = conv.dim(0), oh = conv.dim(2), ow = conv.dim(3);
+  const std::vector<float> pooled =
+      maxpool2(relu({conv.data(), conv.data() + conv.size()}), n, out_c, oh,
+               ow);
+  const int features = out_c * (oh / 2) * (ow / 2);
+  // Linear: out[n][out_f] = pooled[n][features] * lin_w[out_f][features]^T
+  // + bias, bias seeded into the accumulator (gemm is +=).
+  std::vector<float> out(static_cast<std::size_t>(n * out_f));
+  for (int s = 0; s < n; ++s) {
+    for (int f = 0; f < out_f; ++f) {
+      out[static_cast<std::size_t>(s * out_f + f)] = lin_b[
+          static_cast<std::size_t>(f)];
+    }
+  }
+  backend.gemm(n, out_f, features, pooled.data(), features, lin_w.data(),
+               features, /*trans_b=*/true, out.data(), out_f);
+  return out;
+}
+
+class ParityGroup : public BackendTest {};
+
+TEST_P(ParityGroup, RandomStacksMatchSerialReference) {
+  const exec::ExecBackend& reference = exec::get_backend("serial");
+  const exec::ExecBackend& under_test = backend();
+  CHECK_PROPERTY("backend-parity", 20, [&](Rng& rng, std::size_t size) {
+    const int k = rng.next_bool(0.5) ? 3 : 1;
+    // pad <= (k-1)/2 keeps h = oh + k - 1 - 2*pad >= oh for every shape.
+    const int pad =
+        static_cast<int>(rng.next_below(static_cast<std::uint32_t>((k + 1) / 2)));
+    const int oh = 2 * (1 + static_cast<int>(rng.next_below(3)));  // 2/4/6
+    const int h = oh + k - 1 - 2 * pad;
+    const int n = 1 + static_cast<int>(rng.next_below(3));
+    const int in_c = 1 + static_cast<int>(rng.next_below(3 + size % 2));
+    const int out_c = 1 + static_cast<int>(rng.next_below(6));
+    const int out_f = 1 + static_cast<int>(rng.next_below(5));
+    nn::Tensor input({n, in_c, h, h});
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      input[i] = static_cast<float>(rng.next_double(-1.0, 1.0));
+    }
+    const auto conv_w = random_floats(
+        rng, static_cast<std::size_t>(out_c * in_c * k * k));
+    const auto conv_b = random_floats(rng, static_cast<std::size_t>(out_c));
+    const int features = out_c * (oh / 2) * (oh / 2);
+    const auto lin_w =
+        random_floats(rng, static_cast<std::size_t>(out_f * features));
+    const auto lin_b = random_floats(rng, static_cast<std::size_t>(out_f));
+    const std::vector<float> got =
+        run_stack(under_test, input, conv_w, conv_b, out_c, k, pad, lin_w,
+                  lin_b, out_f);
+    const std::vector<float> want =
+        run_stack(reference, input, conv_w, conv_b, out_c, k, pad, lin_w,
+                  lin_b, out_f);
+    require_allclose(got, want, 1e-3, "conv-relu-pool-linear stack");
+  });
+}
+
+LHD_CONFORMANCE_SUITE(ParityGroup);
+
+}  // namespace
+}  // namespace lhd::conformance

@@ -1,0 +1,95 @@
+// Conformance group: full scans through each backend. The acceptance bar
+// for the exec layer is that the scan's hit list is bit-identical no
+// matter which backend dispatches the batched scoring — asserted here by
+// running the existing dedup and hierarchical parity oracles with the
+// backend pinned, plus explicit ScanConfig::backend selection and
+// repeated-run determinism.
+
+#include <vector>
+
+#include "harness.hpp"
+#include "lhd/core/scan.hpp"
+#include "lhd/synth/chip_gen.hpp"
+#include "lhd/testkit/oracle.hpp"
+#include "lhd/util/thread_pool.hpp"
+
+namespace lhd::conformance {
+namespace {
+
+core::ScanConfig base_config() {
+  core::ScanConfig cfg;
+  cfg.window_nm = 1024;
+  cfg.stride_nm = 512;
+  return cfg;
+}
+
+gds::Library test_chip(std::uint64_t seed, int variants) {
+  return synth::build_chip(synth::StyleConfig{}, 2, 2, seed, variants);
+}
+
+class ScanGroup : public BackendTest {};
+
+TEST_P(ScanGroup, DedupParityAcrossThreadsCapacitiesAndBatches) {
+  // The dedup-vs-naive oracle's whole matrix (threads x capacity x batch)
+  // with this backend dispatching every batched score. Capacity 0 turns
+  // memoization off; batch 1 flushes each miss alone — the submission
+  // edge cases.
+  ThreadPool pool(4);
+  const testkit::DensityCutDetector detector(0.05f);
+  const core::ChipIndex chip = core::ChipIndex::from_library(
+      test_chip(1234, 4), "TOP", synth::kChipLayer);
+  testkit::expect_dedup_scan_parity(chip, detector, base_config(), {1, 3},
+                                    {0, 1 << 12}, {1, 7, 32}, pool);
+}
+
+TEST_P(ScanGroup, HierarchicalParityAcrossThreads) {
+  ThreadPool pool(4);
+  const testkit::DensityCutDetector detector(0.05f);
+  testkit::expect_hierarchical_scan_parity(test_chip(777, 1), "TOP",
+                                           synth::kChipLayer, detector,
+                                           base_config(), {1, 3}, pool);
+}
+
+TEST_P(ScanGroup, ExplicitConfigBackendMatchesNaiveScan) {
+  // ScanConfig::backend selects the backend without the process-wide
+  // override: hits from the dedup scan under the named backend must equal
+  // the naive (dedup-off, threads-1) scan under the compiled default.
+  exec::clear_backend_override();
+  const testkit::DensityCutDetector detector(0.05f);
+  const core::ChipIndex chip = core::ChipIndex::from_library(
+      test_chip(4321, 4), "TOP", synth::kChipLayer);
+  core::ScanConfig naive_cfg = base_config();
+  const core::ScanResult naive = core::scan_chip(chip, detector, naive_cfg);
+  core::ScanConfig cfg = base_config();
+  cfg.dedup = true;
+  cfg.threads = 3;
+  cfg.batch = 7;
+  cfg.backend = GetParam();
+  ThreadPool pool(4);
+  const core::ScanResult got = core::scan_chip(chip, detector, cfg, pool);
+  EXPECT_EQ(got.windows_total, naive.windows_total);
+  EXPECT_EQ(got.flagged, naive.flagged);
+  EXPECT_EQ(got.hits, naive.hits);
+}
+
+TEST_P(ScanGroup, RepeatedScansAreBitIdentical) {
+  // Same scan twice through the same backend: identical hit lists and
+  // window counts (timings and windows_classified may differ).
+  ThreadPool pool(4);
+  const testkit::DensityCutDetector detector(0.05f);
+  const core::ChipIndex chip = core::ChipIndex::from_library(
+      test_chip(99, 4), "TOP", synth::kChipLayer);
+  core::ScanConfig cfg = base_config();
+  cfg.dedup = true;
+  cfg.threads = 3;
+  const core::ScanResult first = core::scan_chip(chip, detector, cfg, pool);
+  const core::ScanResult second = core::scan_chip(chip, detector, cfg, pool);
+  EXPECT_EQ(first.windows_total, second.windows_total);
+  EXPECT_EQ(first.flagged, second.flagged);
+  EXPECT_EQ(first.hits, second.hits);
+}
+
+LHD_CONFORMANCE_SUITE(ScanGroup);
+
+}  // namespace
+}  // namespace lhd::conformance

@@ -1,0 +1,128 @@
+// Conformance group: batched scoring and batch submission. The Detector
+// contract says score_batch element i equals score(clips[i]) bit-for-bit,
+// and ExecBackend::submit_batches must cover [0, count) as a disjoint
+// partition with bounded in-flight batches — every backend proves both
+// here, including through CnnDetector's real batched forward pass.
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "harness.hpp"
+#include "lhd/core/cnn_detector.hpp"
+#include "lhd/testkit/oracle.hpp"
+
+namespace lhd::conformance {
+namespace {
+
+class ScoreGroup : public BackendTest {};
+
+TEST_P(ScoreGroup, BatchMatchesPerClipScore) {
+  // Default Detector::score_batch (the per-clip loop) driven through the
+  // backend's submission — every element must equal score() bitwise.
+  testkit::DensityCutDetector det;
+  Rng rng(31337);
+  const auto clips = random_clips(rng, 37);
+  const std::vector<float> batched = score_via(backend(), det, clips);
+  ASSERT_EQ(batched.size(), clips.size());
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    EXPECT_EQ(batched[i], det.score(clips[i])) << "clip " << i;
+  }
+}
+
+TEST_P(ScoreGroup, CnnBatchMatchesPerClipScoreBitwise) {
+  // CnnDetector::score_batch routes through the active backend override
+  // (pinned to the param by the fixture) and runs a genuinely batched
+  // forward pass; the contract is still bit-identity with score().
+  core::CnnDetector det("conformance-cnn");
+  Rng rng(2024);
+  det.network().init(rng);
+  const auto clips = random_clips(rng, 13);
+  const std::vector<float> batched =
+      det.score_batch(std::span<const data::Clip>(clips));
+  ASSERT_EQ(batched.size(), clips.size());
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    EXPECT_EQ(batched[i], det.score(clips[i])) << "clip " << i;
+  }
+}
+
+TEST_P(ScoreGroup, EmptyBatchReturnsEmpty) {
+  testkit::DensityCutDetector density;
+  const std::vector<data::Clip> none;
+  EXPECT_TRUE(score_via(backend(), density, none).empty());
+  core::CnnDetector cnn("conformance-cnn");
+  EXPECT_TRUE(cnn.score_batch(std::span<const data::Clip>()).empty());
+}
+
+TEST_P(ScoreGroup, SingleClipBatch) {
+  testkit::DensityCutDetector det;
+  Rng rng(5);
+  const auto clips = random_clips(rng, 1);
+  const std::vector<float> batched = score_via(backend(), det, clips);
+  ASSERT_EQ(batched.size(), 1u);
+  EXPECT_EQ(batched[0], det.score(clips[0]));
+}
+
+TEST_P(ScoreGroup, SubmissionPartitionIsExact) {
+  // submit_batches must call the function on a disjoint partition of
+  // [0, count): each index covered exactly once, lo < hi, never out of
+  // range — for empty, single, odd and large counts.
+  for (const std::size_t count : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{5}, std::size_t{97}}) {
+    std::vector<std::atomic<int>> seen(count);
+    for (auto& s : seen) s.store(0);
+    backend().submit_batches(count, exec::SubmitConfig{},
+                             [&](std::size_t lo, std::size_t hi) {
+                               ASSERT_LT(lo, hi);
+                               ASSERT_LE(hi, count);
+                               for (std::size_t i = lo; i < hi; ++i) {
+                                 seen[i].fetch_add(1);
+                               }
+                             });
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(seen[i].load(), 1)
+          << "index " << i << " of " << count << " covered "
+          << seen[i].load() << " times";
+    }
+  }
+}
+
+TEST_P(ScoreGroup, ExplicitBatchSizeIsHonored) {
+  // With batch=4 over 10 items every call must span at most 4 indices.
+  std::atomic<std::size_t> max_span{0};
+  std::atomic<int> covered{0};
+  backend().submit_batches(10, exec::SubmitConfig{0, 4},
+                           [&](std::size_t lo, std::size_t hi) {
+                             std::size_t span = hi - lo;
+                             std::size_t prev = max_span.load();
+                             while (span > prev &&
+                                    !max_span.compare_exchange_weak(prev,
+                                                                    span)) {
+                             }
+                             covered.fetch_add(static_cast<int>(span));
+                           });
+  EXPECT_LE(max_span.load(), 4u);
+  EXPECT_EQ(covered.load(), 10);
+}
+
+TEST_P(ScoreGroup, InFlightBatchesStayBounded) {
+  // max_in_flight=2 with 16 one-item batches: at no instant may more than
+  // two batches be executing concurrently.
+  std::atomic<int> current{0};
+  std::atomic<int> peak{0};
+  backend().submit_batches(
+      16, exec::SubmitConfig{/*max_in_flight=*/2, /*batch=*/1},
+      [&](std::size_t, std::size_t) {
+        const int now = current.fetch_add(1) + 1;
+        int prev = peak.load();
+        while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+        }
+        current.fetch_sub(1);
+      });
+  EXPECT_LE(peak.load(), 2) << "more than max_in_flight batches ran at once";
+}
+
+LHD_CONFORMANCE_SUITE(ScoreGroup);
+
+}  // namespace
+}  // namespace lhd::conformance

@@ -1,0 +1,113 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "lhd/testkit/gen.hpp"
+#include "lhd/util/check.hpp"
+
+namespace lhd::conformance {
+
+std::vector<float> random_floats(Rng& rng, std::size_t count) {
+  std::vector<float> out(count);
+  for (float& v : out) v = static_cast<float>(rng.next_double(-1.0, 1.0));
+  return out;
+}
+
+void expect_allclose(std::span<const float> got, std::span<const float> want,
+                     double tol, const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what << ": size mismatch";
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double g = got[i];
+    const double w = want[i];
+    const double bound = tol * (1.0 + std::max(std::abs(g), std::abs(w)));
+    ASSERT_LE(std::abs(g - w), bound)
+        << what << ": element " << i << " diverges (got " << g << ", want "
+        << w << ", tol " << bound << ")";
+  }
+}
+
+std::vector<data::Clip> random_clips(Rng& rng, std::size_t count,
+                                     geom::Coord window_nm) {
+  std::vector<data::Clip> clips;
+  clips.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    clips.push_back(
+        testkit::random_clip(rng, 8 + rng.next_below(32), window_nm));
+  }
+  return clips;
+}
+
+std::vector<float> conv_oracle(const nn::Tensor& input,
+                               std::span<const float> weight,
+                               std::span<const float> bias, int out_channels,
+                               int kernel, int pad) {
+  LHD_CHECK(input.rank() == 4, "conv_oracle wants NCHW");
+  const int n = input.dim(0);
+  const int in_c = input.dim(1);
+  const int h = input.dim(2);
+  const int w = input.dim(3);
+  const int oh = h + 2 * pad - kernel + 1;
+  const int ow = w + 2 * pad - kernel + 1;
+  LHD_CHECK(oh > 0 && ow > 0, "conv_oracle kernel exceeds padded input");
+  std::vector<float> out(static_cast<std::size_t>(n) *
+                         static_cast<std::size_t>(out_channels) *
+                         static_cast<std::size_t>(oh) *
+                         static_cast<std::size_t>(ow));
+  std::size_t idx = 0;
+  for (int s = 0; s < n; ++s) {
+    const float* src = input.data() + static_cast<std::size_t>(s) *
+                                          static_cast<std::size_t>(in_c) *
+                                          static_cast<std::size_t>(h) *
+                                          static_cast<std::size_t>(w);
+    for (int oc = 0; oc < out_channels; ++oc) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          double acc = bias[static_cast<std::size_t>(oc)];
+          for (int c = 0; c < in_c; ++c) {
+            for (int ky = 0; ky < kernel; ++ky) {
+              const int iy = oy + ky - pad;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < kernel; ++kx) {
+                const int ix = ox + kx - pad;
+                if (ix < 0 || ix >= w) continue;
+                acc += static_cast<double>(
+                           src[(static_cast<std::size_t>(c) *
+                                    static_cast<std::size_t>(h) +
+                                static_cast<std::size_t>(iy)) *
+                                   static_cast<std::size_t>(w) +
+                               static_cast<std::size_t>(ix)]) *
+                       static_cast<double>(
+                           weight[static_cast<std::size_t>(oc) *
+                                      static_cast<std::size_t>(in_c * kernel *
+                                                               kernel) +
+                                  static_cast<std::size_t>(
+                                      (c * kernel + ky) * kernel + kx)]);
+              }
+            }
+          }
+          out[idx++] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> score_via(const exec::ExecBackend& backend,
+                             const core::Detector& det,
+                             const std::vector<data::Clip>& clips) {
+  std::vector<float> out(clips.size());
+  backend.submit_batches(
+      clips.size(), exec::SubmitConfig{}, [&](std::size_t lo, std::size_t hi) {
+        const std::vector<float> scored = det.score_batch(
+            std::span<const data::Clip>(clips).subspan(lo, hi - lo));
+        LHD_CHECK(scored.size() == hi - lo, "score_batch size mismatch");
+        std::copy(scored.begin(), scored.end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(lo));
+      });
+  return out;
+}
+
+}  // namespace lhd::conformance

@@ -1,0 +1,79 @@
+#pragma once
+// Shared harness for the exec-backend conformance suite (Level-Zero
+// style: per-feature test groups, one utils library, GEMM as the
+// canonical workload). Every group derives from BackendTest and is
+// instantiated once per registered backend via LHD_CONFORMANCE_SUITE, so
+// "add a backend" is exactly "appear in exec::list_backends() and make
+// this suite pass". Tolerance rules live in docs/BACKENDS.md: batch
+// scoring is bit-identical across backends; gemm/conv primitives are
+// tolerance-checked against reference loops.
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lhd/core/detector.hpp"
+#include "lhd/data/clip.hpp"
+#include "lhd/exec/backend.hpp"
+#include "lhd/exec/registry.hpp"
+#include "lhd/nn/tensor.hpp"
+#include "lhd/util/rng.hpp"
+
+namespace lhd::conformance {
+
+/// Parameterized-by-backend-name fixture. SetUp pins the process-wide
+/// override so code that resolves the backend internally (CnnDetector::
+/// score_batch, scans with an empty ScanConfig::backend) runs the backend
+/// under test too; TearDown always clears it.
+class BackendTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { exec::set_backend_override(GetParam()); }
+  void TearDown() override { exec::clear_backend_override(); }
+
+  const exec::ExecBackend& backend() const {
+    return exec::get_backend(GetParam());
+  }
+};
+
+/// Instantiate `suite` once per registered backend. The test-name suffix
+/// is the backend name itself — the per-backend ctest entries in
+/// tests/conformance/CMakeLists.txt filter on `*/<name>`, so suite/test
+/// identifiers must never contain a backend name.
+#define LHD_CONFORMANCE_SUITE(suite)                                      \
+  INSTANTIATE_TEST_SUITE_P(                                               \
+      Backends, suite, ::testing::ValuesIn(::lhd::exec::list_backends()), \
+      [](const ::testing::TestParamInfo<std::string>& info) {             \
+        return info.param;                                                \
+      })
+
+/// `count` random floats in [-1, 1).
+std::vector<float> random_floats(Rng& rng, std::size_t count);
+
+/// Elementwise |got - want| <= tol * (1 + max(|got|, |want|)); reports the
+/// first offending element. The relative-to-magnitude form matches the
+/// nn-kernel-parity oracle (different accumulation orders, same math).
+void expect_allclose(std::span<const float> got, std::span<const float> want,
+                     double tol, const std::string& what);
+
+/// Random clips for scoring tests (a handful of random rects per clip).
+std::vector<data::Clip> random_clips(Rng& rng, std::size_t count,
+                                     geom::Coord window_nm = 1024);
+
+/// Double-precision direct convolution — the conformance oracle every
+/// backend's conv2d_forward is compared against. Same layout contract as
+/// ExecBackend::conv2d_forward; returns the flattened NCHW output.
+std::vector<float> conv_oracle(const nn::Tensor& input,
+                               std::span<const float> weight,
+                               std::span<const float> bias, int out_channels,
+                               int kernel, int pad);
+
+/// Score `clips` through backend.submit_batches + Detector::score_batch —
+/// the scan's scoring dispatch, reproduced so conformance can check it
+/// without a full scan around it.
+std::vector<float> score_via(const exec::ExecBackend& backend,
+                             const core::Detector& det,
+                             const std::vector<data::Clip>& clips);
+
+}  // namespace lhd::conformance

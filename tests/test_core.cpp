@@ -18,6 +18,8 @@
 #include "lhd/core/score_cache.hpp"
 #include "lhd/core/shallow_detector.hpp"
 #include "lhd/data/clip_hash.hpp"
+#include "lhd/exec/backend.hpp"
+#include "lhd/exec/registry.hpp"
 #include "lhd/gds/model.hpp"
 #include "lhd/ml/naive_bayes.hpp"
 #include "lhd/synth/chip_gen.hpp"
@@ -943,6 +945,77 @@ TEST(CnnDetector, ScoreBatchMatchesScoreBitExact) {
   for (std::size_t i = 0; i < clips.size(); ++i) {
     EXPECT_EQ(batch[i], det.score(clips[i]));
   }
+}
+
+TEST(Detector, EmptyScoreBatchReturnsEmpty) {
+  // Regression: an empty span must come back as an empty vector, not
+  // trip the exec submission or allocate a garbage element.
+  const ThresholdedDensityDetector det(0.1f);
+  EXPECT_TRUE(det.score_batch(std::span<const data::Clip>()).empty());
+  const std::vector<data::Clip> none;
+  EXPECT_TRUE(det.score_batch(none).empty());
+}
+
+TEST(Detector, SingleClipScoreBatchMatchesScore) {
+  const ThresholdedDensityDetector det(0.1f);
+  data::Clip c;
+  c.window_nm = 1024;
+  c.rects = {Rect(0, 0, 300, 300)};
+  const std::vector<data::Clip> clips = {c};
+  const auto batch = det.score_batch(clips);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], det.score(clips[0]));
+}
+
+TEST(CnnDetector, EmptyAndSingleClipScoreBatch) {
+  // The CNN override short-circuits an empty span before touching the
+  // feature extractor, and a batch of one must equal score() bit for bit.
+  CnnDetector det("cnn-batch-edge", {});
+  Rng rng(17);
+  det.network().init(rng);
+  EXPECT_TRUE(det.score_batch(std::span<const data::Clip>()).empty());
+  const auto suite = tiny_suite(2, 2);
+  const std::vector<data::Clip> one = {suite.test[0]};
+  const auto batch = det.score_batch(one);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], det.score(one[0]));
+}
+
+// ---------------------------------------------------------- exec registry --
+
+TEST(ExecRegistry, ListsAllCompiledBackends) {
+  const auto names = exec::list_backends();
+  ASSERT_EQ(names.size(), std::size(exec::kBackendNames));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], exec::kBackendNames[i]);
+    EXPECT_EQ(exec::get_backend(names[i]).name(), names[i]);
+  }
+}
+
+TEST(ExecRegistry, ResolveHonorsExplicitRequest) {
+  EXPECT_STREQ(exec::resolve("serial").name(), "serial");
+  EXPECT_STREQ(exec::resolve("threadpool").name(), "threadpool");
+}
+
+TEST(ExecRegistry, UnknownRequestFallsBackToDefault) {
+  // Mirrors LHD_NN_KERNEL: a typo degrades to the configured default
+  // (warn-and-fallback), never aborts.
+  EXPECT_EQ(exec::resolve("no-such-backend").name(),
+            exec::kDefaultBackendName);
+}
+
+TEST(ExecRegistry, UnknownGetThrows) {
+  EXPECT_THROW(exec::get_backend("no-such-backend"), Error);
+  EXPECT_EQ(exec::find_backend("no-such-backend"), nullptr);
+}
+
+TEST(ExecRegistry, OverrideWinsUntilCleared) {
+  exec::set_backend_override("serial");
+  EXPECT_STREQ(exec::resolve().name(), "serial");
+  // An explicit request still beats the override.
+  EXPECT_STREQ(exec::resolve("threadpool").name(), "threadpool");
+  exec::clear_backend_override();
+  EXPECT_EQ(exec::resolve().name(), exec::kDefaultBackendName);
 }
 
 TEST(Scan, ThreadsZeroUsesHardwareConcurrency) {

@@ -217,6 +217,28 @@ TEST(LintRuleLayering, NegativeDownwardSameModuleAndSystemIncludes) {
   EXPECT_TRUE(findings_for(s, "layering").empty());
 }
 
+TEST(LintRuleLayering, ExecRankSitsBetweenNnAndCore) {
+  // Pin the exec module's place in the layering order: nn (and below) may
+  // not include exec, exec may not include core, while exec -> nn/util,
+  // core -> exec, and testkit -> exec are all legal. Findings come back in
+  // file insertion order.
+  const auto s = run({{"src/lhd/exec/backends.cpp",
+                       "#include \"lhd/nn/gemm.hpp\"\n"
+                       "#include \"lhd/util/thread_pool.hpp\"\n"},  // legal
+                      {"src/lhd/core/scan2.cpp",
+                       "#include \"lhd/exec/backend.hpp\"\n"},      // legal
+                      {"src/lhd/testkit/harness2.cpp",
+                       "#include \"lhd/exec/registry.hpp\"\n"},     // legal
+                      {"src/lhd/exec/bad.cpp",
+                       "#include \"lhd/core/scan.hpp\"\n"},         // upward
+                      {"src/lhd/nn/bad.cpp",
+                       "#include \"lhd/exec/backend.hpp\"\n"}});    // upward
+  const auto f = findings_for(s, "layering");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].file, "src/lhd/exec/bad.cpp");
+  EXPECT_EQ(f[1].file, "src/lhd/nn/bad.cpp");
+}
+
 // --------------------------------------------------- R4: determinism ------
 
 TEST(LintRuleDeterminism, PositiveEntropyAndWallClockInResultModules) {
@@ -228,6 +250,14 @@ TEST(LintRuleDeterminism, PositiveEntropyAndWallClockInResultModules) {
                       {"src/lhd/feature/stamp.cpp",
                        "long h() { return time(nullptr); }\n"}});
   EXPECT_EQ(findings_for(s, "determinism").size(), 3u);
+}
+
+TEST(LintRuleDeterminism, ExecModuleIsCovered) {
+  // Backend scheduling decisions feed result-bearing scans, so exec is in
+  // the determinism rule's module list.
+  const auto s = run({{"src/lhd/exec/sched.cpp",
+                       "int pick() { return rand(); }\n"}});
+  EXPECT_EQ(findings_for(s, "determinism").size(), 1u);
 }
 
 TEST(LintRuleDeterminism, NegativeMembersPlainWordsAndExemptModules) {
