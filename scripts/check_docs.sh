@@ -13,7 +13,10 @@
 #      triage guide, or
 #   6. an exec backend registered in src/lhd/exec/registry.hpp (the
 #      kBackendNames block) has no backticked mention in docs/BACKENDS.md
-#      and README.md — every shipped backend must be documented.
+#      and README.md — every shipped backend must be documented, or
+#   7. a serve protocol op shipped in src/lhd/serve/protocol.hpp (the
+#      kOpNames block) has no backticked mention in docs/SERVE.md —
+#      adding a wire op means writing it down.
 # Run from anywhere: paths resolve relative to this script's repo root.
 
 check_name="check_docs"
@@ -118,4 +121,26 @@ if [ -f "$registry_hpp" ]; then
   fi
 fi
 
-finish "update README.md's module map / knobs table, docs/PERFORMANCE.md's kernel-knob coverage, docs/STATIC_ANALYSIS.md's rule-id coverage, docs/BACKENDS.md's backend coverage, or add the missing @file header comments"
+# --- 7. every serve protocol op is documented ------------------------------
+# The single source of truth is the kOpNames block in
+# src/lhd/serve/protocol.hpp; each op named there must appear backticked
+# in docs/SERVE.md (the wire-format contract), so "add an op" always
+# includes writing it down.
+protocol_hpp="$root/src/lhd/serve/protocol.hpp"
+serve_doc="$root/docs/SERVE.md"
+if [ -f "$protocol_hpp" ]; then
+  if [ ! -f "$serve_doc" ]; then
+    fail "docs/SERVE.md is missing but src/lhd/serve ships a wire protocol"
+  else
+    op_names="$(sed -n '/kOpNames\[\]/,/};/p' "$protocol_hpp" |
+      grep -oE '"[a-z][a-z0-9-]*"' | tr -d '"' | sort -u)"
+    [ -n "$op_names" ] || fail "could not extract any op names from $protocol_hpp (kOpNames block)"
+    for op_name in $op_names; do
+      if ! grep -q "\`$op_name\`" "$serve_doc"; then
+        fail "serve op '$op_name' (kOpNames) is not documented in docs/SERVE.md"
+      fi
+    done
+  fi
+fi
+
+finish "update README.md's module map / knobs table, docs/PERFORMANCE.md's kernel-knob coverage, docs/STATIC_ANALYSIS.md's rule-id coverage, docs/BACKENDS.md's backend coverage, docs/SERVE.md's op coverage, or add the missing @file header comments"

@@ -8,7 +8,7 @@
 #   2. probe that this clang++ can link -fsanitize=fuzzer at all (distro
 #      packages sometimes omit compiler-rt) — skip if not;
 #   3. configure a dedicated build tree with -DLHD_FUZZ=ON and
-#      -DLHD_SANITIZE=address,undefined, build both harnesses;
+#      -DLHD_SANITIZE=address,undefined, build the harnesses;
 #   4. decode the hex corpus (tests/fixtures/*_corpus/) into binary seeds
 #      and run each harness for ~10 seconds on them.
 #
@@ -63,7 +63,8 @@ if ! cmake -B "$build_dir" -S "$root" \
   fail "cmake configure with -DLHD_FUZZ=ON failed"
   finish
 fi
-if ! cmake --build "$build_dir" --target fuzz_gds_read fuzz_nn_load -j \
+if ! cmake --build "$build_dir" \
+     --target fuzz_gds_read fuzz_nn_load fuzz_serve_request -j \
      > "$build_dir.build.log" 2>&1; then
   tail -30 "$build_dir.build.log" >&2
   fail "building the fuzz harnesses failed"
@@ -95,8 +96,11 @@ run_harness() {
 
 decode_corpus "$root/tests/fixtures/gds_corpus" "$probe_dir/gds_seeds"
 decode_corpus "$root/tests/fixtures/nn_corpus" "$probe_dir/nn_seeds"
+decode_corpus "$root/tests/fixtures/serve_corpus" "$probe_dir/serve_seeds"
 
 run_harness "$build_dir/fuzz/fuzz_gds_read" "$probe_dir/gds_seeds" fuzz_gds_read
 run_harness "$build_dir/fuzz/fuzz_nn_load" "$probe_dir/nn_seeds" fuzz_nn_load
+run_harness "$build_dir/fuzz/fuzz_serve_request" "$probe_dir/serve_seeds" \
+            fuzz_serve_request
 
 finish "the fuzz smoke gate found a real crash — fix before merging"

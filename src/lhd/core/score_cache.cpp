@@ -13,7 +13,11 @@ ScoreCache::ScoreCache(std::size_t capacity, std::size_t shard_count)
   // split would either break the bound or leave 15 dead shards.
   shard_count_ = std::max<std::size_t>(
       1, std::min(shard_count, std::max<std::size_t>(capacity_, 1)));
-  per_shard_capacity_ = capacity_ / shard_count_;
+  // Split the bound exactly: a plain capacity/shards would silently drop
+  // the remainder (ScoreCache(20, 16) used to hold only 16 entries), so
+  // the first capacity % shards shards get one extra slot each.
+  per_shard_base_ = capacity_ / shard_count_;
+  per_shard_remainder_ = capacity_ % shard_count_;
   shards_ = std::make_unique<Shard[]>(shard_count_);
 }
 
@@ -38,21 +42,38 @@ std::optional<float> ScoreCache::lookup(const data::CanonicalClip& key,
 
 void ScoreCache::insert(const data::CanonicalClip& key, std::uint64_t hash,
                         float score) {
-  if (capacity_ == 0 || per_shard_capacity_ == 0) return;
-  Shard& shard = shard_for(hash);
+  if (capacity_ == 0) return;
+  const std::size_t index = shard_index(hash);
+  Shard& shard = shards_[index];
+  const std::size_t bound = shard_capacity(index);
   std::uint64_t evicted = 0;
+  bool collided = false;
   {
     const MutexLock lock(shard.mutex);
-    if (shard.map.find(hash) != shard.map.end()) return;  // first writer wins
-    while (shard.map.size() >= per_shard_capacity_ && !shard.fifo.empty()) {
-      shard.map.erase(shard.fifo.front());
-      shard.fifo.pop_front();
-      ++evicted;
+    const auto it = shard.map.find(hash);
+    if (it != shard.map.end()) {
+      if (it->second.key == key) return;  // duplicate: first writer wins
+      // Full-key collision: a different pattern owns this hash slot. An
+      // early return here would make `key` permanently uncacheable (the
+      // incumbent never ages out of the map entry it shadows), so replace
+      // it — both scores are exact, this only chooses which pattern gets
+      // the memo. The FIFO position is inherited: the slot's age is the
+      // incumbent's age.
+      it->second = Entry{key, score};
+      collided = true;
+    } else {
+      while (shard.map.size() >= bound && !shard.fifo.empty()) {
+        shard.map.erase(shard.fifo.front());
+        shard.fifo.pop_front();
+        ++evicted;
+      }
+      if (bound == 0) return;  // a zero-capacity shard stores nothing
+      shard.map.emplace(hash, Entry{key, score});
+      shard.fifo.push_back(hash);
     }
-    shard.map.emplace(hash, Entry{key, score});
-    shard.fifo.push_back(hash);
   }
   if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  if (collided) collisions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::size_t ScoreCache::size() const {
@@ -69,6 +90,7 @@ ScoreCache::Stats ScoreCache::stats() const {
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
   out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.collisions = collisions_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -76,6 +98,7 @@ void ScoreCache::reset_stats() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
+  collisions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace lhd::core

@@ -1,0 +1,450 @@
+#include "lhd/serve/protocol.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "lhd/util/bounded.hpp"
+
+namespace lhd::serve {
+
+namespace {
+
+// ---------------------------------------------------------------- writing --
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void write_rects(std::ostream& out, const std::vector<geom::Rect>& rects) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(rects.size()));
+  for (const auto& r : rects) {
+    write_pod(out, r.xlo);
+    write_pod(out, r.ylo);
+    write_pod(out, r.xhi);
+    write_pod(out, r.yhi);
+  }
+}
+
+// ---------------------------------------------------------------- reading --
+
+/// Offset-tracking bounded reader over an in-memory payload. Every
+/// failure names the byte it happened at, relative to the frame start
+/// (`base` = header size), and payload-level failures are recoverable:
+/// the whole payload was already consumed, so the stream is still
+/// frame-synchronized.
+class PayloadReader {
+ public:
+  PayloadReader(const std::vector<std::uint8_t>& bytes, std::uint64_t base)
+      : bytes_(bytes), base_(base) {}
+
+  void read_exact(void* dst, std::size_t n, const char* what) {
+    if (n > bytes_.size() - pos_) {
+      std::ostringstream os;
+      os << "payload truncated reading " << what << " (wanted " << n
+         << " bytes, " << (bytes_.size() - pos_) << " left)";
+      fail(os.str());
+    }
+    // n == 0 is legal (empty weight blob, empty payload); memcpy's
+    // pointer arguments must be non-null even for zero sizes, and both
+    // an empty vector's data() and dst can be null then.
+    if (n != 0) {
+      std::memcpy(dst, bytes_.data() + pos_, n);
+    }
+    pos_ += n;
+  }
+
+  template <typename T>
+  T read_pod(const char* what) {
+    T v{};
+    read_exact(&v, sizeof(T), what);
+    return v;
+  }
+
+  std::string read_string(const char* what, std::uint32_t cap) {
+    const auto n = read_pod<std::uint32_t>(what);
+    if (n > cap) {
+      std::ostringstream os;
+      os << what << " length " << n << " exceeds cap " << cap;
+      fail(os.str());
+    }
+    std::string s(n, '\0');
+    read_exact(s.data(), n, what);
+    return s;
+  }
+
+  std::vector<geom::Rect> read_rects(const char* what) {
+    const auto n = read_pod<std::uint32_t>(what);
+    if (n > kMaxRects) {
+      std::ostringstream os;
+      os << what << " count " << n << " exceeds cap " << kMaxRects;
+      fail(os.str());
+    }
+    std::vector<geom::Rect> rects;
+    // The count was just validated against the payload-wide cap, and the
+    // bytes backing it are already in memory, so reserving `n` cannot
+    // out-allocate the frame bound.
+    lhd::bounded_reserve(rects, n, kMaxRects);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      geom::Rect r;
+      r.xlo = read_pod<geom::Coord>(what);
+      r.ylo = read_pod<geom::Coord>(what);
+      r.xhi = read_pod<geom::Coord>(what);
+      r.yhi = read_pod<geom::Coord>(what);
+      rects.push_back(r);
+    }
+    return rects;
+  }
+
+  /// All payload bytes must be consumed: trailing garbage means the
+  /// sender and receiver disagree about the op's shape.
+  void expect_consumed() const {
+    if (pos_ != bytes_.size()) {
+      std::ostringstream os;
+      os << (bytes_.size() - pos_) << " trailing payload byte(s)";
+      fail(os.str());
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw WireError(base_ + pos_, msg, /*recoverable=*/true);
+  }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::uint64_t base_ = 0;
+  std::size_t pos_ = 0;
+};
+
+/// Header-level reader straight off the stream; failures here mean the
+/// frame boundary is lost, so they are NOT recoverable.
+class FrameReader {
+ public:
+  explicit FrameReader(std::istream& in) : in_(in) {}
+
+  bool at_clean_eof() {
+    return in_.peek() == std::istream::traits_type::eof();
+  }
+
+  void read_exact(void* dst, std::size_t n, const char* what) {
+    in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+    const auto got = static_cast<std::size_t>(in_.gcount());
+    if (got != n) {
+      std::ostringstream os;
+      os << "truncated reading " << what << " (wanted " << n << " bytes, got "
+         << got << ")";
+      throw WireError(offset_ + got, os.str(), /*recoverable=*/false);
+    }
+    offset_ += n;
+  }
+
+  template <typename T>
+  T read_pod(const char* what) {
+    T v{};
+    read_exact(&v, sizeof(T), what);
+    return v;
+  }
+
+  std::uint64_t offset() const { return offset_; }
+
+  [[noreturn]] void fail(const std::string& msg, std::uint64_t at) const {
+    throw WireError(at, msg, /*recoverable=*/false);
+  }
+
+ private:
+  std::istream& in_;
+  std::uint64_t offset_ = 0;
+};
+
+/// Common magic/version prologue + bounded payload slurp. Returns the
+/// payload bytes; `head` receives the two bytes between version and
+/// payload_len (tenant+op for requests packs differently, so the caller
+/// reads its own fixed fields through `fr` first).
+std::vector<std::uint8_t> read_prologue_and_payload(FrameReader& fr) {
+  const auto len_at = fr.offset();
+  const auto payload_len = fr.read_pod<std::uint32_t>("payload length");
+  if (payload_len > kMaxPayloadBytes) {
+    std::ostringstream os;
+    os << "payload length " << payload_len << " exceeds cap "
+       << kMaxPayloadBytes;
+    fr.fail(os.str(), len_at);
+  }
+  std::vector<std::uint8_t> payload;
+  // payload_len was just validated against the frame-wide cap, which is
+  // the bound this resize commits to.
+  lhd::bounded_resize(payload, payload_len, kMaxPayloadBytes);
+  if (payload_len > 0) {
+    fr.read_exact(payload.data(), payload.size(), "payload");
+  }
+  return payload;
+}
+
+void read_magic_version(FrameReader& fr) {
+  const auto magic = fr.read_pod<std::uint32_t>("magic");
+  if (magic != kMagic) {
+    fr.fail("bad magic (not a serve frame)", 0);
+  }
+  const auto ver_at = fr.offset();
+  const auto version = fr.read_pod<std::uint32_t>("version");
+  if (version != kVersion) {
+    std::ostringstream os;
+    os << "unsupported protocol version " << version;
+    fr.fail(os.str(), ver_at);
+  }
+}
+
+/// Defined below decode_request; switches on `op` to parse the payload
+/// fields into `req.body`.
+void parse_request_payload(Op op, PayloadReader& pr, Request& req);
+
+}  // namespace
+
+Op request_op(const Request& req) {
+  return static_cast<Op>(req.body.index());
+}
+
+Status response_status(const Response& resp) {
+  if (std::holds_alternative<BusyResult>(resp.body)) return Status::Busy;
+  if (std::holds_alternative<ErrorResult>(resp.body)) return Status::Error;
+  return Status::Ok;
+}
+
+Op response_op(const Response& resp) {
+  if (const auto* busy = std::get_if<BusyResult>(&resp.body)) return busy->op;
+  if (const auto* err = std::get_if<ErrorResult>(&resp.body)) return err->op;
+  return static_cast<Op>(resp.body.index());
+}
+
+// ----------------------------------------------------------- request wire --
+
+void encode_request(const Request& req, std::ostream& out) {
+  std::ostringstream payload;
+  std::visit(
+      [&payload](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, ScoreClip>) {
+          write_string(payload, body.model);
+          write_pod(payload, body.window_nm);
+          write_rects(payload, body.rects);
+        } else if constexpr (std::is_same_v<T, ScanRegion>) {
+          write_string(payload, body.model);
+          write_pod(payload, body.window_nm);
+          write_pod(payload, body.stride_nm);
+          write_rects(payload, body.rects);
+        } else if constexpr (std::is_same_v<T, ReloadWeights>) {
+          write_string(payload, body.model);
+          write_pod<std::uint32_t>(
+              payload, static_cast<std::uint32_t>(body.weights.size()));
+          payload.write(reinterpret_cast<const char*>(body.weights.data()),
+                        static_cast<std::streamsize>(body.weights.size()));
+        } else {
+          static_assert(std::is_same_v<T, Stats>);
+        }
+      },
+      req.body);
+  const std::string bytes = payload.str();
+  LHD_CHECK(bytes.size() <= kMaxPayloadBytes, "request payload over cap");
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, req.tenant);
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(request_op(req)));
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(bytes.size()));
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  LHD_CHECK(out.good(), "request write failed");
+}
+
+std::optional<Request> decode_request(std::istream& in) {
+  FrameReader fr(in);
+  if (fr.at_clean_eof()) return std::nullopt;
+  read_magic_version(fr);
+  Request req;
+  req.tenant = fr.read_pod<std::uint32_t>("tenant id");
+  const auto op_at = fr.offset();
+  const auto op = fr.read_pod<std::uint8_t>("op code");
+  if (op >= kOpCount) {
+    std::ostringstream os;
+    os << "unknown op code " << static_cast<unsigned>(op);
+    fr.fail(os.str(), op_at);
+  }
+  const auto payload = read_prologue_and_payload(fr);
+  PayloadReader pr(payload, fr.offset() - payload.size());
+  try {
+    parse_request_payload(static_cast<Op>(op), pr, req);
+    pr.expect_consumed();
+  } catch (WireError& e) {
+    e.set_op(static_cast<Op>(op));
+    throw;
+  }
+  return req;
+}
+
+namespace {
+
+void parse_request_payload(Op op, PayloadReader& pr, Request& req) {
+  switch (op) {
+    case Op::ScoreClip: {
+      ScoreClip body;
+      body.model = pr.read_string("model name", kMaxModelNameBytes);
+      body.window_nm = pr.read_pod<std::int32_t>("window_nm");
+      body.rects = pr.read_rects("clip rects");
+      req.body = std::move(body);
+      break;
+    }
+    case Op::ScanRegion: {
+      ScanRegion body;
+      body.model = pr.read_string("model name", kMaxModelNameBytes);
+      body.window_nm = pr.read_pod<std::int32_t>("window_nm");
+      body.stride_nm = pr.read_pod<std::int32_t>("stride_nm");
+      body.rects = pr.read_rects("region rects");
+      req.body = std::move(body);
+      break;
+    }
+    case Op::ReloadWeights: {
+      ReloadWeights body;
+      body.model = pr.read_string("model name", kMaxModelNameBytes);
+      const auto n = pr.read_pod<std::uint32_t>("weight blob length");
+      if (n > kMaxWeightBytes) pr.fail("weight blob over cap");
+      lhd::bounded_resize(body.weights, n, kMaxWeightBytes);
+      pr.read_exact(body.weights.data(), body.weights.size(), "weight blob");
+      req.body = std::move(body);
+      break;
+    }
+    case Op::Stats:
+      req.body = Stats{};
+      break;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- response wire --
+
+void encode_response(const Response& resp, std::ostream& out) {
+  std::ostringstream payload;
+  std::visit(
+      [&payload](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, ScoreResult>) {
+          write_pod(payload, body.score);
+        } else if constexpr (std::is_same_v<T, ScanResultWire>) {
+          write_pod(payload, body.windows_total);
+          write_pod(payload, body.cache_hits);
+          write_pod(payload, body.cache_misses);
+          write_pod<std::uint32_t>(payload,
+                                   static_cast<std::uint32_t>(body.hits.size()));
+          for (const auto& h : body.hits) {
+            write_pod(payload, h.window.xlo);
+            write_pod(payload, h.window.ylo);
+            write_pod(payload, h.window.xhi);
+            write_pod(payload, h.window.yhi);
+            write_pod(payload, h.score);
+          }
+        } else if constexpr (std::is_same_v<T, ReloadResult>) {
+          write_pod(payload, body.version);
+        } else if constexpr (std::is_same_v<T, StatsResult>) {
+          write_string(payload, body.json);
+        } else if constexpr (std::is_same_v<T, ErrorResult>) {
+          write_string(payload, body.message);
+        } else {
+          static_assert(std::is_same_v<T, BusyResult>);
+        }
+      },
+      resp.body);
+  const std::string bytes = payload.str();
+  LHD_CHECK(bytes.size() <= kMaxPayloadBytes, "response payload over cap");
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod<std::uint8_t>(out,
+                          static_cast<std::uint8_t>(response_status(resp)));
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(response_op(resp)));
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(bytes.size()));
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  LHD_CHECK(out.good(), "response write failed");
+}
+
+Response decode_response(std::istream& in) {
+  FrameReader fr(in);
+  read_magic_version(fr);
+  const auto status_at = fr.offset();
+  const auto status = fr.read_pod<std::uint8_t>("status");
+  if (status > static_cast<std::uint8_t>(Status::Error)) {
+    std::ostringstream os;
+    os << "unknown status " << static_cast<unsigned>(status);
+    fr.fail(os.str(), status_at);
+  }
+  const auto op_at = fr.offset();
+  const auto op = fr.read_pod<std::uint8_t>("op code");
+  if (op >= kOpCount) {
+    std::ostringstream os;
+    os << "unknown op code " << static_cast<unsigned>(op);
+    fr.fail(os.str(), op_at);
+  }
+  const auto payload = read_prologue_and_payload(fr);
+  PayloadReader pr(payload, fr.offset() - payload.size());
+  Response resp;
+  switch (static_cast<Status>(status)) {
+    case Status::Busy:
+      resp.body = BusyResult{static_cast<Op>(op)};
+      break;
+    case Status::Error: {
+      ErrorResult err;
+      err.op = static_cast<Op>(op);
+      err.message = pr.read_string("error message", kMaxErrorBytes);
+      resp.body = std::move(err);
+      break;
+    }
+    case Status::Ok:
+      switch (static_cast<Op>(op)) {
+        case Op::ScoreClip: {
+          ScoreResult r;
+          r.score = pr.read_pod<float>("score");
+          resp.body = r;
+          break;
+        }
+        case Op::ScanRegion: {
+          ScanResultWire r;
+          r.windows_total = pr.read_pod<std::uint64_t>("windows_total");
+          r.cache_hits = pr.read_pod<std::uint64_t>("cache_hits");
+          r.cache_misses = pr.read_pod<std::uint64_t>("cache_misses");
+          const auto n = pr.read_pod<std::uint32_t>("hit count");
+          if (n > kMaxScanHits) pr.fail("hit count over cap");
+          lhd::bounded_reserve(r.hits, n, kMaxScanHits);
+          for (std::uint32_t i = 0; i < n; ++i) {
+            ScanHitWire h;
+            h.window.xlo = pr.read_pod<geom::Coord>("hit window");
+            h.window.ylo = pr.read_pod<geom::Coord>("hit window");
+            h.window.xhi = pr.read_pod<geom::Coord>("hit window");
+            h.window.yhi = pr.read_pod<geom::Coord>("hit window");
+            h.score = pr.read_pod<float>("hit score");
+            r.hits.push_back(h);
+          }
+          resp.body = std::move(r);
+          break;
+        }
+        case Op::ReloadWeights: {
+          ReloadResult r;
+          r.version = pr.read_pod<std::uint64_t>("model version");
+          resp.body = r;
+          break;
+        }
+        case Op::Stats: {
+          StatsResult r;
+          r.json = pr.read_string("stats json", kMaxStatsBytes);
+          resp.body = std::move(r);
+          break;
+        }
+      }
+      break;
+  }
+  pr.expect_consumed();
+  return resp;
+}
+
+}  // namespace lhd::serve

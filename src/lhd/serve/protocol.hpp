@@ -1,0 +1,237 @@
+#pragma once
+/// @file protocol.hpp
+/// @brief The `lhd::serve` wire format: length-prefixed binary request /
+/// response frames the detection daemon speaks. The format is
+/// attacker-facing (anything can connect a pipe), so it follows the
+/// hardened-decoder discipline from the GDS and weight loaders: a
+/// versioned magic, every variable-length field behind an explicit cap
+/// (util/bounded.hpp), offset-carrying errors, and a libFuzzer harness
+/// (fuzz/fuzz_serve_request) with a checked-in seed corpus from day one.
+///
+/// Frame layout (all integers native little-endian, like data/io):
+///
+///   request  = magic u32 ("LHSV") | version u32 | tenant u32 | op u8
+///            | payload_len u32 | payload[payload_len]
+///   response = magic u32 ("LHSV") | version u32 | status u8 | op u8
+///            | payload_len u32 | payload[payload_len]
+///
+/// The payload_len prefix is the framing: a decoder always knows how many
+/// bytes the frame claims before parsing them, payload_len is capped at
+/// kMaxPayloadBytes, and the payload is consumed in full before the next
+/// frame — a semantic error inside a fully-read payload leaves the stream
+/// synchronized (WireError::recoverable()), so a session can answer with
+/// a typed error and keep serving.
+///
+/// Thread-safety: encode/decode are pure functions of their stream
+/// arguments; distinct streams may be used concurrently.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "lhd/geom/rect.hpp"
+#include "lhd/util/check.hpp"
+
+namespace lhd::serve {
+
+inline constexpr std::uint32_t kMagic = 0x5653484Cu;  // "LHSV" on the wire
+inline constexpr std::uint32_t kVersion = 1;
+
+/// Operation codes, in wire-value order. kOpNames below is the
+/// documentation registry scripts/check_docs.sh checks docs/SERVE.md
+/// against — adding an op means writing it down.
+enum class Op : std::uint8_t {
+  ScoreClip = 0,      ///< score one clip through the model's ScoreCache
+  ScanRegion = 1,     ///< deduplicated sliding-window scan of a rect soup
+  ReloadWeights = 2,  ///< stage + swap new model weights, all-or-nothing
+  Stats = 3,          ///< per-tenant counters, queue + cache statistics
+};
+inline constexpr std::uint8_t kOpCount = 4;
+
+/// Single source of truth for the op-code vocabulary (docs rule 7 in
+/// scripts/check_docs.sh parses this block).
+inline constexpr const char* kOpNames[] = {
+    "score-clip",
+    "scan-region",
+    "reload-weights",
+    "stats",
+};
+
+/// Response status byte. Busy is the admission-control answer: the
+/// bounded request queue was full, nothing was attempted, retry later.
+enum class Status : std::uint8_t { Ok = 0, Busy = 1, Error = 2 };
+
+// --- field caps -------------------------------------------------------------
+// Every variable-length field decodes through one of these bounds; a frame
+// claiming more is a hard WireError before any allocation grows past the
+// cap (bounded_reserve) or at all (bounded_resize).
+
+inline constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;
+inline constexpr std::uint32_t kMaxModelNameBytes = 64;
+inline constexpr std::uint32_t kMaxRects = 1u << 16;
+inline constexpr std::uint32_t kMaxWeightBytes = 16u << 20;
+inline constexpr std::uint32_t kMaxScanHits = 1u << 20;
+inline constexpr std::uint32_t kMaxStatsBytes = 1u << 20;
+inline constexpr std::uint32_t kMaxErrorBytes = 4096;
+
+/// Decode failure. `offset` is the byte position within the frame stream
+/// where the failure was detected; `recoverable()` tells a serving loop
+/// whether the stream is still frame-synchronized (the whole payload was
+/// consumed before the semantic check failed) so it may answer with a
+/// Status::Error response and continue, or must close the connection.
+class WireError : public Error {
+ public:
+  WireError(std::uint64_t offset, const std::string& what, bool recoverable)
+      : Error("serve wire error at byte " + std::to_string(offset) + ": " +
+              what),
+        offset_(offset),
+        recoverable_(recoverable) {}
+
+  std::uint64_t offset() const { return offset_; }
+  bool recoverable() const { return recoverable_; }
+
+  /// The frame's op, when the decoder got far enough to know it (payload
+  /// errors always do; header errors never do). Lets a serving loop echo
+  /// the op in its Status::Error answer.
+  std::optional<Op> op() const { return op_; }
+  void set_op(Op op) { op_ = op; }
+
+ private:
+  std::uint64_t offset_ = 0;
+  bool recoverable_ = false;
+  std::optional<Op> op_;
+};
+
+// --- request bodies ---------------------------------------------------------
+
+/// Score one clip. `model` names the target detector; empty picks the
+/// server's default model.
+struct ScoreClip {
+  std::string model;
+  std::int32_t window_nm = 1024;
+  std::vector<geom::Rect> rects;
+
+  friend bool operator==(const ScoreClip&, const ScoreClip&) = default;
+};
+
+/// Sliding-window scan over a client-supplied rect soup (an interactive
+/// region check, not a whole chip — the window-grid size is capped
+/// server-side).
+struct ScanRegion {
+  std::string model;
+  std::int32_t window_nm = 1024;
+  std::int32_t stride_nm = 512;
+  std::vector<geom::Rect> rects;
+
+  friend bool operator==(const ScanRegion&, const ScanRegion&) = default;
+};
+
+/// Replace `model`'s weights with the carried blob. The server stages the
+/// load all-or-nothing (nn/serialize discipline) and swaps atomically;
+/// in-flight requests finish on the snapshot they started with.
+struct ReloadWeights {
+  std::string model;
+  std::vector<std::uint8_t> weights;
+
+  friend bool operator==(const ReloadWeights&, const ReloadWeights&) = default;
+};
+
+/// Fetch the server's deterministic-order JSON statistics document.
+struct Stats {
+  friend bool operator==(const Stats&, const Stats&) = default;
+};
+
+/// One request frame. The active body alternative *is* the op code
+/// (variant index == wire op byte).
+struct Request {
+  std::uint32_t tenant = 0;
+  std::variant<ScoreClip, ScanRegion, ReloadWeights, Stats> body;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+Op request_op(const Request& req);
+
+// --- response bodies --------------------------------------------------------
+
+struct ScoreResult {
+  float score = 0.0f;
+
+  friend bool operator==(const ScoreResult&, const ScoreResult&) = default;
+};
+
+struct ScanHitWire {
+  geom::Rect window;
+  float score = 0.0f;
+
+  friend bool operator==(const ScanHitWire&, const ScanHitWire&) = default;
+};
+
+struct ScanResultWire {
+  std::uint64_t windows_total = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::vector<ScanHitWire> hits;
+
+  friend bool operator==(const ScanResultWire&, const ScanResultWire&) =
+      default;
+};
+
+struct ReloadResult {
+  std::uint64_t version = 0;  ///< model version now serving
+
+  friend bool operator==(const ReloadResult&, const ReloadResult&) = default;
+};
+
+struct StatsResult {
+  std::string json;  ///< deterministic-order JSON document
+
+  friend bool operator==(const StatsResult&, const StatsResult&) = default;
+};
+
+/// Admission-control rejection: the request was never queued; `op` echoes
+/// what was asked so pipelined clients can match it up.
+struct BusyResult {
+  Op op = Op::ScoreClip;
+
+  friend bool operator==(const BusyResult&, const BusyResult&) = default;
+};
+
+/// Typed failure (bad payload semantics, unknown model, oversized region,
+/// rejected weights, ...). The request had no effect.
+struct ErrorResult {
+  Op op = Op::ScoreClip;  ///< echoed request op
+  std::string message;
+
+  friend bool operator==(const ErrorResult&, const ErrorResult&) = default;
+};
+
+struct Response {
+  std::variant<ScoreResult, ScanResultWire, ReloadResult, StatsResult,
+               BusyResult, ErrorResult>
+      body;
+
+  friend bool operator==(const Response&, const Response&) = default;
+};
+
+Status response_status(const Response& resp);
+/// The op this response answers (the Ok alternative's index, or the echoed
+/// op for Busy/Error).
+Op response_op(const Response& resp);
+
+// --- wire functions ---------------------------------------------------------
+
+void encode_request(const Request& req, std::ostream& out);
+void encode_response(const Response& resp, std::ostream& out);
+
+/// Decode one frame. Throws WireError on anything malformed; returns
+/// nullopt (request only) on clean end-of-stream — EOF before the first
+/// magic byte is how a client says goodbye, EOF anywhere later is an
+/// error. Both consume exactly one frame on success.
+std::optional<Request> decode_request(std::istream& in);
+Response decode_response(std::istream& in);
+
+}  // namespace lhd::serve

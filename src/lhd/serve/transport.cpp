@@ -1,0 +1,124 @@
+#include "lhd/serve/transport.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+#include <vector>
+
+#include "lhd/util/check.hpp"
+
+namespace lhd::serve {
+
+void StreamTransport::interrupt() {
+  // Borrowed streams: the best available is poisoning the state so the
+  // next read fails. A read already blocked inside the stream cannot be
+  // woken — documented limitation; use FdTransport where that matters.
+  in_.setstate(std::ios::failbit);
+}
+
+namespace {
+
+/// Buffered streambuf over a socket fd. Reads and writes both go through
+/// the one descriptor (socketpair semantics). EINTR is retried; any other
+/// error — including ECONNRESET after the peer's interrupt() — surfaces as
+/// end-of-stream / write failure, which the protocol layer turns into a
+/// clean session end or a WireError.
+class FdStreamBuf final : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd), rbuf_(kBufSize), wbuf_(kBufSize) {
+    setg(rbuf_.data(), rbuf_.data(), rbuf_.data());
+    setp(wbuf_.data(), wbuf_.data() + wbuf_.size());
+  }
+
+  int fd() const { return fd_; }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t n;
+    do {
+      n = ::read(fd_, rbuf_.data(), rbuf_.size());
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return traits_type::eof();
+    setg(rbuf_.data(), rbuf_.data(), rbuf_.data() + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (flush_write() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return flush_write(); }
+
+ private:
+  static constexpr std::size_t kBufSize = 1 << 16;
+
+  int flush_write() {
+    const char* p = pbase();
+    while (p < pptr()) {
+      ssize_t n;
+      do {
+        n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) return -1;
+      p += n;
+    }
+    setp(wbuf_.data(), wbuf_.data() + wbuf_.size());
+    return 0;
+  }
+
+  int fd_;
+  std::vector<char> rbuf_;
+  std::vector<char> wbuf_;
+};
+
+}  // namespace
+
+struct FdTransport::Impl {
+  explicit Impl(int fd) : buf(fd), in(&buf), out(&buf) {}
+
+  FdStreamBuf buf;
+  std::istream in;
+  std::ostream out;
+  std::atomic<bool> interrupted{false};
+};
+
+FdTransport::FdTransport(int fd) : impl_(std::make_unique<Impl>(fd)) {
+  LHD_CHECK(fd >= 0, "FdTransport needs a valid descriptor");
+}
+
+FdTransport::~FdTransport() { ::close(impl_->buf.fd()); }
+
+std::istream& FdTransport::in() { return impl_->in; }
+std::ostream& FdTransport::out() { return impl_->out; }
+int FdTransport::fd() const { return impl_->buf.fd(); }
+
+void FdTransport::interrupt() {
+  // shutdown() (not close()) so the fd number stays owned by this object
+  // until the destructor — no chance of a recycled descriptor being read.
+  // A thread blocked in read() wakes with 0 (EOF); future writes fail.
+  if (!impl_->interrupted.exchange(true)) {
+    ::shutdown(impl_->buf.fd(), SHUT_RDWR);
+  }
+}
+
+std::pair<std::unique_ptr<FdTransport>, std::unique_ptr<FdTransport>>
+socketpair_transport() {
+  int fds[2];
+  LHD_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+            "socketpair() failed");
+  return {std::make_unique<FdTransport>(fds[0]),
+          std::make_unique<FdTransport>(fds[1])};
+}
+
+}  // namespace lhd::serve

@@ -1,0 +1,86 @@
+#pragma once
+/// @file transport.hpp
+/// @brief Byte-stream transports the serve daemon and its clients speak
+/// over. A Transport is just a paired istream/ostream plus an interrupt
+/// hook; the protocol layer never knows whether the bytes cross a
+/// socketpair, the daemon's stdio, or an in-memory stringstream — which is
+/// what lets the tests and the fuzzer drive a real Server hermetically.
+///
+/// Thread-safety: in()/out() belong to one session thread at a time (a
+/// Transport is one connection, and the protocol is strictly
+/// request/response). interrupt() is the exception: it may be called from
+/// any thread while a read is blocked — that is its whole purpose (Server::
+/// stop() uses it to unblock attached session loops).
+
+#include <iosfwd>
+#include <memory>
+#include <utility>
+
+namespace lhd::serve {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Request bytes arrive here (server side) / response bytes (client side).
+  virtual std::istream& in() = 0;
+  /// Peer-bound bytes go here. The protocol layer flushes per frame.
+  virtual std::ostream& out() = 0;
+
+  /// Unblock any in-progress or future read — the reader observes
+  /// end-of-stream. Callable from any thread, idempotent. Transports that
+  /// cannot interrupt a blocked read (borrowed stdio) document it and
+  /// no-op; hermetic transports (socketpair) really unblock.
+  virtual void interrupt() = 0;
+};
+
+/// Transport borrowing caller-owned streams (the daemon's stdin/stdout, a
+/// test's stringstreams). interrupt() only poisons the stream state for
+/// *future* reads — it cannot wake a read already blocked in the kernel,
+/// so attach() long-lived sessions over FdTransport instead.
+class StreamTransport final : public Transport {
+ public:
+  StreamTransport(std::istream& in, std::ostream& out) : in_(in), out_(out) {}
+
+  std::istream& in() override { return in_; }
+  std::ostream& out() override { return out_; }
+  void interrupt() override;
+
+ private:
+  std::istream& in_;
+  std::ostream& out_;
+};
+
+/// Transport over an OS file descriptor (one fd, read and written — a
+/// socketpair end). Owns the fd; the destructor closes it. interrupt()
+/// shuts the socket down in both directions, so a session thread blocked
+/// in read() wakes with EOF.
+class FdTransport final : public Transport {
+ public:
+  /// Takes ownership of `fd` (must be a connected stream socket).
+  explicit FdTransport(int fd);
+  ~FdTransport() override;
+
+  std::istream& in() override;
+  std::ostream& out() override;
+  void interrupt() override;
+
+  int fd() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// A connected in-process pipe: two FdTransports wired back to back
+/// (AF_UNIX socketpair). first's out() feeds second's in() and vice
+/// versa — hand one end to Server::attach() and keep the other for a
+/// Client.
+std::pair<std::unique_ptr<FdTransport>, std::unique_ptr<FdTransport>>
+socketpair_transport();
+
+}  // namespace lhd::serve

@@ -26,13 +26,34 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  bool do_join = false;
   {
     const MutexLock lock(mutex_);
-    stop_ = true;
+    if (!stop_) {
+      stop_ = true;
+      do_join = true;
+    }
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  if (do_join) {
+    for (auto& w : workers_) w.join();
+    {
+      const MutexLock lock(mutex_);
+      joined_ = true;
+    }
+    cv_.notify_all();
+  } else {
+    // Another caller won the race to join; wait until it has finished so
+    // every shutdown() return (and thus the destructor) implies "workers
+    // are gone", not "someone is joining them".
+    const MutexLock lock(mutex_);
+    cv_.wait(mutex_, [this]() LHD_NO_THREAD_SAFETY_ANALYSIS {
+      return joined_;
+    });
+  }
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
@@ -40,7 +61,14 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   auto future = wrapped.get_future();
   {
     const MutexLock lock(mutex_);
-    LHD_CHECK(!stop_, "submit on stopped pool");
+    if (stop_) {
+      // Losing the submit-vs-shutdown race must not kill the process (a
+      // long-lived server hits this on every drain); surface a typed
+      // error through the future instead and drop the task unrun.
+      std::promise<void> reject;
+      reject.set_exception(std::make_exception_ptr(PoolStopped()));
+      return reject.get_future();
+    }
     queue_.push(std::move(wrapped));
   }
   cv_.notify_one();

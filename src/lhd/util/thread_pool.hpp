@@ -16,9 +16,20 @@
 #include <thread>
 #include <vector>
 
+#include "lhd/util/check.hpp"
 #include "lhd/util/thread_annotations.hpp"
 
 namespace lhd {
+
+/// Thrown (via the returned future) when a task is submitted to a pool
+/// that has been shut down. A long-lived process must be able to lose the
+/// submit-vs-shutdown race without dying: the caller observes this error
+/// from future::get() and rejects or re-routes the work, instead of the
+/// whole process aborting inside submit().
+class PoolStopped : public Error {
+ public:
+  PoolStopped() : Error("thread pool is stopped — task rejected") {}
+};
 
 /// Hardware thread count, never 0. The sanctioned query point: lhd_lint's
 /// header-hygiene rule bans touching std::thread anywhere outside this
@@ -37,7 +48,17 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueue an arbitrary task; the future resolves when it has run.
+  /// After shutdown() (or concurrently with it — the race is benign and
+  /// safe to lose) the task is NOT queued and the returned future holds a
+  /// PoolStopped error instead; submit never throws and never aborts.
   std::future<void> submit(std::function<void()> task);
+
+  /// Stop accepting tasks, drain the queue, and join every worker.
+  /// Idempotent and safe to call concurrently with submit(); the
+  /// destructor calls it. Tasks already queued still run to completion;
+  /// tasks submitted after (or racing past) the stop flag get PoolStopped
+  /// futures.
+  void shutdown();
 
   /// Run fn(i) for every i in [begin, end), blocking until all complete.
   /// Work is split into roughly 4x#workers contiguous chunks. If any
@@ -64,6 +85,7 @@ class ThreadPool {
   CondVar cv_;
   std::queue<std::packaged_task<void()>> queue_ LHD_GUARDED_BY(mutex_);
   bool stop_ LHD_GUARDED_BY(mutex_) = false;
+  bool joined_ LHD_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace lhd

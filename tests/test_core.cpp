@@ -580,6 +580,55 @@ TEST(ScoreCache, FirstWriterWins) {
   EXPECT_EQ(*got, 0.25f);
 }
 
+TEST(ScoreCache, FullKeyCollisionReplacesResidentEntry) {
+  // Two distinct canonical keys forced onto one 64-bit hash (the hash is
+  // caller-supplied, so the test can simulate the 2^-64 event directly).
+  // The old early-return kept the incumbent forever, which made the second
+  // pattern permanently uncacheable — every occurrence re-scored for the
+  // cache's lifetime.
+  ScoreCache cache(16);
+  const auto a = canon_of({Rect(0, 0, 100, 100)});
+  const auto b = canon_of({Rect(0, 0, 100, 200)});
+  const std::uint64_t hash = 42;  // shared slot
+  cache.insert(a, hash, 1.0f);
+  EXPECT_FALSE(cache.lookup(b, hash).has_value());  // full-key compare: miss
+  cache.insert(b, hash, 2.0f);                      // must replace, not no-op
+  EXPECT_EQ(cache.size(), 1u);
+  const auto got = cache.lookup(b, hash);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 2.0f);
+  EXPECT_FALSE(cache.lookup(a, hash).has_value());  // incumbent was evicted
+  EXPECT_EQ(cache.stats().collisions, 1u);
+  // A same-key duplicate stays first-writer-wins and is NOT a collision.
+  cache.insert(b, hash, 3.0f);
+  EXPECT_EQ(*cache.lookup(b, hash), 2.0f);
+  EXPECT_EQ(cache.stats().collisions, 1u);
+}
+
+TEST(ScoreCache, NonDividingCapacityHoldsExactTotalBound) {
+  // per_shard = capacity / shards used to discard the remainder, so
+  // ScoreCache(20, 16) held only 16 entries. The remainder now spreads
+  // one-per-shard: the total bound is pinned exactly, from both sides.
+  const std::pair<std::size_t, std::size_t> cases[] = {
+      {20, 16}, {17, 16}, {31, 16}, {5, 3}, {1, 16}, {16, 16}, {48, 16}};
+  for (const auto& [capacity, shards] : cases) {
+    ScoreCache cache(capacity, shards);
+    // Distinct keys with forced hashes 0..n-1 cover every shard
+    // round-robin, enough times to fill each shard to its bound.
+    const std::size_t n = 2 * capacity + shards;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto key = canon_of({Rect(0, 0, static_cast<geom::Coord>(i + 1),
+                                      static_cast<geom::Coord>(i + 1))});
+      cache.insert(key, static_cast<std::uint64_t>(i),
+                   static_cast<float>(i));
+      EXPECT_LE(cache.size(), capacity)
+          << "capacity " << capacity << " shards " << shards;
+    }
+    EXPECT_EQ(cache.size(), capacity)
+        << "capacity " << capacity << " shards " << shards;
+  }
+}
+
 TEST(ScoreCache, ResetStatsClearsTalliesNotEntries) {
   ScoreCache cache(8);
   const auto key = canon_of({Rect(0, 0, 10, 10)});

@@ -4,10 +4,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <set>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "lhd/util/check.hpp"
 #include "lhd/util/cli.hpp"
@@ -332,6 +334,65 @@ TEST(ThreadPool, SingleWorkerParallelForRunsInline) {
 
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ThreadPool, SubmitAfterShutdownReturnsPoolStoppedFuture) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  bool ran = false;
+  auto future = pool.submit([&] { ran = true; });
+  EXPECT_THROW(future.get(), PoolStopped);
+  EXPECT_FALSE(ran);  // the rejected task must never run
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();  // second call (and the destructor after it) must no-op
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([&] { ran.fetch_add(1); }));
+  }
+  pool.shutdown();
+  for (auto& f : futures) f.get();  // all were accepted, so all ran
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, SubmitShutdownRaceNeverAborts) {
+  // Regression: submit used to LHD_CHECK(!stop_) and abort the process
+  // when it lost the race against shutdown. Now every submit either runs
+  // the task or surfaces PoolStopped through the future — under TSan this
+  // also proves the race itself is clean.
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(2);
+    std::atomic<bool> go{false};
+    std::atomic<int> accepted{0}, rejected{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&] {
+        while (!go.load()) {
+        }
+        for (int i = 0; i < 64; ++i) {
+          auto f = pool.submit([] {});
+          try {
+            f.get();
+            accepted.fetch_add(1);
+          } catch (const PoolStopped&) {
+            rejected.fetch_add(1);
+          }
+        }
+      });
+    }
+    go = true;
+    pool.shutdown();
+    for (auto& t : submitters) t.join();
+    EXPECT_EQ(accepted.load() + rejected.load(), 4 * 64);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,68 @@
+// lhd_served: the detection daemon over stdio. One process = one session:
+// the parent drives the serve wire protocol on stdin/stdout (see
+// docs/SERVE.md) and reads human-facing logs on stderr — stdout carries
+// frames only.
+//
+//   ./lhd_served [--detector=nb] [--model=default] [--suite=B2]
+//                [--train=120] [--workers=2] [--queue=32]
+//                [--cache=4096] [--max-scan-windows=16384]
+//
+// The model is trained at startup on a deterministic synthetic suite so
+// the daemon is immediately useful; a CNN model additionally accepts
+// reload-weights frames (other kinds answer a typed error).
+
+#include <iostream>
+#include <memory>
+
+#include "lhd/core/cnn_detector.hpp"
+#include "lhd/core/factory.hpp"
+#include "lhd/serve/server.hpp"
+#include "lhd/synth/builder.hpp"
+#include "lhd/util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lhd;
+  const Cli cli(argc, argv);
+
+  const std::string kind = cli.get_string("detector", "nb");
+  const std::string model = cli.get_string("model", "default");
+
+  synth::SuiteSpec spec = synth::suite_by_name(cli.get_string("suite", "B2"));
+  spec.n_train = static_cast<int>(cli.get_int("train", 120));
+  spec.n_test = 1;  // the daemon never evaluates; keep the build cheap
+  std::cerr << "lhd_served: building suite " << spec.name << " ("
+            << spec.n_train << " train clips)...\n";
+  const synth::BuiltSuite suite = synth::build_suite(spec, {});
+
+  serve::ServerConfig config;
+  config.score_workers = static_cast<std::size_t>(cli.get_int("workers", 2));
+  config.max_queue = static_cast<std::size_t>(cli.get_int("queue", 32));
+  config.cache_capacity = static_cast<std::size_t>(cli.get_int("cache", 4096));
+  config.max_scan_windows =
+      static_cast<std::size_t>(cli.get_int("max-scan-windows", 16384));
+  serve::Server server(config);
+
+  std::cerr << "lhd_served: training '" << kind << "' as model '" << model
+            << "'...\n";
+  if (kind.rfind("cnn", 0) == 0) {
+    // CNN kinds get a reload loader: new weights must fit this config's
+    // architecture (nn/serialize checks shapes on load).
+    core::CnnDetectorConfig cnn_config;
+    auto detector = std::make_shared<core::CnnDetector>(model, cnn_config);
+    detector->train(suite.train);
+    server.add_model(model, std::move(detector),
+                     serve::cnn_weight_loader(model, cnn_config));
+  } else {
+    std::shared_ptr<core::Detector> detector = core::make_detector(kind);
+    detector->train(suite.train);
+    server.add_model(model, std::move(detector));
+  }
+
+  std::cerr << "lhd_served: serving model '" << model << "' on stdio "
+            << "(workers=" << config.score_workers
+            << ", queue=" << config.max_queue << ")\n";
+  serve::StreamTransport transport(std::cin, std::cout);
+  server.serve(transport);
+  std::cerr << "lhd_served: session ended\n" << server.stats_json() << "\n";
+  return 0;
+}
